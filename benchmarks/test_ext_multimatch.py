@@ -1,0 +1,78 @@
+"""Extension bench (§8 future work): multi-matching with identifiers.
+
+One identifier-tagged combined program against K separate single-match
+scans over the same stream: the combined pass shares the input sweep so
+its advantage grows with the pattern count — the multi-matching
+motivation of the paper's future-work section.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.system import CiceroSystem
+from repro.compiler import compile_regex
+from repro.multimatch import MultiMatchVM, compile_multipattern
+from repro.workloads.protomata import generate_patterns
+
+from common import NUM_CHUNKS, benchmark_data, format_table, print_banner
+
+CONFIG = ArchConfig.new(16)
+SET_SIZES = (2, 4, 8)
+
+
+def test_ext_multimatch(benchmark):
+    bench = benchmark_data("protomata")
+    chunks = bench.chunks
+
+    def compute():
+        results = {}
+        pool = generate_patterns(max(SET_SIZES), seed=77)
+        for set_size in SET_SIZES:
+            patterns = pool[:set_size]
+            combined = compile_multipattern(patterns)
+            system = CiceroSystem(combined.program, CONFIG)
+            vm = MultiMatchVM(combined)
+            combined_cycles = 0
+            ids_seen = set()
+            for chunk in chunks:
+                run = system.run(chunk, collect_matches=True)
+                combined_cycles += run.cycles
+                ids_seen |= run.matched_ids
+                assert run.matched_ids == vm.run(chunk).matched_ids
+            separate_cycles = 0
+            for pattern in patterns:
+                single = CiceroSystem(compile_regex(pattern).program, CONFIG)
+                for chunk in chunks:
+                    separate_cycles += single.run(chunk).cycles
+            results[set_size] = (combined_cycles, separate_cycles, len(ids_seen))
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner(
+        f"Extension — multi-matching: combined vs separate scans "
+        f"({NUM_CHUNKS} chunks, NEW 16x1)"
+    )
+    rows = []
+    for set_size in SET_SIZES:
+        combined_cycles, separate_cycles, ids_seen = results[set_size]
+        rows.append(
+            (
+                f"{set_size} REs",
+                f"{combined_cycles}",
+                f"{separate_cycles}",
+                f"{separate_cycles / combined_cycles:.2f}x",
+                f"{ids_seen}",
+            )
+        )
+    print(format_table(
+        ["pattern set", "combined [cyc]", "separate [cyc]", "advantage",
+         "ids matched"],
+        rows,
+    ))
+
+    # The combined pass always wins, and the advantage grows with the
+    # set size (the separate scans re-pay the input sweep per RE).
+    advantages = [
+        results[s][1] / results[s][0] for s in SET_SIZES
+    ]
+    assert all(advantage > 1.0 for advantage in advantages)
+    assert advantages[-1] > advantages[0]

@@ -1,0 +1,51 @@
+"""Figure 8: average code size, old vs new compiler, w/ and w/o opts.
+
+Paper shape: sizes are similar across compilers when optimizations are
+enabled (the new compiler's optimizations do not require larger
+instruction memories).
+"""
+
+from common import (
+    ALL_BENCHMARKS,
+    COMPILER_VARIANTS,
+    compiled,
+    format_table,
+    print_banner,
+)
+
+
+def test_fig08_code_size(benchmark):
+    def compute():
+        return {
+            (name, compiler, optimize): compiled(name, compiler, optimize).avg_code_size
+            for name in ALL_BENCHMARKS
+            for compiler, optimize in COMPILER_VARIANTS
+        }
+
+    sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 8 — average code size [instructions]")
+    rows = []
+    for name in ALL_BENCHMARKS:
+        rows.append(
+            (
+                name,
+                f"{sizes[(name, 'old', False)]:.1f}",
+                f"{sizes[(name, 'old', True)]:.1f}",
+                f"{sizes[(name, 'new', False)]:.1f}",
+                f"{sizes[(name, 'new', True)]:.1f}",
+            )
+        )
+    print(format_table(
+        ["benchmark", "old w/o opt", "old w/ opt", "new w/o opt", "new w/ opt"],
+        rows,
+    ))
+
+    for name in ALL_BENCHMARKS:
+        old_opt = sizes[(name, "old", True)]
+        new_opt = sizes[(name, "new", True)]
+        # Unoptimized layouts are identical by construction.
+        assert sizes[(name, "old", False)] == sizes[(name, "new", False)]
+        # Optimized sizes remain similar: same order of magnitude, and
+        # the new compiler never needs a larger instruction memory.
+        assert new_opt <= old_opt * 1.05, name

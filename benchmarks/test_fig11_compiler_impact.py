@@ -1,0 +1,60 @@
+"""Figure 11: compiler impact on the OLD architecture (1x9, 1x16).
+
+Both compilers' optimized code runs on the unmodified old architecture,
+isolating the compilation-flow benefit.  Paper shape: the new compiler's
+code executes ~1.7× faster on Protomata(4) and ~1.2× on Brill(4); the
+mechanism is the code-locality gain of Fig. 10 feeding the instruction
+caches.
+"""
+
+from repro.arch.config import ArchConfig
+
+from common import ALL_BENCHMARKS, execution, format_table, print_banner
+
+CONFIGS = (ArchConfig.old(9), ArchConfig.old(16))
+
+
+def test_fig11_compiler_impact(benchmark):
+    def compute():
+        return {
+            (name, compiler, config.name): execution(name, compiler, True, config)
+            for name in ALL_BENCHMARKS
+            for compiler in ("old", "new")
+            for config in CONFIGS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 11 — avg execution time per RE [µs] on the OLD arch")
+    rows = []
+    for name in ALL_BENCHMARKS:
+        for config in CONFIGS:
+            old_time = results[(name, "old", config.name)].avg_time_us
+            new_time = results[(name, "new", config.name)].avg_time_us
+            rows.append(
+                (
+                    name,
+                    config.name,
+                    f"{old_time:.2f}",
+                    f"{new_time:.2f}",
+                    f"{old_time / new_time:.2f}x",
+                )
+            )
+    print(format_table(
+        ["benchmark", "architecture", "old compiler", "new compiler", "speedup"],
+        rows,
+    ))
+
+    for name in ALL_BENCHMARKS:
+        for config in CONFIGS:
+            old_time = results[(name, "old", config.name)].avg_time_us
+            new_time = results[(name, "new", config.name)].avg_time_us
+            # The new compiler must never be slower on the old arch...
+            assert new_time <= old_time * 1.02, (name, config.name)
+    # ...and Protomata-side gains should be pronounced (paper: 1.7x).
+    protomata_speedup = (
+        results[("protomata4", "old", "OLD 1x9 CORES")].avg_time_us
+        / results[("protomata4", "new", "OLD 1x9 CORES")].avg_time_us
+    )
+    print(f"Protomata4 speedup on OLD 1x9: {protomata_speedup:.2f}x (paper: 1.7x)")
+    assert protomata_speedup > 1.2

@@ -1,0 +1,37 @@
+"""Figure 12: total on-chip power per architecture configuration.
+
+Paper shape: power grows with cores/engines; a NEW Nx1 draws less than
+an OLD 1xN at the same core count (no FIFO replication, no balancer
+stations, no controller).
+"""
+
+from repro.arch.config import MICROBENCH_GRID, ArchConfig
+from repro.arch.power import power_watts
+from repro.arch.resources import clock_mhz
+
+from common import format_table, print_banner
+
+
+def test_fig12_power(benchmark):
+    def compute():
+        return {config.name: power_watts(config) for config in MICROBENCH_GRID}
+
+    powers = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 12 — total on-chip power [W] (static + dynamic)")
+    rows = [
+        (config.name, f"{clock_mhz(config):.0f} MHz", f"{powers[config.name]:.2f}")
+        for config in MICROBENCH_GRID
+    ]
+    print(format_table(["configuration", "clock", "power [W]"], rows))
+
+    # Monotone in engines at fixed organization.
+    assert powers["OLD 1x1 CORES"] < powers["OLD 1x9 CORES"] < powers["OLD 1x32 CORES"]
+    assert powers["NEW 8x1 CORES"] < powers["NEW 8x9 CORES"]
+    # The new organization is cheaper at equal core count.
+    for cores in (8, 16, 32):
+        assert power_watts(ArchConfig.new(cores)) < power_watts(
+            ArchConfig.old(cores)
+        )
+    # Plausible absolute range (the paper's Fig. 12 spans roughly 1–8 W).
+    assert all(0.8 < watts < 10 for watts in powers.values())

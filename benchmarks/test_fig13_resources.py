@@ -1,0 +1,59 @@
+"""Figure 13: FPGA resource usage (%) on the XCZU3EG for the selected
+configurations.
+
+Paper shapes: NEW 8x1 is the most resource-efficient; NEW 16x1 uses less
+than OLD 1x16 despite the same core count; DSPs are unused (not
+modelled); NEW 32x9 does not fit at all; NEW 16x9 / 32x4 cross the
+70%-LUT / 90%-BRAM thresholds and derate to 100 MHz.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.resources import clock_mhz, fits_device, utilization
+
+from common import format_table, print_banner
+
+SELECTED = (
+    ArchConfig.old(9),
+    ArchConfig.old(16),
+    ArchConfig.new(8),
+    ArchConfig.new(16),
+    ArchConfig.new(32),
+)
+
+
+def test_fig13_resources(benchmark):
+    def compute():
+        return {config.name: utilization(config) for config in SELECTED}
+
+    reports = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 13 — resource usage (%) on the XCZU3EG")
+    rows = [
+        (
+            config.name,
+            f"{reports[config.name].luts:.1%}",
+            f"{reports[config.name].regs:.1%}",
+            f"{reports[config.name].brams:.1%}",
+            f"{clock_mhz(config):.0f} MHz",
+        )
+        for config in SELECTED
+    ]
+    print(format_table(["configuration", "LUT", "REG", "BRAM", "clock"], rows))
+
+    new8 = reports["NEW 8x1 CORES"]
+    for name, report in reports.items():
+        if name != "NEW 8x1 CORES":
+            assert new8.luts < report.luts, name
+            assert new8.regs < report.regs, name
+            assert new8.brams < report.brams, name
+
+    # Same core count, cheaper organization.
+    assert reports["NEW 16x1 CORES"].luts < reports["OLD 1x16 CORES"].luts
+    assert reports["NEW 16x1 CORES"].brams < reports["OLD 1x16 CORES"].brams
+
+    # Device-fit boundary conditions (paper §6.2).
+    assert not fits_device(ArchConfig.new(32, 9))
+    assert clock_mhz(ArchConfig.new(16, 9)) == 100.0
+    assert clock_mhz(ArchConfig.new(32, 4)) == 100.0
+    # All selected configurations run at the nominal clock.
+    assert all(clock_mhz(config) == 150.0 for config in SELECTED)

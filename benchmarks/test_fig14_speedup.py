@@ -1,0 +1,60 @@
+"""Figure 14: RE execution speedup normalized against OLD 1x9 CORES
+(new compiler everywhere).
+
+Paper shapes: NEW 16x1 always improves on the best old configurations
+(up to ~1.3–1.5× with the compiler effect excluded); NEW 8x1 achieves
+comparable execution time with far fewer resources.
+"""
+
+from repro.arch.config import ArchConfig
+
+from common import ALL_BENCHMARKS, execution, format_table, print_banner
+
+CONFIGS = (
+    ArchConfig.old(9),
+    ArchConfig.old(16),
+    ArchConfig.new(8),
+    ArchConfig.new(16),
+    ArchConfig.new(32),
+)
+BASELINE = "OLD 1x9 CORES"
+
+
+def test_fig14_speedup(benchmark):
+    def compute():
+        return {
+            (config.name, name): execution(name, "new", True, config)
+            for config in CONFIGS
+            for name in ALL_BENCHMARKS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 14 — speedup vs OLD 1x9 CORES (new compiler)")
+    rows = []
+    speedups = {}
+    for config in CONFIGS:
+        row = [config.name]
+        for name in ALL_BENCHMARKS:
+            baseline_time = results[(BASELINE, name)].avg_time_us
+            this_time = results[(config.name, name)].avg_time_us
+            speedups[(config.name, name)] = baseline_time / this_time
+            row.append(f"{speedups[(config.name, name)]:.2f}x")
+        rows.append(row)
+    print(format_table(
+        ["configuration"] + [n.upper() for n in ALL_BENCHMARKS], rows,
+    ))
+
+    # NEW 16x1 always yields improvements over the baseline (paper).
+    for name in ALL_BENCHMARKS:
+        assert speedups[("NEW 16x1 CORES", name)] > 1.0, name
+
+    # NEW 8x1 achieves at least comparable execution time.
+    for name in ALL_BENCHMARKS:
+        assert speedups[("NEW 8x1 CORES", name)] > 0.8, name
+
+    # The alternated benchmarks profit most from the parallel
+    # enumeration (paper: Protomata4 shows the top architectural gain).
+    assert speedups[("NEW 16x1 CORES", "protomata4")] >= max(
+        speedups[("NEW 16x1 CORES", "protomata")] * 0.9, 1.0
+    )

@@ -1,0 +1,61 @@
+"""Figure 15: energy-efficiency improvement normalized to OLD 1x9 CORES.
+
+Paper shapes: NEW 8x1 (the most resource-efficient configuration) wins
+on the simple benchmarks; NEW 16x1 wins on the alternated (more
+parallel) ones with 1.44×/1.27× over the old organization; every NEW
+Nx1 beats the baseline.
+"""
+
+from repro.arch.config import ArchConfig
+
+from common import ALL_BENCHMARKS, execution, format_table, print_banner
+
+CONFIGS = (
+    ArchConfig.old(9),
+    ArchConfig.old(16),
+    ArchConfig.new(8),
+    ArchConfig.new(16),
+    ArchConfig.new(32),
+)
+BASELINE = "OLD 1x9 CORES"
+
+
+def test_fig15_energy(benchmark):
+    def compute():
+        return {
+            (config.name, name): execution(name, "new", True, config)
+            for config in CONFIGS
+            for name in ALL_BENCHMARKS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Figure 15 — energy efficiency vs OLD 1x9 CORES (new compiler)")
+    improvements = {}
+    rows = []
+    for config in CONFIGS:
+        row = [config.name]
+        for name in ALL_BENCHMARKS:
+            baseline_energy = results[(BASELINE, name)].avg_energy_w_us
+            this_energy = results[(config.name, name)].avg_energy_w_us
+            improvements[(config.name, name)] = baseline_energy / this_energy
+            row.append(f"{improvements[(config.name, name)]:.2f}x")
+        rows.append(row)
+    print(format_table(
+        ["configuration"] + [n.upper() for n in ALL_BENCHMARKS], rows,
+    ))
+
+    # Every single-engine NEW configuration of 8/16 cores beats the
+    # baseline's energy on every benchmark.
+    for cores in (8, 16):
+        for name in ALL_BENCHMARKS:
+            assert improvements[(f"NEW {cores}x1 CORES", name)] > 1.0, (cores, name)
+
+    # NEW 8x1 is the most energy-efficient choice on the simple
+    # benchmarks (its low power dominates).
+    for name in ("protomata", "brill"):
+        best = max(CONFIGS, key=lambda c: improvements[(c.name, name)])
+        assert best.name in ("NEW 8x1 CORES", "NEW 16x1 CORES"), (name, best.name)
+        assert improvements[("NEW 8x1 CORES", name)] >= improvements[
+            ("OLD 1x16 CORES", name)
+        ], name

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the library's own hot paths (pytest-benchmark).
+
+Not a paper figure — these guard the reproduction's usability: compile
+throughput for both toolchains, golden-model VM scan rate, and the
+cycle simulator's host-side speed.  Run with ``--benchmark-only`` like
+the rest of the harness; pytest-benchmark's statistics make regressions
+visible across commits.
+"""
+
+import random
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.system import CiceroSystem
+from repro.compiler import CompileOptions, NewCompiler
+from repro.oldcompiler.compiler import OldCompiler
+from repro.vm.thompson import ThompsonVM
+from repro.workloads.protomata import AMINO_ACIDS, generate_patterns
+
+PATTERN = generate_patterns(1, seed=123)[0]
+_RNG = random.Random(9)
+TEXT = "".join(_RNG.choice(AMINO_ACIDS) for _ in range(500))
+
+
+def test_compile_new_optimized(benchmark):
+    compiler = NewCompiler()
+    program = benchmark(compiler.compile, PATTERN).program
+    assert len(program) > 0
+
+
+def test_compile_new_unoptimized(benchmark):
+    compiler = NewCompiler(CompileOptions.none())
+    benchmark(compiler.compile, PATTERN)
+
+
+def test_compile_old_optimized(benchmark):
+    compiler = OldCompiler(optimize=True)
+    benchmark(compiler.compile, PATTERN)
+
+
+def test_vm_scan_rate(benchmark):
+    vm = ThompsonVM(NewCompiler().compile(PATTERN).program)
+    result = benchmark(vm.run, TEXT)
+    assert result is not None
+
+
+def test_simulator_scan_rate_new16(benchmark):
+    program = NewCompiler().compile(PATTERN).program
+    system = CiceroSystem(program, ArchConfig.new(16))
+    result = benchmark(system.run, TEXT)
+    assert result.cycles > 0
+
+
+def test_simulator_scan_rate_old9(benchmark):
+    program = NewCompiler().compile(PATTERN).program
+    system = CiceroSystem(program, ArchConfig.old(9))
+    result = benchmark(system.run, TEXT)
+    assert result.cycles > 0
+
+
+def test_equivalence_check_rate(benchmark):
+    from repro.verify import check_equivalence
+
+    left = NewCompiler().compile("th(is|at|ose)").program
+    right = OldCompiler(optimize=True).compile("th(is|at|ose)").program
+    result = benchmark(check_equivalence, left, right)
+    assert result.equivalent

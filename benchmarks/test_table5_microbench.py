@@ -1,0 +1,79 @@
+"""Table 5: micro-benchmark pre-filtering over the full configuration
+grid (average energy per RE, all 14 configurations × 4 benchmarks).
+
+Paper shapes:
+
+* every NEW NxM (M>1) configuration is less energy-efficient than its
+  NEW Nx1 counterpart — in-engine balancing makes extra engines dead
+  weight;
+* the overall winners sit among NEW 8x1 / NEW 16x1;
+* the grid justifies keeping {OLD 1x9, OLD 1x16, NEW 8x1, NEW 16x1,
+  NEW 32x1} for the extensive evaluation.
+
+The micro-benchmark uses a reduced RE sample (the paper takes the first
+100 REs; we take up to half the scaled-down RE set, min 2).
+"""
+
+from repro.arch.config import MICROBENCH_GRID
+
+from common import (
+    ALL_BENCHMARKS,
+    NUM_RES,
+    compiled,
+    format_table,
+    print_banner,
+)
+from repro.evaluation import run_on_config
+
+MICRO_PATTERNS = max(2, NUM_RES // 2)
+
+
+def test_table5_microbench(benchmark):
+    def compute():
+        results = {}
+        for config in MICROBENCH_GRID:
+            for name in ALL_BENCHMARKS:
+                row = run_on_config(
+                    compiled(name, "new", True), config, max_patterns=MICRO_PATTERNS
+                )
+                results[(config.name, name)] = row
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner(
+        f"Table 5 — micro-benchmark energy per RE [W·µs] "
+        f"(first {MICRO_PATTERNS} REs)"
+    )
+    rows = []
+    averages = {}
+    for config in MICROBENCH_GRID:
+        energies = [
+            results[(config.name, name)].avg_energy_w_us for name in ALL_BENCHMARKS
+        ]
+        averages[config.name] = sum(energies) / len(energies)
+        rows.append(
+            [config.name]
+            + [f"{energy:.2f}" for energy in energies]
+            + [f"{averages[config.name]:.2f}"]
+        )
+    print(format_table(
+        ["configuration"] + [n.upper() for n in ALL_BENCHMARKS] + ["AVG overall"],
+        rows,
+    ))
+
+    # NEW Nx1 beats NEW NxM on the overall average (paper's key filter).
+    assert averages["NEW 8x1 CORES"] < averages["NEW 8x4 CORES"]
+    assert averages["NEW 8x4 CORES"] < averages["NEW 8x16 CORES"]
+    assert averages["NEW 16x1 CORES"] < averages["NEW 16x4 CORES"]
+    assert averages["NEW 32x1 CORES"] < averages["NEW 32x4 CORES"]
+
+    # The overall winner is a single-engine NEW configuration.
+    winner = min(averages, key=averages.get)
+    assert winner in ("NEW 8x1 CORES", "NEW 16x1 CORES"), winner
+
+    # The best NEW beats the best OLD.
+    best_new = min(averages[f"NEW {n}x1 CORES"] for n in (8, 16, 32))
+    best_old = min(averages[f"OLD 1x{m} CORES"] for m in (1, 4, 9, 16, 32))
+    print(f"best NEW {best_new:.2f} vs best OLD {best_old:.2f} W·µs")
+    assert best_new < best_old

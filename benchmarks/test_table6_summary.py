@@ -1,0 +1,104 @@
+"""Table 6: the headline result — best old stack vs best new stack.
+
+Old compiler + OLD 1x9/1x16 against new compiler + NEW 16x1 (the paper
+also lists NEW 9x1; our new organization requires power-of-two cores,
+so NEW 8x1 stands in).  Paper shape: combining the multi-dialect
+compiler with the multi-core organization gives the top speedup on the
+alternated benchmarks (2.27×/2.30× time/energy on Protomata4; 1.48×/
+1.56× averaged over everything).
+"""
+
+from repro.arch.config import ArchConfig
+
+from common import (
+    ALL_BENCHMARKS,
+    execution,
+    format_table,
+    geometric_mean,
+    print_banner,
+)
+
+OLD_STACKS = (
+    ("old", ArchConfig.old(9)),
+    ("old", ArchConfig.old(16)),
+)
+NEW_STACKS = (
+    ("new", ArchConfig.new(8)),
+    ("new", ArchConfig.new(16)),
+)
+
+
+def test_table6_summary(benchmark):
+    def compute():
+        return {
+            (compiler, config.name, name): execution(name, compiler, True, config)
+            for compiler, config in OLD_STACKS + NEW_STACKS
+            for name in ALL_BENCHMARKS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Table 6 — best old stack vs best new stack (time / energy)")
+    rows = []
+    for compiler, config in OLD_STACKS + NEW_STACKS:
+        row = [f"{compiler} compiler, {config.name}"]
+        for name in ("protomata4", "brill4"):
+            cell = results[(compiler, config.name, name)]
+            row.append(f"{cell.avg_time_us:.2f}")
+            row.append(f"{cell.avg_energy_w_us:.2f}")
+        overall_time = geometric_mean(
+            [results[(compiler, config.name, n)].avg_time_us for n in ALL_BENCHMARKS]
+        )
+        overall_energy = geometric_mean(
+            [
+                results[(compiler, config.name, n)].avg_energy_w_us
+                for n in ALL_BENCHMARKS
+            ]
+        )
+        row.append(f"{overall_time:.2f}")
+        row.append(f"{overall_energy:.2f}")
+        rows.append(row)
+    print(format_table(
+        [
+            "configuration",
+            "P4 [µs]", "P4 [W·µs]", "B4 [µs]", "B4 [W·µs]",
+            "AVG [µs]", "AVG [W·µs]",
+        ],
+        rows,
+    ))
+
+    def best(stacks, name, metric):
+        return min(
+            getattr(results[(compiler, config.name, name)], metric)
+            for compiler, config in stacks
+        )
+
+    summary_rows = []
+    for name in ALL_BENCHMARKS:
+        time_ratio = best(OLD_STACKS, name, "avg_time_us") / best(
+            NEW_STACKS, name, "avg_time_us"
+        )
+        energy_ratio = best(OLD_STACKS, name, "avg_energy_w_us") / best(
+            NEW_STACKS, name, "avg_energy_w_us"
+        )
+        summary_rows.append((name, f"{time_ratio:.2f}x", f"{energy_ratio:.2f}x"))
+    print(format_table(
+        ["benchmark", "speedup best(old)/best(new)", "energy improvement"],
+        summary_rows,
+        title="\nBest(old) / Best(new):",
+    ))
+
+    # The combined HW/SW stack always wins, with the top gains on the
+    # alternated benchmarks (paper: 2.27x / 2.30x on Protomata4).
+    for name in ALL_BENCHMARKS:
+        assert best(OLD_STACKS, name, "avg_time_us") > best(
+            NEW_STACKS, name, "avg_time_us"
+        ), name
+        assert best(OLD_STACKS, name, "avg_energy_w_us") > best(
+            NEW_STACKS, name, "avg_energy_w_us"
+        ), name
+    protomata4_speedup = best(OLD_STACKS, "protomata4", "avg_time_us") / best(
+        NEW_STACKS, "protomata4", "avg_time_us"
+    )
+    print(f"\nProtomata4 combined speedup: {protomata4_speedup:.2f}x (paper: 2.27x)")
+    assert protomata4_speedup > 1.3

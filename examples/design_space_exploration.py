@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick an architecture for YOUR workload.
+
+Replays the paper's §6.2 methodology on a user-definable workload: sweep
+the buildable configuration grid, collect time / power / energy /
+resources, and report the Pareto-efficient choices.  This is the tool a
+downstream adopter would run before committing to a bitstream.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.arch.config import MICROBENCH_GRID
+from repro.arch.power import power_watts
+from repro.arch.resources import clock_mhz, utilization
+from repro.evaluation import compile_benchmark, format_table, run_on_config
+from repro.workloads.suite import load_benchmark
+
+#: Tune these to your deployment.
+WORKLOAD = "protomata4"   # or: protomata, brill, brill4
+NUM_RES = 5
+NUM_CHUNKS = 2
+
+
+def pareto_front(rows):
+    """Configurations not dominated on (time, energy, LUTs)."""
+    front = []
+    for row, usage in rows:
+        dominated = any(
+            other.avg_time_us <= row.avg_time_us
+            and other.avg_energy_w_us <= row.avg_energy_w_us
+            and other_usage.luts <= usage.luts
+            and (
+                other.avg_time_us < row.avg_time_us
+                or other.avg_energy_w_us < row.avg_energy_w_us
+                or other_usage.luts < usage.luts
+            )
+            for other, other_usage in rows
+        )
+        if not dominated:
+            front.append(row.config.name)
+    return front
+
+
+def main() -> None:
+    print(f"workload: {WORKLOAD} ({NUM_RES} REs, {NUM_CHUNKS} chunks)\n")
+    bench = load_benchmark(WORKLOAD, num_res=NUM_RES, num_chunks=NUM_CHUNKS)
+    compiled = compile_benchmark(bench, "new", optimize=True)
+    print(f"compiled {len(compiled.programs)} REs, "
+          f"avg {compiled.avg_code_size:.0f} instructions\n")
+
+    measured = []
+    for config in MICROBENCH_GRID:
+        row = run_on_config(compiled, config)
+        measured.append((row, utilization(config)))
+
+    table_rows = []
+    for row, usage in sorted(measured, key=lambda pair: pair[0].avg_energy_w_us):
+        config = row.config
+        table_rows.append(
+            (
+                config.name,
+                f"{clock_mhz(config):.0f}",
+                f"{row.avg_time_us:.2f}",
+                f"{power_watts(config):.2f}",
+                f"{row.avg_energy_w_us:.2f}",
+                f"{usage.luts:.0%}",
+                f"{usage.brams:.0%}",
+            )
+        )
+    print(format_table(
+        ["configuration", "MHz", "time [µs/RE]", "power [W]",
+         "energy [W·µs]", "LUT", "BRAM"],
+        table_rows,
+        title="design space (sorted by energy):",
+    ))
+
+    front = pareto_front(measured)
+    print("\nPareto-efficient configurations (time / energy / LUTs):")
+    for name in front:
+        print(f"  * {name}")
+
+    best_energy = min(measured, key=lambda pair: pair[0].avg_energy_w_us)[0]
+    best_time = min(measured, key=lambda pair: pair[0].avg_time_us)[0]
+    print(f"\nrecommendation: {best_energy.config.name} for energy "
+          f"({best_energy.avg_energy_w_us:.1f} W·µs), "
+          f"{best_time.config.name} for latency "
+          f"({best_time.avg_time_us:.1f} µs/RE)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables pip's
+legacy ``setup.py develop`` editable-install path (the sandbox used for
+development has no network access and no ``wheel`` distribution, so the
+PEP 517 editable route is unavailable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Reproduction of *Combining MLIR Dialects with Domain-Specific
+Architecture for Efficient Regular Expression Matching* (CGO 2025).
+
+The package layers, bottom-up:
+
+* :mod:`repro.ir` — a from-scratch mini-MLIR framework (operations,
+  regions, attributes, textual IR, rewrite patterns, pass manager).
+* :mod:`repro.frontend` — the regex lexer/parser/AST.
+* :mod:`repro.dialects.regex` — the high-level RE dialect and the §3.2
+  transforms (sub-regex simplification, alternation factorization,
+  boundary quantifier reduction).
+* :mod:`repro.dialects.cicero` — the low-level ISA dialect, the
+  Thompson lowering, Jump Simplification and dead-code elimination.
+* :mod:`repro.isa` — instructions, binary encoding, the ``D_offset``
+  code-locality metric.
+* :mod:`repro.oldcompiler` — the single-IR baseline with Code
+  Restructuring (the premature-lowering design the paper improves on).
+* :mod:`repro.vm` — the functional golden-model executor.
+* :mod:`repro.arch` — the cycle-level simulator of both architecture
+  organizations plus the power/resource/frequency models.
+* :mod:`repro.workloads` — synthetic Protomata/Brill benchmarks.
+* :mod:`repro.evaluation` — the §6 experiment drivers.
+* :mod:`repro.api` — the two-call façade (compile, match, simulate).
+"""
+
+__version__ = "1.0.0"
+
+from .api import compile_pattern, match, run_program_functionally, simulate
+from .arch.config import ArchConfig
+from .arch.simulator import CiceroSimulator
+from .compiler import (
+    CompilationResult,
+    CompileOptions,
+    NewCompiler,
+    compile_regex,
+)
+from .isa.program import Program
+from .oldcompiler.compiler import OldCompiler, compile_regex_old
+from .vm.thompson import ThompsonVM, run_program
+
+__all__ = [
+    "ArchConfig",
+    "CiceroSimulator",
+    "CompilationResult",
+    "CompileOptions",
+    "NewCompiler",
+    "OldCompiler",
+    "Program",
+    "ThompsonVM",
+    "__version__",
+    "compile_pattern",
+    "compile_regex",
+    "compile_regex_old",
+    "match",
+    "run_program",
+    "run_program_functionally",
+    "simulate",
+]

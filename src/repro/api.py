@@ -1,0 +1,79 @@
+"""High-level public API: compile and run REs in one or two calls.
+
+This is the façade a downstream user starts with::
+
+    import repro.api as cicero
+
+    result = cicero.compile_pattern("th(is|at|ose)")
+    print(result.program.disassemble())
+
+    assert cicero.match("this|that", "say that again")
+    sim = cicero.simulate("a[bc]+d", "xxabcbcdyy")
+    print(sim.cycles, sim.stats.miss_rate)
+
+Everything here wraps the richer interfaces in :mod:`repro.compiler`,
+:mod:`repro.oldcompiler`, :mod:`repro.vm` and :mod:`repro.arch`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .arch.config import ArchConfig
+from .arch.simulator import CiceroSimulator
+from .arch.system import SimulationResult
+from .compiler import CompilationResult, CompileOptions, NewCompiler
+from .isa.program import Program
+from .oldcompiler.compiler import OldCompilationResult, OldCompiler
+from .vm.thompson import MatchResult, ThompsonVM
+
+
+def compile_pattern(
+    pattern: str,
+    compiler: str = "new",
+    optimize: bool = True,
+    options: Optional[CompileOptions] = None,
+) -> Union[CompilationResult, OldCompilationResult]:
+    """Compile ``pattern`` with either toolchain.
+
+    ``compiler`` is ``"new"`` (the multi-dialect MLIR pipeline, §3) or
+    ``"old"`` (the single-IR baseline, §2.1).  ``options`` overrides the
+    new compiler's per-pass flags; ``optimize`` is the master switch for
+    both.
+    """
+    if compiler == "new":
+        if options is None:
+            options = CompileOptions(optimize=optimize)
+        return NewCompiler(options).compile(pattern)
+    if compiler == "old":
+        return OldCompiler(optimize=optimize).compile(pattern)
+    raise ValueError(f"unknown compiler {compiler!r}; use 'new' or 'old'")
+
+
+def match(pattern: str, text: Union[str, bytes], compiler: str = "new") -> MatchResult:
+    """Compile + functionally execute: does ``pattern`` match ``text``?
+
+    Uses the golden-model VM (no micro-architectural timing).
+    """
+    program = compile_pattern(pattern, compiler=compiler).program
+    return ThompsonVM(program).run(text)
+
+
+def run_program_functionally(program: Program, text: Union[str, bytes]) -> MatchResult:
+    """Execute an already-compiled program on the golden-model VM."""
+    return ThompsonVM(program).run(text)
+
+
+def simulate(
+    pattern: str,
+    text: Union[str, bytes],
+    config: Optional[ArchConfig] = None,
+    compiler: str = "new",
+) -> SimulationResult:
+    """Compile + run on the cycle-level simulator.
+
+    ``config`` defaults to the paper's best overall configuration,
+    NEW 16x1 CORES.
+    """
+    program = compile_pattern(pattern, compiler=compiler).program
+    return CiceroSimulator(config).run(program, text)

@@ -1,0 +1,72 @@
+"""Cycle-level Cicero architecture simulator, power and resource models."""
+
+from .cache import CacheStatistics, InstructionCache, MemoryPort
+from .config import (
+    ArchConfig,
+    ConfigurationError,
+    MICROBENCH_GRID,
+    SELECTED_NEW,
+    SELECTED_OLD,
+)
+from .fifo import ThreadFifo
+from .power import POWER_COSTS, energy_w_us, execution_time_us, power_watts
+from .resources import (
+    COMPONENT_COSTS,
+    DERATED_CLOCK_MHZ,
+    NOMINAL_CLOCK_MHZ,
+    ResourceVector,
+    UtilizationReport,
+    XCZU3EG,
+    clock_mhz,
+    fits_device,
+    resource_usage,
+    utilization,
+)
+from .simulator import (
+    CiceroSimulator,
+    DEFAULT_CHUNK_BYTES,
+    StreamResult,
+    average_re_time_us,
+    split_chunks,
+)
+from .system import (
+    CiceroSystem,
+    SimulationError,
+    SimulationResult,
+    SimulationStatistics,
+)
+
+__all__ = [
+    "ArchConfig",
+    "COMPONENT_COSTS",
+    "CacheStatistics",
+    "CiceroSimulator",
+    "CiceroSystem",
+    "ConfigurationError",
+    "DEFAULT_CHUNK_BYTES",
+    "DERATED_CLOCK_MHZ",
+    "InstructionCache",
+    "MICROBENCH_GRID",
+    "MemoryPort",
+    "NOMINAL_CLOCK_MHZ",
+    "POWER_COSTS",
+    "ResourceVector",
+    "SELECTED_NEW",
+    "SELECTED_OLD",
+    "SimulationError",
+    "SimulationResult",
+    "SimulationStatistics",
+    "StreamResult",
+    "ThreadFifo",
+    "UtilizationReport",
+    "XCZU3EG",
+    "average_re_time_us",
+    "clock_mhz",
+    "energy_w_us",
+    "execution_time_us",
+    "fits_device",
+    "power_watts",
+    "resource_usage",
+    "split_chunks",
+    "utilization",
+]

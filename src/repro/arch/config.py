@@ -1,0 +1,157 @@
+"""Architecture configurations (the paper's ``NxM CORES`` notation).
+
+A configuration packs ``N`` cores into each of ``M`` engines:
+
+* **old** organization (§2.2, Fig. 1): ``N == 1`` — each engine has one
+  time-multiplexed core serving ``2^CC_ID`` FIFOs, and a distributed
+  load balancer may offload newly produced threads to the next engine of
+  the ring (*cross-engine* balancing).
+* **new** organization (§4, Fig. 3): ``N == 2^CC_ID`` — one core per
+  FIFO, all active simultaneously; threads move only between neighbour
+  FIFOs of the same engine (*in-engine* balancing).  With ``M > 1`` only
+  the last core feeds the cross-engine balancer and only FIFO 0 receives
+  external threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..ir.diagnostics import ReproError
+
+
+class ConfigurationError(ReproError):
+    """The requested architecture configuration is not constructible."""
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One point of the design space evaluated in §6.2."""
+
+    cores_per_engine: int = 1
+    num_engines: int = 1
+    #: CC_ID width; the per-engine character window is ``2**cc_id_bits``.
+    cc_id_bits: int = 3
+
+    # Micro-architectural parameters (identical across configurations).
+    #: Direct-mapped instruction-cache geometry, per core.
+    icache_lines: int = 16
+    icache_line_words: int = 8
+    icache_ways: int = 2
+    #: Cycles to fill one line from the central instruction memory.
+    memory_latency: int = 4
+    #: Minimum cycles for a cross-engine thread transfer (Fig. 4 note).
+    transfer_latency: int = 2
+    #: Old organization only: every produced thread traverses the
+    #: distributed load-balancer / FIFO-distribution stage before
+    #: landing in a FIFO (§2.2); the new organization wires each core
+    #: directly to its neighbour FIFOs and skips this.
+    balancer_latency: int = 1
+    #: Pipeline result latency: a produced thread is poppable this many
+    #: cycles after its parent instruction issued (3-stage core).
+    pipeline_latency: int = 2
+    #: Extra cycle before a split's second thread appears (born in S3).
+    split_extra_latency: int = 1
+    #: Safety valve against pathological thread blow-up per character.
+    max_threads_per_position: int = 4096
+
+    def __post_init__(self):
+        if self.cores_per_engine < 1 or self.num_engines < 1:
+            raise ConfigurationError("cores and engines must be positive")
+        if self.cc_id_bits < 1 or self.cc_id_bits > 8:
+            raise ConfigurationError("cc_id_bits must be in 1..8")
+        if self.cores_per_engine not in (1, self.window_size):
+            raise ConfigurationError(
+                "an engine has either 1 core (old organization) or "
+                f"2^CC_ID = {self.window_size} cores (new organization); "
+                f"got {self.cores_per_engine} with CC_ID={self.cc_id_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """Characters in flight per engine: ``2^CC_ID`` (also FIFO count)."""
+        return 1 << self.cc_id_bits
+
+    @property
+    def is_new_organization(self) -> bool:
+        return self.cores_per_engine > 1
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores_per_engine * self.num_engines
+
+    @property
+    def total_fifos(self) -> int:
+        return self.window_size * self.num_engines
+
+    @property
+    def name(self) -> str:
+        """The paper's display name, e.g. ``OLD 1x9 CORES``."""
+        kind = "NEW" if self.is_new_organization else "OLD"
+        return f"{kind} {self.cores_per_engine}x{self.num_engines} CORES"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def old(cls, num_engines: int, cc_id_bits: int = 3, **kwargs) -> "ArchConfig":
+        """An old-organization ``1xM`` configuration (CC_ID=3 was the
+        original paper's elected optimum)."""
+        return cls(
+            cores_per_engine=1,
+            num_engines=num_engines,
+            cc_id_bits=cc_id_bits,
+            **kwargs,
+        )
+
+    @classmethod
+    def new(cls, cores: int, num_engines: int = 1, **kwargs) -> "ArchConfig":
+        """A new-organization ``NxM`` configuration; N must be 2^CC_ID."""
+        cc_id_bits = cores.bit_length() - 1
+        if 1 << cc_id_bits != cores:
+            raise ConfigurationError(
+                f"the new organization needs a power-of-two core count, got {cores}"
+            )
+        return cls(
+            cores_per_engine=cores,
+            num_engines=num_engines,
+            cc_id_bits=cc_id_bits,
+            **kwargs,
+        )
+
+    def with_cache(self, lines: int, line_words: int = None) -> "ArchConfig":
+        """A copy with a different icache geometry (ablation studies)."""
+        return replace(
+            self,
+            icache_lines=lines,
+            icache_line_words=(
+                line_words if line_words is not None else self.icache_line_words
+            ),
+        )
+
+
+#: The configurations §6.2's extensive evaluation keeps after the
+#: micro-benchmark pre-filtering (Table 5).
+SELECTED_OLD = (ArchConfig.old(9), ArchConfig.old(16))
+SELECTED_NEW = (ArchConfig.new(8), ArchConfig.new(16), ArchConfig.new(32))
+
+#: Every configuration of Table 5's micro-benchmark grid.
+MICROBENCH_GRID = (
+    ArchConfig.old(1),
+    ArchConfig.old(4),
+    ArchConfig.old(9),
+    ArchConfig.old(16),
+    ArchConfig.old(32),
+    ArchConfig.new(8, 1),
+    ArchConfig.new(8, 4),
+    ArchConfig.new(8, 9),
+    ArchConfig.new(8, 16),
+    ArchConfig.new(16, 1),
+    ArchConfig.new(16, 4),
+    ArchConfig.new(16, 9),
+    ArchConfig.new(32, 1),
+    ArchConfig.new(32, 4),
+)

@@ -1,0 +1,70 @@
+"""On-chip power model, reproducing Fig. 12 and the energy metrics.
+
+The paper takes total on-chip power from Vivado's report and multiplies
+it by the average per-RE execution time to get energy (W·µs).  We
+substitute an additive component model at the nominal clock, scaled
+linearly with operating frequency (dynamic power dominates these
+designs; the frequency derate of the over-70% configurations is applied
+through :func:`repro.arch.resources.clock_mhz`).
+
+Calibration anchors (paper Fig. 12 / Tables 2, 5, 6):
+
+* single-engine old Cicero sits around 1.1 W;
+* OLD 1x9 lands near 2.4 W (Table 6's energy/time ratio);
+* NEW Nx1 draws less than OLD 1xN at equal core count — the new
+  organization drops the per-engine FIFO replication, balancer stations
+  and controller (§4);
+* power grows roughly linearly in cores, FIFOs and engines.
+"""
+
+from __future__ import annotations
+
+from .config import ArchConfig
+from .resources import NOMINAL_CLOCK_MHZ, clock_mhz
+
+#: Watts per component at the nominal 150 MHz clock.
+POWER_COSTS = {
+    # Device static power plus the always-on processing system of the
+    # Zynq MPSoC (Vivado's total on-chip power includes the PS side).
+    "static": 0.90,
+    "base_system": 0.33,     # AXI, streamer, clocking
+    "core": 0.072,           # core + its icache activity
+    "fifo": 0.011,
+    "engine": 0.015,
+    "balancer": 0.026,       # ring station, per engine when present
+    "controller_base": 0.02,
+    "controller_per_engine": 0.006,
+    "instruction_memory": 0.05,
+}
+
+
+def power_watts(config: ArchConfig) -> float:
+    """Total on-chip power (static + dynamic) for a configuration."""
+    costs = POWER_COSTS
+    dynamic = (
+        costs["base_system"]
+        + costs["instruction_memory"]
+        + costs["core"] * config.total_cores
+        + costs["fifo"] * config.total_fifos
+        + costs["engine"] * config.num_engines
+    )
+    if config.num_engines > 1:
+        dynamic += costs["balancer"] * config.num_engines
+        dynamic += (
+            costs["controller_base"]
+            + costs["controller_per_engine"] * config.num_engines
+        )
+    elif not config.is_new_organization:
+        dynamic += costs["balancer"]
+    frequency_scale = clock_mhz(config) / NOMINAL_CLOCK_MHZ
+    return costs["static"] + dynamic * frequency_scale
+
+
+def execution_time_us(cycles: int, config: ArchConfig) -> float:
+    """Cycles → microseconds at the configuration's clock."""
+    return cycles / clock_mhz(config)
+
+
+def energy_w_us(cycles: int, config: ArchConfig) -> float:
+    """Energy in W·µs, the paper's per-RE energy metric."""
+    return execution_time_us(cycles, config) * power_watts(config)

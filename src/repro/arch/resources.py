@@ -1,0 +1,145 @@
+"""FPGA resource model for the XCZU3EG (Ultra96-v2), reproducing Fig. 13.
+
+The paper reports post-synthesis LUT/FF/BRAM utilization per
+configuration.  Without Vivado, we substitute an additive component
+model calibrated so the paper's qualitative facts hold:
+
+* the old organization replicates a full set of ``2^CC_ID`` FIFOs *and*
+  a balancer station per engine, so OLD 1xN costs more than NEW Nx1 at
+  the same core count (§4, Fig. 13);
+* NEW 8x1 is the most resource-efficient evaluated configuration;
+* NEW 16x9 and NEW 32x4 exceed 70% LUTs / 90% BRAMs and must be clocked
+  at 100 MHz instead of 150 MHz (Table 5's footnote);
+* NEW 32x9 does not fit the device at all (excluded from §6.2).
+
+Per-component costs are in :data:`COMPONENT_COSTS`; the device budget in
+:data:`XCZU3EG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ArchConfig
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUTs, flip-flops, and BRAM36 blocks."""
+
+    luts: float
+    regs: float
+    brams: float
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.regs + other.regs,
+            self.brams + other.brams,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            self.luts * factor, self.regs * factor, self.brams * factor
+        )
+
+
+#: The XCZU3EG device budget (AMD Zynq UltraScale+ ZU3EG, A484).
+XCZU3EG = ResourceVector(luts=70_560, regs=141_120, brams=216)
+
+#: Additive per-component costs (calibration, see module docstring).
+COMPONENT_COSTS = {
+    # One three-stage Cicero core, including its icache control logic.
+    "core": ResourceVector(luts=320, regs=410, brams=0),
+    # The core's instruction cache storage.
+    "icache": ResourceVector(luts=24, regs=36, brams=1.0),
+    # One per-character thread FIFO.
+    "fifo": ResourceVector(luts=58, regs=96, brams=0.25),
+    # Per-engine glue: window bookkeeping, character distribution.
+    "engine": ResourceVector(luts=210, regs=260, brams=0),
+    # Per-engine ring interconnect + distributed balancer station
+    # (old organization pays one per engine; the new organization pays
+    # one only when it actually instantiates several engines).
+    "balancer": ResourceVector(luts=350, regs=420, brams=0),
+    # Centralized multi-engine lockstep controller: base + per engine.
+    "controller_base": ResourceVector(luts=180, regs=220, brams=0),
+    "controller_per_engine": ResourceVector(luts=36, regs=48, brams=0),
+    # Central instruction memory (base + one distribution port/engine).
+    "instruction_memory": ResourceVector(luts=120, regs=140, brams=4),
+    "memory_port_per_engine": ResourceVector(luts=30, regs=36, brams=0.5),
+    # Static system infrastructure: AXI, input streamer, result collector.
+    "base_system": ResourceVector(luts=3_100, regs=4_200, brams=3),
+}
+
+#: Nominal and derated clock frequencies (Table 5 footnote).
+NOMINAL_CLOCK_MHZ = 150.0
+DERATED_CLOCK_MHZ = 100.0
+LUT_DERATE_THRESHOLD = 0.70
+BRAM_DERATE_THRESHOLD = 0.90
+
+
+def resource_usage(config: ArchConfig) -> ResourceVector:
+    """Total resources for a configuration."""
+    costs = COMPONENT_COSTS
+    cores = config.total_cores
+    fifos = config.total_fifos
+    engines = config.num_engines
+
+    usage = costs["base_system"] + costs["instruction_memory"]
+    usage = usage + costs["core"].scaled(cores)
+    usage = usage + costs["icache"].scaled(cores)
+    usage = usage + costs["fifo"].scaled(fifos)
+    usage = usage + costs["engine"].scaled(engines)
+    usage = usage + costs["memory_port_per_engine"].scaled(engines)
+    if engines > 1:
+        usage = usage + costs["balancer"].scaled(engines)
+        usage = usage + costs["controller_base"]
+        usage = usage + costs["controller_per_engine"].scaled(engines)
+    elif not config.is_new_organization and engines == 1:
+        # The original single-engine build still instantiates its
+        # balancer station (the engine is ring-capable by construction).
+        usage = usage + costs["balancer"]
+    return usage
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Fractional usage of the device, as Fig. 13 plots it."""
+
+    luts: float
+    regs: float
+    brams: float
+
+    @property
+    def fits(self) -> bool:
+        return self.luts <= 1.0 and self.regs <= 1.0 and self.brams <= 1.0
+
+    @property
+    def needs_derating(self) -> bool:
+        return (
+            self.luts > LUT_DERATE_THRESHOLD or self.brams > BRAM_DERATE_THRESHOLD
+        )
+
+
+def utilization(config: ArchConfig) -> UtilizationReport:
+    usage = resource_usage(config)
+    return UtilizationReport(
+        luts=usage.luts / XCZU3EG.luts,
+        regs=usage.regs / XCZU3EG.regs,
+        brams=usage.brams / XCZU3EG.brams,
+    )
+
+
+def fits_device(config: ArchConfig) -> bool:
+    return utilization(config).fits
+
+
+def clock_mhz(config: ArchConfig) -> float:
+    """Operating frequency: 150 MHz, or 100 MHz past the §6.2 thresholds."""
+    report = utilization(config)
+    if not report.fits:
+        raise ValueError(
+            f"{config.name} does not fit the XCZU3EG "
+            f"(LUT {report.luts:.0%}, BRAM {report.brams:.0%})"
+        )
+    return DERATED_CLOCK_MHZ if report.needs_derating else NOMINAL_CLOCK_MHZ

@@ -1,0 +1,137 @@
+"""High-level simulation facade used by examples and the benchmark
+harness: program + configuration + input stream → time and energy.
+
+Follows the paper's measurement methodology (§6): the input is split
+into fixed-size chunks; the engine is reset and the program re-run per
+chunk; "execution time per RE" is total cycles over all chunks divided
+by the clock, and energy is that time multiplied by the configuration's
+total on-chip power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..isa.program import Program
+from .config import ArchConfig
+from .power import energy_w_us, execution_time_us, power_watts
+from .resources import clock_mhz
+from .system import CiceroSystem, SimulationResult, SimulationStatistics
+
+DEFAULT_CHUNK_BYTES = 500
+
+
+def split_chunks(
+    data: Union[str, bytes], chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> List[bytes]:
+    """The paper's input chunking (500-byte chunks by default)."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    return [data[i : i + chunk_bytes] for i in range(0, len(data), chunk_bytes)] or [
+        b""
+    ]
+
+
+@dataclass
+class StreamResult:
+    """Aggregate over one program executed on a chunk stream."""
+
+    config: ArchConfig
+    total_cycles: int = 0
+    chunks: int = 0
+    matches: int = 0
+    per_chunk: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def time_us(self) -> float:
+        return execution_time_us(self.total_cycles, self.config)
+
+    @property
+    def energy_w_us(self) -> float:
+        return energy_w_us(self.total_cycles, self.config)
+
+    @property
+    def clock_mhz(self) -> float:
+        return clock_mhz(self.config)
+
+    @property
+    def power_watts(self) -> float:
+        return power_watts(self.config)
+
+    def merged_stats(self) -> SimulationStatistics:
+        merged = SimulationStatistics()
+        for result in self.per_chunk:
+            stats = result.stats
+            merged.cycles += stats.cycles
+            merged.instructions += stats.instructions
+            merged.cache_hits += stats.cache_hits
+            merged.cache_misses += stats.cache_misses
+            merged.memory_fills += stats.memory_fills
+            merged.threads_spawned += stats.threads_spawned
+            merged.threads_killed += stats.threads_killed
+            merged.cross_engine_transfers += stats.cross_engine_transfers
+            merged.window_slides += stats.window_slides
+            merged.active_cycles += stats.active_cycles
+            merged.peak_threads = max(merged.peak_threads, stats.peak_threads)
+            merged.fifo_high_watermark = max(
+                merged.fifo_high_watermark, stats.fifo_high_watermark
+            )
+        return merged
+
+
+class CiceroSimulator:
+    """Run compiled programs on one architecture configuration."""
+
+    def __init__(self, config: Optional[ArchConfig] = None):
+        self.config = config if config is not None else ArchConfig.new(16)
+
+    def run(
+        self, program: Program, text: Union[str, bytes]
+    ) -> SimulationResult:
+        """Execute over a single chunk; stops at the first match."""
+        return CiceroSystem(program, self.config).run(text)
+
+    def run_stream(
+        self,
+        program: Program,
+        chunks: Iterable[Union[str, bytes]],
+        keep_per_chunk: bool = True,
+    ) -> StreamResult:
+        """Execute the program once per chunk, aggregating cycles."""
+        system = CiceroSystem(program, self.config)
+        stream = StreamResult(config=self.config)
+        for chunk in chunks:
+            result = system.run(chunk)
+            stream.total_cycles += result.cycles
+            stream.chunks += 1
+            if result.matched:
+                stream.matches += 1
+            if keep_per_chunk:
+                stream.per_chunk.append(result)
+        return stream
+
+    def run_text(
+        self,
+        program: Program,
+        data: Union[str, bytes],
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> StreamResult:
+        """Chunk ``data`` the paper's way, then :meth:`run_stream`."""
+        return self.run_stream(program, split_chunks(data, chunk_bytes))
+
+
+def average_re_time_us(
+    programs: Sequence[Program],
+    chunk_sets: Sequence[Sequence[bytes]],
+    config: ArchConfig,
+) -> float:
+    """Average execution time per RE: the headline metric of §6.
+
+    ``chunk_sets[i]`` is the chunk stream for ``programs[i]``.
+    """
+    simulator = CiceroSimulator(config)
+    total = 0.0
+    for program, chunks in zip(programs, chunk_sets):
+        total += simulator.run_stream(program, chunks, keep_per_chunk=False).time_us
+    return total / len(programs)

@@ -1,0 +1,474 @@
+"""Cycle-level simulator of the Cicero architecture, both organizations.
+
+The model executes one compiled program over one input chunk and counts
+cycles, reproducing the micro-architectural mechanisms the paper's
+evaluation depends on:
+
+* **Time-multiplexed 3-stage cores** — each core retires at most one
+  instruction per cycle; a produced thread becomes poppable
+  ``pipeline_latency`` cycles later (a split's second thread one cycle
+  after that, as it is born in S3 — Fig. 4).
+* **Per-core instruction caches** over a single-ported central
+  instruction memory — misses stall the core for the fill latency plus
+  arbitration, which is how code locality (``D_offset``) becomes time.
+* **Lockstep character window** — ``2^CC_ID`` characters are in flight
+  per engine; the window slides when no thread remains on the oldest
+  character.  Multi-engine systems pay the centralized controller a
+  synchronization latency per slide (§2.2).
+* **Old organization** — one core per engine serves all window FIFOs,
+  oldest character first; a distributed balancer may offload any newly
+  produced thread to the ring neighbour when that neighbour's FIFO is
+  shorter (cross-engine balancing, ≥ ``transfer_latency`` cycles).
+* **New organization** — one core per FIFO; a thread from FIFO *i* can
+  only land in FIFO *i* (control flow) or FIFO *i+1* (match) of the same
+  engine (in-engine balancing).  With several engines, only the last
+  core's advanced threads may cross to the neighbour's FIFO 0 (§4).
+
+The simulator must agree with :class:`~repro.vm.ThompsonVM` on the
+match verdict for every configuration — a tested property.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..ir.diagnostics import ReproError
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from .cache import InstructionCache, MemoryPort
+from .config import ArchConfig
+from .fifo import ThreadFifo
+
+_ACCEPT = int(Opcode.ACCEPT)
+_ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+_SPLIT = int(Opcode.SPLIT)
+_JMP = int(Opcode.JMP)
+_MATCH_ANY = int(Opcode.MATCH_ANY)
+_MATCH = int(Opcode.MATCH)
+_NOT_MATCH = int(Opcode.NOT_MATCH)
+
+
+class SimulationError(ReproError):
+    """The simulation hit a structural limit (thread blow-up, no progress)."""
+
+
+@dataclass
+class SimulationStatistics:
+    """Micro-architectural event counts for one run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memory_fills: int = 0
+    threads_spawned: int = 0
+    threads_killed: int = 0
+    cross_engine_transfers: int = 0
+    window_slides: int = 0
+    peak_threads: int = 0
+    fifo_high_watermark: int = 0
+    #: Cycles during which at least one core retired an instruction.
+    active_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_misses / accesses if accesses else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    matched: bool
+    position: Optional[int]
+    cycles: int
+    stats: SimulationStatistics
+    config: ArchConfig
+    #: Multi-matching mode only (paper §8 extension): the identifiers of
+    #: every RE that matched; None in single-match mode.
+    matched_ids: Optional[frozenset] = None
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+class _Core:
+    __slots__ = ("cache", "waiting_pc", "waiting_cc", "resume_cycle", "instructions")
+
+    def __init__(self, config: ArchConfig):
+        self.cache = InstructionCache(
+            config.icache_lines, config.icache_line_words, config.icache_ways
+        )
+        self.waiting_pc: Optional[int] = None
+        self.waiting_cc = 0
+        self.resume_cycle = 0
+        self.instructions = 0
+
+
+class _Engine:
+    __slots__ = ("fifos", "cores", "parked")
+
+    def __init__(self, config: ArchConfig):
+        self.fifos = [ThreadFifo() for _ in range(config.window_size)]
+        self.cores = [_Core(config) for _ in range(config.cores_per_engine)]
+        #: Threads produced for a character beyond the current window,
+        #: waiting for it to slide: cc -> [(pc, ready_cycle, slot)].
+        self.parked: Dict[int, List] = defaultdict(list)
+
+
+class CiceroSystem:
+    """One program loaded on one architecture configuration.
+
+    The system object persists across :meth:`run` calls the way the
+    hardware does across input chunks: FIFOs and pipeline state are
+    reset per chunk, but the per-core instruction caches keep their
+    contents (the program does not change), so cold-start misses are
+    paid once per core rather than once per chunk.
+    """
+
+    def __init__(self, program: Program, config: ArchConfig):
+        self.program = program
+        self.config = config
+        self._opcodes = [int(instruction.opcode) for instruction in program]
+        self._operands = [instruction.operand for instruction in program]
+        self._acceptance_ids = frozenset(
+            instruction.operand
+            for instruction in program
+            if instruction.opcode.is_acceptance
+        )
+        self._engines = [_Engine(config) for _ in range(config.num_engines)]
+        self._port = MemoryPort(config.memory_latency)
+        # Per-slide controller synchronization latency (multi-engine only).
+        if config.num_engines == 1:
+            self._controller_latency = 0
+        else:
+            self._controller_latency = 1 + (config.num_engines - 1).bit_length()
+
+    def _reset_engines(self) -> None:
+        """Per-chunk reset: drain FIFOs and pipelines, keep icaches warm."""
+        for engine in self._engines:
+            engine.parked.clear()
+            for fifo in engine.fifos:
+                fifo.entries.clear()
+            for core in engine.cores:
+                core.waiting_pc = None
+                core.resume_cycle = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        text: Union[str, bytes],
+        max_cycles: Optional[int] = None,
+        collect_matches: bool = False,
+        trace=None,
+    ) -> SimulationResult:
+        """Execute over one chunk.
+
+        ``collect_matches=True`` enables the §8 multi-matching mode: an
+        acceptance records its identifier operand and kills only that
+        thread; the run continues until every identifier in the program
+        has been seen or the enumeration drains, and ``matched_ids``
+        reports the set.
+
+        ``trace`` accepts a :class:`~repro.arch.trace.TraceRecorder`
+        that receives one event per retired instruction (the Figure-4
+        view).
+        """
+        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        config = self.config
+        window = config.window_size
+        self._reset_engines()
+        engines = self._engines
+        num_engines = config.num_engines
+        new_org = config.is_new_organization
+        port = self._port
+        port.reset()
+        stats = SimulationStatistics()
+        cache_hits_before = sum(
+            core.cache.stats.hits for engine in engines for core in engine.cores
+        )
+        cache_misses_before = sum(
+            core.cache.stats.misses for engine in engines for core in engine.cores
+        )
+
+        opcodes = self._opcodes
+        operands = self._operands
+        length = len(data)
+        pipe = config.pipeline_latency
+        split_extra = config.split_extra_latency
+        transfer = config.transfer_latency
+        balancer = config.balancer_latency
+        thread_cap = config.max_threads_per_position
+
+        if max_cycles is None:
+            max_cycles = 20_000 + (length + 2) * (len(opcodes) + 64) * 8
+
+        counts: Dict[int, int] = defaultdict(int)
+        counts[0] = 1
+        total_alive = 1
+        stats.threads_spawned = 1
+        engines[0].fifos[0].push(0, 0, 0)
+
+        window_base = 0
+        slide_ready: Optional[int] = None
+        matched_at: Optional[int] = None
+        matched_ids: set = set()
+        all_ids = self._acceptance_ids
+        done = False
+        cycle = 0
+
+        # --------------------------------------------------------------
+        # Thread routing
+        # --------------------------------------------------------------
+        def route(engine_idx: int, core_idx: int, pc: int, cc: int,
+                  ready: int, advanced: bool) -> None:
+            nonlocal window_base
+            slot = cc % window
+            target = engine_idx
+            if not new_org:
+                # Old organization: the balancer / FIFO-distribution
+                # stage sits between the core and every FIFO.
+                ready += balancer
+            if num_engines > 1:
+                if not new_org:
+                    # Old organization: the distributed balancer may
+                    # offload any produced thread to the ring neighbour.
+                    neighbour = (engine_idx + 1) % num_engines
+                    if len(engines[neighbour].fifos[slot]) < len(
+                        engines[engine_idx].fifos[slot]
+                    ):
+                        target = neighbour
+                        ready += transfer
+                        stats.cross_engine_transfers += 1
+                elif advanced and core_idx == window - 1:
+                    # New organization: only the last core feeds the
+                    # cross-engine balancer (§4).
+                    neighbour = (engine_idx + 1) % num_engines
+                    if len(engines[neighbour].fifos[slot]) < len(
+                        engines[engine_idx].fifos[slot]
+                    ):
+                        target = neighbour
+                        ready += transfer
+                        stats.cross_engine_transfers += 1
+            if cc >= window_base + window:
+                engines[target].parked[cc].append((pc, ready, slot))
+            else:
+                engines[target].fifos[slot].push(pc, cc, ready)
+
+        # --------------------------------------------------------------
+        # Instruction execution (the thread is already popped/held).
+        # --------------------------------------------------------------
+        def trace_outcome(pc: int, cc: int):
+            opcode = opcodes[pc]
+            if opcode == _SPLIT or opcode == _JMP:
+                return "flow", operands[pc]
+            if opcode == _ACCEPT_PARTIAL:
+                return "accept", None
+            if opcode == _ACCEPT:
+                return ("accept", None) if cc == length else ("kill", None)
+            if opcode == _NOT_MATCH:
+                if cc < length and data[cc] != operands[pc]:
+                    return "flow", pc + 1
+                return "kill", None
+            hit = cc < length and (
+                opcode == _MATCH_ANY or data[cc] == operands[pc]
+            )
+            return ("advance", pc + 1) if hit else ("kill", None)
+
+        def execute(engine_idx: int, core_idx: int, pc: int, cc: int) -> None:
+            nonlocal total_alive, matched_at, done
+            stats.instructions += 1
+            if trace is not None:
+                outcome, target = trace_outcome(pc, cc)
+                trace.record(
+                    cycle=cycle, engine=engine_idx, core=core_idx,
+                    pc=pc, cc=cc, opcode=Opcode(opcodes[pc]),
+                    outcome=outcome, target=target,
+                )
+            opcode = opcodes[pc]
+            if opcode == _SPLIT:
+                route(engine_idx, core_idx, pc + 1, cc, cycle + pipe, False)
+                route(engine_idx, core_idx, operands[pc], cc,
+                      cycle + pipe + split_extra, False)
+                counts[cc] += 1
+                total_alive += 1
+                stats.threads_spawned += 1
+                if counts[cc] > thread_cap:
+                    raise SimulationError(
+                        f"thread blow-up: {counts[cc]} live threads at "
+                        f"position {cc} (pattern {self.program.source_pattern!r})"
+                    )
+                if counts[cc] > stats.peak_threads:
+                    stats.peak_threads = counts[cc]
+            elif opcode == _JMP:
+                route(engine_idx, core_idx, operands[pc], cc, cycle + pipe, False)
+            elif opcode == _ACCEPT_PARTIAL:
+                if collect_matches:
+                    matched_ids.add(operands[pc])
+                    counts[cc] -= 1
+                    total_alive -= 1
+                    stats.threads_killed += 1
+                    done = matched_ids >= all_ids
+                else:
+                    matched_at = cc
+            elif opcode == _ACCEPT:
+                if cc == length:
+                    if collect_matches:
+                        matched_ids.add(operands[pc])
+                        counts[cc] -= 1
+                        total_alive -= 1
+                        stats.threads_killed += 1
+                        done = matched_ids >= all_ids
+                    else:
+                        matched_at = cc
+                else:
+                    counts[cc] -= 1
+                    total_alive -= 1
+                    stats.threads_killed += 1
+            elif opcode == _NOT_MATCH:
+                if cc < length and data[cc] != operands[pc]:
+                    route(engine_idx, core_idx, pc + 1, cc, cycle + pipe, False)
+                else:
+                    counts[cc] -= 1
+                    total_alive -= 1
+                    stats.threads_killed += 1
+            else:  # MATCH / MATCH_ANY
+                hit = cc < length and (
+                    opcode == _MATCH_ANY or data[cc] == operands[pc]
+                )
+                if hit:
+                    counts[cc] -= 1
+                    counts[cc + 1] += 1
+                    route(engine_idx, core_idx, pc + 1, cc + 1,
+                          cycle + pipe, True)
+                else:
+                    counts[cc] -= 1
+                    total_alive -= 1
+                    stats.threads_killed += 1
+
+        # --------------------------------------------------------------
+        # One core step: resume a stalled fetch or pop-and-execute.
+        # --------------------------------------------------------------
+        def step_core(engine_idx: int, core_idx: int) -> bool:
+            engine = engines[engine_idx]
+            core = engine.cores[core_idx]
+            if core.waiting_pc is not None:
+                if cycle < core.resume_cycle:
+                    return False
+                pc, cc = core.waiting_pc, core.waiting_cc
+                core.waiting_pc = None
+                core.instructions += 1
+                execute(engine_idx, core_idx, pc, cc)
+                return True
+            if new_org:
+                entry = engine.fifos[core_idx].pop_ready(cycle)
+            else:
+                # Old organization: the single time-multiplexed core
+                # serves one thread per cycle across all window FIFOs,
+                # oldest character first (lockstep flows "over a
+                # character at a time", §2.2).
+                entry = None
+                for offset in range(window):
+                    slot = (window_base + offset) % window
+                    entry = engine.fifos[slot].pop_ready(cycle)
+                    if entry is not None:
+                        break
+            if entry is None:
+                return False
+            pc, cc, _ready = entry
+            if not core.cache.lookup(pc):
+                completion = port.request_fill(cycle)
+                core.cache.fill(pc)
+                core.waiting_pc = pc
+                core.waiting_cc = cc
+                core.resume_cycle = completion
+                return False
+            core.instructions += 1
+            execute(engine_idx, core_idx, pc, cc)
+            return True
+
+        # --------------------------------------------------------------
+        # Main loop
+        # --------------------------------------------------------------
+        while True:
+            if total_alive == 0 or matched_at is not None or done:
+                break
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"no termination after {max_cycles} cycles "
+                    f"(pattern {self.program.source_pattern!r}, "
+                    f"config {config.name})"
+                )
+            any_active = False
+            for engine_idx in range(num_engines):
+                engine = engines[engine_idx]
+                for core_idx in range(len(engine.cores)):
+                    if step_core(engine_idx, core_idx):
+                        any_active = True
+            if any_active:
+                stats.active_cycles += 1
+
+            # Window sliding (possibly several positions per check when
+            # the controller latency is zero).
+            while (
+                total_alive > 0
+                and matched_at is None
+                and not done
+                and counts[window_base] == 0
+            ):
+                if self._controller_latency == 0:
+                    pass  # slide immediately
+                elif slide_ready is None:
+                    slide_ready = cycle + self._controller_latency
+                    break
+                elif cycle < slide_ready:
+                    break
+                slide_ready = None
+                counts.pop(window_base, None)
+                window_base += 1
+                stats.window_slides += 1
+                unblocked = window_base + window - 1
+                for engine in engines:
+                    parked = engine.parked.pop(unblocked, None)
+                    if parked:
+                        for pc, ready, slot in parked:
+                            engine.fifos[slot].push(
+                                pc, unblocked, max(ready, cycle)
+                            )
+            cycle += 1
+
+        # --------------------------------------------------------------
+        # Statistics roll-up
+        # --------------------------------------------------------------
+        stats.cycles = cycle
+        stats.memory_fills = port.fills
+        for engine in engines:
+            for core in engine.cores:
+                stats.cache_hits += core.cache.stats.hits
+                stats.cache_misses += core.cache.stats.misses
+            for fifo in engine.fifos:
+                if fifo.high_watermark > stats.fifo_high_watermark:
+                    stats.fifo_high_watermark = fifo.high_watermark
+        stats.cache_hits -= cache_hits_before
+        stats.cache_misses -= cache_misses_before
+        if collect_matches:
+            return SimulationResult(
+                matched=bool(matched_ids),
+                position=None,
+                cycles=cycle,
+                stats=stats,
+                config=self.config,
+                matched_ids=frozenset(matched_ids),
+            )
+        return SimulationResult(
+            matched=matched_at is not None,
+            position=matched_at,
+            cycles=cycle,
+            stats=stats,
+            config=self.config,
+        )

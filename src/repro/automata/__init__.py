@@ -1,0 +1,29 @@
+"""Classical automata substrate: NFAs, DFAs, minimization.
+
+The CPU-reference matchers the paper's architecture competes with, and
+the instrument for §1's DFA state-blow-up claim.
+"""
+
+from .dfa import (
+    DFA,
+    DFASizeLimitExceeded,
+    alphabet_classes,
+    determinize,
+    dfa_from_pattern,
+    minimize,
+)
+from .nfa import FULL_MASK, NFA, char_mask, nfa_from_pattern, nfa_from_regex_module
+
+__all__ = [
+    "DFA",
+    "DFASizeLimitExceeded",
+    "FULL_MASK",
+    "NFA",
+    "alphabet_classes",
+    "char_mask",
+    "determinize",
+    "dfa_from_pattern",
+    "minimize",
+    "nfa_from_pattern",
+    "nfa_from_regex_module",
+]

@@ -1,0 +1,200 @@
+"""Deterministic automata: subset construction and Hopcroft minimization.
+
+Used as (a) a CPU-reference matcher (DFAs are the fast, sequential
+execution strategy Cicero competes with) and (b) the instrument for the
+paper's §1 claim that DFAs "could quickly lead to exponentially blowing
+up the number of states" — the DFA-blowup benchmark quantifies exactly
+that on the Protomata workloads.
+
+Subset construction works over *alphabet classes*: bytes that every NFA
+transition treats identically are grouped once up front, so the
+construction cost scales with the pattern's distinct character sets, not
+with 256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from .nfa import NFA
+
+
+class DFASizeLimitExceeded(Exception):
+    """Subset construction hit the configured state budget."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"DFA construction exceeded {limit} states")
+
+
+def alphabet_classes(nfa: NFA) -> List[int]:
+    """Partition bytes into classes with identical transition behaviour.
+
+    Returns ``class_of[byte] -> class index``; bytes in one class can
+    never be distinguished by the NFA, so one representative per class
+    suffices during subset construction.
+    """
+    signatures: Dict[Tuple, int] = {}
+    class_of = [0] * 256
+    # Collect all distinct masks once.
+    masks = []
+    for moves in nfa.transitions:
+        for mask, _target in moves:
+            if mask is not None:
+                masks.append(mask)
+    for byte in range(256):
+        bit = 1 << byte
+        signature = tuple(bool(mask & bit) for mask in masks)
+        class_index = signatures.setdefault(signature, len(signatures))
+        class_of[byte] = class_index
+    return class_of
+
+
+@dataclass
+class DFA:
+    """Table-driven DFA over alphabet classes.
+
+    ``transitions[state][cls]`` is the next state (or -1 for the dead
+    state); acceptance mirrors the NFA's two flavours (anywhere vs
+    end-of-input).
+    """
+
+    class_of: List[int]
+    num_classes: int
+    start: int = 0
+    transitions: List[List[int]] = field(default_factory=list)
+    accepting: Set[int] = field(default_factory=set)
+    accepting_at_end: Set[int] = field(default_factory=set)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        state = self.start
+        if state in self.accepting:
+            return True
+        class_of = self.class_of
+        transitions = self.transitions
+        last = len(data) - 1
+        for index, code in enumerate(data):
+            state = transitions[state][class_of[code]]
+            if state < 0:
+                return False
+            if state in self.accepting:
+                return True
+            if index == last and state in self.accepting_at_end:
+                return True
+        if not data and state in self.accepting_at_end:
+            return True
+        return False
+
+
+def determinize(nfa: NFA, max_states: Optional[int] = None) -> DFA:
+    """Subset construction; raises :class:`DFASizeLimitExceeded` past
+    ``max_states`` (the blow-up guard the benchmark relies on)."""
+    class_of = alphabet_classes(nfa)
+    num_classes = max(class_of) + 1
+    representatives = [0] * num_classes
+    for byte in range(255, -1, -1):
+        representatives[class_of[byte]] = byte
+
+    dfa = DFA(class_of=class_of, num_classes=num_classes)
+    start_set = nfa.epsilon_closure(frozenset({nfa.start}))
+    index_of: Dict[FrozenSet[int], int] = {start_set: 0}
+    worklist: List[FrozenSet[int]] = [start_set]
+    dfa.transitions.append([-1] * num_classes)
+    _mark_acceptance(dfa, 0, start_set, nfa)
+
+    while worklist:
+        current = worklist.pop()
+        current_index = index_of[current]
+        for cls in range(num_classes):
+            moved = nfa.step(current, representatives[cls])
+            if not moved:
+                continue
+            target_index = index_of.get(moved)
+            if target_index is None:
+                target_index = len(dfa.transitions)
+                if max_states is not None and target_index >= max_states:
+                    raise DFASizeLimitExceeded(max_states)
+                index_of[moved] = target_index
+                dfa.transitions.append([-1] * num_classes)
+                _mark_acceptance(dfa, target_index, moved, nfa)
+                worklist.append(moved)
+            dfa.transitions[current_index][cls] = target_index
+    return dfa
+
+
+def _mark_acceptance(dfa: DFA, index: int, states: FrozenSet[int], nfa: NFA) -> None:
+    if states & nfa.accepting:
+        dfa.accepting.add(index)
+    if states & nfa.accepting_at_end:
+        dfa.accepting_at_end.add(index)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Moore's partition-refinement minimization (fixpoint).
+
+    States start partitioned by acceptance signature (the two acceptance
+    flavours are distinct); blocks are repeatedly split by their
+    per-class successor blocks until stable.  The dead state (-1) keeps
+    its own virtual block.
+    """
+    num_states = dfa.num_states
+    num_classes = dfa.num_classes
+
+    block_of: List[int] = [0] * num_states
+    signatures: Dict[Tuple, int] = {}
+    for state in range(num_states):
+        signature = (state in dfa.accepting, state in dfa.accepting_at_end)
+        block_of[state] = signatures.setdefault(signature, len(signatures))
+
+    while True:
+        keys: Dict[Tuple, int] = {}
+        next_block_of: List[int] = [0] * num_states
+        for state in range(num_states):
+            key = (
+                block_of[state],
+                tuple(
+                    block_of[target] if target >= 0 else -1
+                    for target in dfa.transitions[state]
+                ),
+            )
+            next_block_of[state] = keys.setdefault(key, len(keys))
+        if len(keys) == len(set(block_of)):
+            break
+        block_of = next_block_of
+
+    num_blocks = len(set(block_of))
+    minimized = DFA(class_of=list(dfa.class_of), num_classes=num_classes)
+    minimized.transitions = [[-1] * num_classes for _ in range(num_blocks)]
+    seen: Set[int] = set()
+    for state in range(num_states):
+        block_index = block_of[state]
+        if block_index in seen:
+            continue
+        seen.add(block_index)
+        for cls in range(num_classes):
+            target = dfa.transitions[state][cls]
+            if target >= 0:
+                minimized.transitions[block_index][cls] = block_of[target]
+        if state in dfa.accepting:
+            minimized.accepting.add(block_index)
+        if state in dfa.accepting_at_end:
+            minimized.accepting_at_end.add(block_index)
+    minimized.start = block_of[dfa.start]
+    return minimized
+
+
+def dfa_from_pattern(
+    pattern: str,
+    max_states: Optional[int] = None,
+    minimized: bool = True,
+) -> DFA:
+    from .nfa import nfa_from_pattern
+
+    dfa = determinize(nfa_from_pattern(pattern), max_states=max_states)
+    return minimize(dfa) if minimized else dfa

@@ -1,0 +1,233 @@
+"""Nondeterministic finite automata built from the ``regex`` dialect.
+
+The paper frames Cicero as an alternative to classical automata
+execution (§1): NFAs are compact but need parallel-path hardware, DFAs
+are sequential but can blow up exponentially.  This package provides
+that classical substrate — Thompson-constructed NFAs, subset-construction
+DFAs, and Hopcroft minimization — both as a CPU-reference baseline and
+to quantify the DFA state blow-up the paper's introduction cites.
+
+States are integers; transitions are ε-moves or byte-predicate moves.
+Predicates are 256-bit masks so character classes stay O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..dialects.regex.ops import (
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    RootOp,
+    SubRegexOp,
+    UNBOUNDED,
+)
+from ..ir.diagnostics import LoweringError
+from ..ir.operation import Operation
+
+FULL_MASK = (1 << 256) - 1
+
+
+def char_mask(code: int) -> int:
+    return 1 << code
+
+
+@dataclass
+class NFA:
+    """Thompson-style NFA with ε-transitions.
+
+    ``transitions[state]`` is a list of ``(mask, target)``; ``mask`` is a
+    256-bit character-set mask (``None`` denotes ε).  ``accepts[state]``
+    marks accepting states.
+    """
+
+    start: int = 0
+    num_states: int = 0
+    transitions: List[List[Tuple[Optional[int], int]]] = field(default_factory=list)
+    accepting: Set[int] = field(default_factory=set)
+    #: End-of-input-anchored accepting states ('$' semantics).
+    accepting_at_end: Set[int] = field(default_factory=set)
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        self.num_states += 1
+        return self.num_states - 1
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.transitions[source].append((None, target))
+
+    def add_move(self, source: int, mask: int, target: int) -> None:
+        self.transitions[source].append((mask, target))
+
+    # ------------------------------------------------------------------
+    # Execution (breadth-first, the CPU baseline)
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for mask, target in self.transitions[state]:
+                if mask is None and target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], code: int) -> FrozenSet[int]:
+        moved = set()
+        bit = 1 << code
+        for state in states:
+            for mask, target in self.transitions[state]:
+                if mask is not None and mask & bit:
+                    moved.add(target)
+        return self.epsilon_closure(frozenset(moved))
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        """Does the NFA accept (with the anchoring semantics baked into
+        its construction — see :func:`nfa_from_regex_module`)?"""
+        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        current = self.epsilon_closure(frozenset({self.start}))
+        if current & self.accepting:
+            return True
+        for index, code in enumerate(data):
+            current = self.step(current, code)
+            if not current:
+                return False
+            if current & self.accepting:
+                return True
+            if index == len(data) - 1 and current & self.accepting_at_end:
+                return True
+        if not data and current & self.accepting_at_end:
+            return True
+        return False
+
+    def reachable_size(self) -> int:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            for _mask, target in self.transitions[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return len(seen)
+
+
+class _NFABuilder:
+    """Regex dialect → NFA (Thompson construction over the dialect)."""
+
+    def __init__(self):
+        self.nfa = NFA()
+
+    def build_atom(self, atom: Operation, entry: int) -> int:
+        """Wire ``atom`` starting at ``entry``; returns its exit state."""
+        nfa = self.nfa
+        if isinstance(atom, MatchCharOp):
+            exit_state = nfa.new_state()
+            nfa.add_move(entry, char_mask(atom.code), exit_state)
+            return exit_state
+        if isinstance(atom, MatchAnyCharOp):
+            exit_state = nfa.new_state()
+            nfa.add_move(entry, FULL_MASK, exit_state)
+            return exit_state
+        if isinstance(atom, GroupOp):
+            mask = atom.charset.mask
+            if atom.negated:
+                mask = ~mask & FULL_MASK
+            exit_state = nfa.new_state()
+            nfa.add_move(entry, mask, exit_state)
+            return exit_state
+        if isinstance(atom, SubRegexOp):
+            return self.build_alternation(list(atom.alternatives), entry)
+        if isinstance(atom, DollarOp):
+            raise LoweringError("'$' inside a pattern has no NFA transition")
+        raise LoweringError(f"cannot build NFA for '{atom.name}'")
+
+    def build_piece(self, piece: PieceOp, entry: int) -> int:
+        minimum, maximum = piece.bounds
+        current = entry
+        for _ in range(minimum):
+            current = self.build_atom(piece.atom, current)
+        if maximum == UNBOUNDED:
+            loop_exit = self.nfa.new_state()
+            self.nfa.add_epsilon(current, loop_exit)
+            body_exit = self.build_atom(piece.atom, current)
+            self.nfa.add_epsilon(body_exit, current)
+            return loop_exit
+        optional = maximum - minimum
+        if optional == 0:
+            return current
+        after = self.nfa.new_state()
+        for _ in range(optional):
+            self.nfa.add_epsilon(current, after)
+            current = self.build_atom(piece.atom, current)
+        self.nfa.add_epsilon(current, after)
+        return after
+
+    def build_branch(self, branch: ConcatenationOp, entry: int) -> Tuple[int, bool]:
+        pieces = list(branch.pieces)
+        ends_with_dollar = False
+        if pieces and isinstance(pieces[-1].atom, DollarOp):
+            ends_with_dollar = True
+            pieces = pieces[:-1]
+        current = entry
+        for piece in pieces:
+            current = self.build_piece(piece, current)
+        return current, ends_with_dollar
+
+    def build_alternation(self, branches: List[Operation], entry: int) -> int:
+        if len(branches) == 1:
+            exit_state, ends_with_dollar = self.build_branch(branches[0], entry)
+            if ends_with_dollar:
+                raise LoweringError("'$' only supported at top level")
+            return exit_state
+        join = self.nfa.new_state()
+        for branch in branches:
+            branch_entry = self.nfa.new_state()
+            self.nfa.add_epsilon(entry, branch_entry)
+            exit_state, ends_with_dollar = self.build_branch(branch, branch_entry)
+            if ends_with_dollar:
+                raise LoweringError("'$' only supported at top level")
+            self.nfa.add_epsilon(exit_state, join)
+        return join
+
+
+def nfa_from_regex_module(module) -> NFA:
+    """Build an NFA for a module holding one ``regex.root``.
+
+    The root's ``hasPrefix`` becomes a self-loop on the start state;
+    ``hasSuffix`` decides between unconditional acceptance
+    (``accepting``) and end-of-input acceptance (``accepting_at_end``).
+    '$'-terminated branches always accept at end-of-input only.
+    """
+    roots = [op for op in module.body.operations if isinstance(op, RootOp)]
+    if len(roots) != 1:
+        raise LoweringError("expected exactly one regex.root")
+    root = roots[0]
+
+    builder = _NFABuilder()
+    nfa = builder.nfa
+    start = nfa.new_state()
+    nfa.start = start
+    if root.has_prefix:
+        nfa.add_move(start, FULL_MASK, start)
+    for branch in root.alternatives:
+        branch_entry = nfa.new_state()
+        nfa.add_epsilon(start, branch_entry)
+        exit_state, ends_with_dollar = builder.build_branch(branch, branch_entry)
+        if ends_with_dollar or not root.has_suffix:
+            nfa.accepting_at_end.add(exit_state)
+        else:
+            nfa.accepting.add(exit_state)
+    return nfa
+
+
+def nfa_from_pattern(pattern: str) -> NFA:
+    from ..dialects.regex.from_ast import regex_to_module
+
+    return nfa_from_regex_module(regex_to_module(pattern))

@@ -1,0 +1,140 @@
+"""Execution back-ends behind one interface.
+
+The paper's future work (§8) argues for "a standard MLIR-based
+multi-dialect compilation flow for REs execution engines" where the
+high-level ``regex`` dialect front-end feeds multiple back-ends.  This
+module is that seam: every back-end consumes the same parsed/optimized
+high-level representation and returns a matcher with a uniform
+``matches(text) -> bool`` interface.
+
+Available back-ends:
+
+========== ==============================================================
+``cicero``     the paper's DSA — compile to the Cicero ISA, execute on
+               the golden-model VM
+``cicero-sim`` same program on the cycle-level simulator (timing too)
+``nfa``        CPU-baseline breadth-first NFA simulation
+``dfa``        CPU-baseline table-driven DFA (subset-constructed,
+               minimized; may blow up — bound with ``max_dfa_states``)
+========== ==============================================================
+
+>>> from repro.backends import compile_with_backend
+>>> matcher = compile_with_backend("th(is|at)", "dfa")
+>>> matcher.matches("say that")
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from .arch.config import ArchConfig
+from .arch.system import CiceroSystem
+from .automata.dfa import determinize, minimize
+from .automata.nfa import nfa_from_regex_module
+from .compiler import CompileOptions, NewCompiler
+from .dialects.regex.from_ast import pattern_to_regex_dialect
+from .dialects.regex.transforms.pipeline import regex_optimization_passes
+from .frontend.parser import parse_regex
+from .ir.pass_manager import PassManager
+from .vm.thompson import ThompsonVM
+
+
+class Matcher:
+    """Uniform matcher interface; back-ends subclass."""
+
+    backend_name: str = "?"
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class CiceroMatcher(Matcher):
+    vm: ThompsonVM
+    backend_name: str = "cicero"
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        return bool(self.vm.run(text))
+
+
+@dataclass
+class CiceroSimMatcher(Matcher):
+    system: CiceroSystem
+    backend_name: str = "cicero-sim"
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        return self.system.run(text).matched
+
+    def run(self, text: Union[str, bytes]):
+        """Full simulation result (cycles, stats) — simulator-specific."""
+        return self.system.run(text)
+
+
+@dataclass
+class NFAMatcher(Matcher):
+    nfa: object
+    backend_name: str = "nfa"
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        return self.nfa.matches(text)
+
+
+@dataclass
+class DFAMatcher(Matcher):
+    dfa: object
+    backend_name: str = "dfa"
+
+    def matches(self, text: Union[str, bytes]) -> bool:
+        return self.dfa.matches(text)
+
+
+def _optimized_regex_module(pattern: str, options: CompileOptions):
+    """The shared front half: parse → regex dialect → §3.2 transforms."""
+    module = pattern_to_regex_dialect(parse_regex(pattern))
+    pipeline = PassManager(verify_each=False)
+    effective = options.effective()
+    for transform in regex_optimization_passes(
+        enable_simplify_subregex=effective.simplify_subregex,
+        enable_factorize=effective.factorize_alternations,
+        enable_boundary_quantifier=effective.boundary_quantifier,
+    ):
+        pipeline.add(transform)
+    pipeline.run(module)
+    return module
+
+
+def compile_with_backend(
+    pattern: str,
+    backend: str = "cicero",
+    options: Optional[CompileOptions] = None,
+    config: Optional[ArchConfig] = None,
+    max_dfa_states: Optional[int] = 50_000,
+) -> Matcher:
+    """Compile through the shared high-level flow, finish per back-end."""
+    options = options if options is not None else CompileOptions()
+    if backend in ("cicero", "cicero-sim"):
+        program = NewCompiler(options).compile(pattern).program
+        if backend == "cicero":
+            return CiceroMatcher(ThompsonVM(program))
+        return CiceroSimMatcher(
+            CiceroSystem(program, config if config is not None else ArchConfig.new(16))
+        )
+    module = _optimized_regex_module(pattern, options)
+    nfa = nfa_from_regex_module(module)
+    if backend == "nfa":
+        return NFAMatcher(nfa)
+    if backend == "dfa":
+        return DFAMatcher(minimize(determinize(nfa, max_states=max_dfa_states)))
+    raise ValueError(
+        f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+    )
+
+
+BACKENDS: Dict[str, str] = {
+    "cicero": "Cicero ISA on the golden-model VM",
+    "cicero-sim": "Cicero ISA on the cycle-level simulator",
+    "nfa": "breadth-first NFA simulation (CPU baseline)",
+    "dfa": "table-driven minimized DFA (CPU baseline)",
+}

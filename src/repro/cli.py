@@ -1,0 +1,310 @@
+"""Command-line interface: ``repro-cicero``.
+
+Subcommands:
+
+* ``compile`` — compile an RE, emitting assembly, IR snapshots, the
+  binary image, or static metrics.
+* ``run`` — compile + execute on the golden-model VM or the cycle-level
+  simulator.
+* ``bench`` — a quick (benchmark × configuration) sweep printing the
+  paper-style time/energy table.
+* ``configs`` — list the evaluated architecture configurations with
+  their resource usage, clock and power.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch.config import ArchConfig, MICROBENCH_GRID
+from .arch.power import power_watts
+from .arch.resources import clock_mhz, utilization
+from .arch.simulator import CiceroSimulator
+from .compiler import CompileOptions, NewCompiler
+from .dialects.regex.emit_pattern import emit_pattern
+from .evaluation import compile_benchmark, format_table, run_on_config
+from .ir.printer import print_op
+from .isa.encoding import encode_program
+from .isa.metrics import static_metrics
+from .oldcompiler.compiler import OldCompiler
+from .vm.thompson import ThompsonVM
+from .workloads.suite import BENCHMARK_NAMES, load_benchmark
+
+
+def parse_config(text: str) -> ArchConfig:
+    """Parse ``NxM`` notation, e.g. ``1x9`` (old) or ``16x1`` (new)."""
+    try:
+        cores_text, engines_text = text.lower().split("x")
+        cores, engines = int(cores_text), int(engines_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad configuration {text!r}; use NxM, e.g. 1x9 or 16x1"
+        ) from None
+    if cores == 1:
+        return ArchConfig.old(engines)
+    return ArchConfig.new(cores, engines)
+
+
+def _compile(args) -> int:
+    if args.compiler == "old":
+        result = OldCompiler(optimize=not args.no_opt).compile(args.pattern)
+        regex_module = cicero_module = None
+    else:
+        options = CompileOptions(
+            optimize=not args.no_opt,
+            simplify_subregex=not args.no_simplify,
+            factorize_alternations=not args.no_factorize,
+            boundary_quantifier=not args.no_boundary,
+            jump_simplification=not args.no_jump_simplification,
+            dead_code_elimination=not args.no_dce,
+        )
+        result = NewCompiler(options).compile(args.pattern)
+        regex_module = result.regex_module
+        cicero_module = result.cicero_module
+
+    if args.emit == "asm":
+        output = result.program.disassemble()
+    elif args.emit == "bin":
+        sys.stdout.buffer.write(encode_program(result.program))
+        return 0
+    elif args.emit == "regex-ir":
+        if regex_module is None:
+            print("the old compiler has no MLIR stages", file=sys.stderr)
+            return 1
+        output = print_op(regex_module)
+    elif args.emit == "cicero-ir":
+        if cicero_module is None:
+            print("the old compiler has no MLIR stages", file=sys.stderr)
+            return 1
+        output = print_op(cicero_module)
+    elif args.emit == "pattern":
+        if regex_module is None:
+            print("the old compiler has no MLIR stages", file=sys.stderr)
+            return 1
+        output = emit_pattern(regex_module.body.operations[0])
+    else:  # metrics
+        metrics = static_metrics(result.program)
+        output = "\n".join(
+            [
+                f"code size      : {metrics.code_size} instructions",
+                f"D_offset       : {metrics.d_offset}",
+                f"jumps / splits : {metrics.num_jumps} / {metrics.num_splits}",
+                f"compile time   : {result.total_seconds * 1e3:.3f} ms",
+            ]
+        )
+    print(output)
+    return 0
+
+
+def _run(args) -> int:
+    if args.compiler == "old":
+        program = OldCompiler(optimize=not args.no_opt).compile(args.pattern).program
+    else:
+        program = (
+            NewCompiler(CompileOptions(optimize=not args.no_opt))
+            .compile(args.pattern)
+            .program
+        )
+    if args.file:
+        with open(args.file, "rb") as handle:
+            text = handle.read()
+    else:
+        text = (args.text or "").encode("latin-1")
+
+    if args.functional:
+        result = ThompsonVM(program).run(text)
+        print(f"matched: {result.matched}"
+              + (f" at position {result.position}" if result.matched else ""))
+        return 0 if result.matched else 1
+
+    simulation = CiceroSimulator(args.config).run(program, text)
+    stats = simulation.stats
+    print(f"configuration : {simulation.config.name}")
+    print(f"matched       : {simulation.matched}"
+          + (f" at position {simulation.position}" if simulation.matched else ""))
+    print(f"cycles        : {simulation.cycles}")
+    print(f"instructions  : {stats.instructions} (IPC {stats.ipc:.2f})")
+    print(f"icache        : {stats.cache_hits} hits, {stats.cache_misses} misses "
+          f"({stats.miss_rate:.1%})")
+    print(f"threads       : {stats.threads_spawned} spawned, "
+          f"{stats.threads_killed} killed, peak {stats.peak_threads}")
+    return 0 if simulation.matched else 1
+
+
+def _bench(args) -> int:
+    if args.patterns_file or args.input_file:
+        if not (args.patterns_file and args.input_file):
+            print("--patterns-file and --input-file must be given together",
+                  file=sys.stderr)
+            return 2
+        from .workloads.suite import benchmark_from_files
+
+        benchmark = benchmark_from_files(
+            args.patterns_file, args.input_file, num_chunks=args.chunks
+        )
+    else:
+        benchmark = load_benchmark(
+            args.benchmark, num_res=args.res, num_chunks=args.chunks
+        )
+    compiled = compile_benchmark(benchmark, compiler=args.compiler,
+                                 optimize=not args.no_opt)
+    configs: List[ArchConfig] = args.configs or [
+        ArchConfig.old(9),
+        ArchConfig.old(16),
+        ArchConfig.new(8),
+        ArchConfig.new(16),
+    ]
+    rows = []
+    for config in configs:
+        row = run_on_config(compiled, config)
+        rows.append(
+            (
+                config.name,
+                f"{row.avg_time_us:.2f}",
+                f"{row.avg_energy_w_us:.2f}",
+                f"{row.power_w:.2f}",
+                f"{row.matches}/{row.runs}",
+            )
+        )
+    print(
+        format_table(
+            ["configuration", "time [us/RE]", "energy [W·us]", "power [W]", "matches"],
+            rows,
+            title=f"benchmark {benchmark.name}: {len(benchmark.patterns)} REs, "
+            f"{len(benchmark.chunks)} chunks, compiler={compiled.label}",
+        )
+    )
+    return 0
+
+
+def _verify(args) -> int:
+    """Prove that every compiler configuration accepts the same inputs."""
+    from .verify import EquivalenceCheckExceeded, check_equivalence
+
+    variants = [
+        ("new w/o opts", NewCompiler(CompileOptions.none()).compile(args.pattern)),
+        ("new w/ opts", NewCompiler().compile(args.pattern)),
+        ("old w/o opts", OldCompiler(optimize=False).compile(args.pattern)),
+        ("old w/ opts", OldCompiler(optimize=True).compile(args.pattern)),
+    ]
+    baseline_label, baseline = variants[0]
+    failures = 0
+    for label, variant in variants[1:]:
+        try:
+            result = check_equivalence(
+                baseline.program, variant.program, max_states=args.max_states
+            )
+        except EquivalenceCheckExceeded:
+            print(f"  {label:14s} UNDECIDED (> {args.max_states} product states)")
+            continue
+        if result.equivalent:
+            print(f"  {label:14s} EQUIVALENT to {baseline_label} "
+                  f"({result.explored_states} product states)")
+        else:
+            failures += 1
+            print(f"  {label:14s} DIFFERS: {result.counterexample!r} accepted "
+                  f"only by the {result.accepted_by} program")
+    return 1 if failures else 0
+
+
+def _configs(args) -> int:
+    rows = []
+    for config in MICROBENCH_GRID:
+        report = utilization(config)
+        rows.append(
+            (
+                config.name,
+                f"{report.luts:.1%}",
+                f"{report.regs:.1%}",
+                f"{report.brams:.1%}",
+                f"{clock_mhz(config):.0f} MHz",
+                f"{power_watts(config):.2f} W",
+            )
+        )
+    print(format_table(
+        ["configuration", "LUT", "REG", "BRAM", "clock", "power"], rows,
+        title="evaluated architecture configurations (XCZU3EG)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cicero",
+        description="MLIR-dialect regex compiler + Cicero DSA simulator "
+        "(CGO'25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile an RE")
+    compile_parser.add_argument("pattern")
+    compile_parser.add_argument("--compiler", choices=("new", "old"), default="new")
+    compile_parser.add_argument("--no-opt", action="store_true",
+                                help="disable every optimization")
+    compile_parser.add_argument("--no-simplify", action="store_true",
+                                help="disable sub-regex simplification")
+    compile_parser.add_argument("--no-factorize", action="store_true",
+                                help="disable alternation factorization")
+    compile_parser.add_argument("--no-boundary", action="store_true",
+                                help="disable boundary quantifier reduction")
+    compile_parser.add_argument("--no-jump-simplification", action="store_true",
+                                help="disable the §5 jump simplification")
+    compile_parser.add_argument("--no-dce", action="store_true",
+                                help="disable dead-code elimination")
+    compile_parser.add_argument(
+        "--emit",
+        choices=("asm", "bin", "regex-ir", "cicero-ir", "pattern", "metrics"),
+        default="asm",
+    )
+    compile_parser.set_defaults(handler=_compile)
+
+    run_parser = sub.add_parser("run", help="compile and execute an RE")
+    run_parser.add_argument("pattern")
+    run_parser.add_argument("text", nargs="?")
+    run_parser.add_argument("--file", help="read the input from a file")
+    run_parser.add_argument("--compiler", choices=("new", "old"), default="new")
+    run_parser.add_argument("--no-opt", action="store_true")
+    run_parser.add_argument("--functional", action="store_true",
+                            help="golden-model VM instead of the cycle simulator")
+    run_parser.add_argument("--config", type=parse_config,
+                            default=ArchConfig.new(16),
+                            help="architecture NxM, e.g. 1x9 or 16x1")
+    run_parser.set_defaults(handler=_run)
+
+    bench_parser = sub.add_parser("bench", help="quick benchmark sweep")
+    bench_parser.add_argument("--benchmark", choices=BENCHMARK_NAMES,
+                              default="protomata")
+    bench_parser.add_argument("--res", type=int, default=8)
+    bench_parser.add_argument("--chunks", type=int, default=2)
+    bench_parser.add_argument("--compiler", choices=("new", "old"), default="new")
+    bench_parser.add_argument("--no-opt", action="store_true")
+    bench_parser.add_argument("--configs", type=parse_config, nargs="*")
+    bench_parser.add_argument("--patterns-file",
+                              help="file with one RE per line (overrides "
+                              "--benchmark; needs --input-file)")
+    bench_parser.add_argument("--input-file",
+                              help="input data to scan, chunked at 500 B")
+    bench_parser.set_defaults(handler=_bench)
+
+    configs_parser = sub.add_parser("configs", help="list architecture configs")
+    configs_parser.set_defaults(handler=_configs)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="prove all compiler configurations language-equivalent",
+    )
+    verify_parser.add_argument("pattern")
+    verify_parser.add_argument("--max-states", type=int, default=100_000)
+    verify_parser.set_defaults(handler=_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

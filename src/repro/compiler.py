@@ -1,0 +1,161 @@
+"""The paper's *new* compiler: the multi-dialect MLIR-based pipeline (§3).
+
+Stages (Figure 2, right-hand side):
+
+1. parse the textual RE into an AST (frontend);
+2. convert the AST into the high-level ``regex`` dialect;
+3. run the §3.2 high-level transforms (each individually toggleable);
+4. lower into the ``cicero`` dialect, mapping basic blocks to
+   instruction memory and inserting control instructions;
+5. run the §5 architecture-oriented transforms (Jump Simplification and
+   the dead-code sweep);
+6. generate the final binary-level :class:`~repro.isa.Program`.
+
+:class:`CompileOptions` mirrors the paper's compiler options; the
+defaults correspond to the "w/ optimizations" configuration of §6.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .dialects.cicero.codegen import generate_program
+from .dialects.cicero.lowering import lower_to_cicero
+from .dialects.cicero.transforms.dce import DeadCodeEliminationPass
+from .dialects.cicero.transforms.jump_simplification import JumpSimplificationPass
+from .dialects.regex.from_ast import pattern_to_regex_dialect
+from .dialects.regex.transforms.pipeline import regex_optimization_passes
+from .frontend.parser import parse_regex
+from .ir.operation import ModuleOp
+from .ir.pass_manager import PassManager
+from .isa.metrics import StaticMetrics, static_metrics
+from .isa.program import Program
+
+COMPILER_NAME = "new-mlir"
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Toggles for every optional stage of the pipeline.
+
+    ``optimize`` is the master switch of §6.1's "w/ vs w/o
+    optimizations"; the per-pass booleans allow the ablation benchmarks
+    to enable each transform in isolation.
+    """
+
+    optimize: bool = True
+    simplify_subregex: bool = True
+    factorize_alternations: bool = True
+    boundary_quantifier: bool = True
+    jump_simplification: bool = True
+    dead_code_elimination: bool = True
+    #: Verify the IR between passes (off for benchmark timing runs).
+    verify_each: bool = False
+
+    def effective(self) -> "CompileOptions":
+        """Options with the master switch folded into the per-pass flags."""
+        if self.optimize:
+            return self
+        return replace(
+            self,
+            simplify_subregex=False,
+            factorize_alternations=False,
+            boundary_quantifier=False,
+            jump_simplification=False,
+            dead_code_elimination=False,
+        )
+
+    @classmethod
+    def none(cls) -> "CompileOptions":
+        return cls(optimize=False)
+
+
+@dataclass
+class CompilationResult:
+    """Everything the pipeline produced, including IR snapshots."""
+
+    pattern: str
+    program: Program
+    options: CompileOptions
+    regex_module: ModuleOp
+    cicero_module: ModuleOp
+    #: Wall-clock seconds per stage name.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def metrics(self) -> StaticMetrics:
+        return static_metrics(self.program)
+
+
+class NewCompiler:
+    """The multi-dialect compiler; stateless apart from its options."""
+
+    name = COMPILER_NAME
+
+    def __init__(self, options: Optional[CompileOptions] = None):
+        self.options = (options or CompileOptions()).effective()
+
+    def compile(self, pattern: str) -> CompilationResult:
+        options = self.options
+        stage_seconds: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        ast = parse_regex(pattern)
+        stage_seconds["frontend"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        regex_module = pattern_to_regex_dialect(ast, verify=options.verify_each)
+        stage_seconds["to-regex-dialect"] = time.perf_counter() - started
+
+        highlevel = PassManager(verify_each=options.verify_each)
+        for regex_pass in regex_optimization_passes(
+            enable_simplify_subregex=options.simplify_subregex,
+            enable_factorize=options.factorize_alternations,
+            enable_boundary_quantifier=options.boundary_quantifier,
+        ):
+            highlevel.add(regex_pass)
+        started = time.perf_counter()
+        highlevel.run(regex_module)
+        stage_seconds["regex-transforms"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cicero_module = lower_to_cicero(regex_module, verify=options.verify_each)
+        stage_seconds["lowering"] = time.perf_counter() - started
+
+        lowlevel = PassManager(verify_each=options.verify_each)
+        if options.jump_simplification:
+            lowlevel.add(JumpSimplificationPass())
+        if options.dead_code_elimination:
+            lowlevel.add(DeadCodeEliminationPass())
+        started = time.perf_counter()
+        lowlevel.run(cicero_module)
+        stage_seconds["cicero-transforms"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        program_op = cicero_module.body.operations[0]
+        program = generate_program(
+            program_op, source_pattern=pattern, compiler=self.name
+        )
+        stage_seconds["codegen"] = time.perf_counter() - started
+
+        return CompilationResult(
+            pattern=pattern,
+            program=program,
+            options=options,
+            regex_module=regex_module,
+            cicero_module=cicero_module,
+            stage_seconds=stage_seconds,
+        )
+
+
+def compile_regex(
+    pattern: str, options: Optional[CompileOptions] = None
+) -> CompilationResult:
+    """Compile with the new multi-dialect pipeline (module-level helper)."""
+    return NewCompiler(options).compile(pattern)

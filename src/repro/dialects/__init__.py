@@ -1,0 +1,5 @@
+"""The paper's two MLIR dialects: high-level ``regex``, low-level ``cicero``."""
+
+from . import cicero, regex
+
+__all__ = ["cicero", "regex"]

@@ -1,0 +1,40 @@
+"""The low-level ``cicero`` dialect (paper §3.3) and its transforms."""
+
+from .codegen import generate_program, program_to_dialect
+from .lowering import RegexToCiceroLowering, lower_to_cicero
+from .ops import (
+    ACCEPTANCE_OPS,
+    AcceptOp,
+    AcceptPartialOp,
+    CICERO_DIALECT,
+    CiceroInstructionOp,
+    JumpOp,
+    MatchAnyOp,
+    MatchCharOp,
+    NotMatchCharOp,
+    ProgramOp,
+    SplitOp,
+    TARGET_CARRYING_OPS,
+)
+from .transforms import DeadCodeEliminationPass, JumpSimplificationPass
+
+__all__ = [
+    "ACCEPTANCE_OPS",
+    "AcceptOp",
+    "AcceptPartialOp",
+    "CICERO_DIALECT",
+    "CiceroInstructionOp",
+    "DeadCodeEliminationPass",
+    "JumpOp",
+    "JumpSimplificationPass",
+    "MatchAnyOp",
+    "MatchCharOp",
+    "NotMatchCharOp",
+    "ProgramOp",
+    "RegexToCiceroLowering",
+    "SplitOp",
+    "TARGET_CARRYING_OPS",
+    "generate_program",
+    "lower_to_cicero",
+    "program_to_dialect",
+]

@@ -1,0 +1,89 @@
+"""Code generation: ``cicero.program`` → :class:`~repro.isa.Program`.
+
+Thanks to the dialect's one-to-one mapping onto the ISA (§3.3) this is a
+single linear walk: operation order gives addresses, labels resolve to
+operand values, done.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ir.diagnostics import CodegenError
+from ...isa.instructions import Instruction, Opcode
+from ...isa.program import Program
+from .ops import (
+    AcceptOp,
+    AcceptPartialOp,
+    JumpOp,
+    MatchAnyOp,
+    MatchCharOp,
+    NotMatchCharOp,
+    ProgramOp,
+    SplitOp,
+)
+
+
+def generate_program(
+    program_op: ProgramOp, source_pattern: str = "", compiler: str = ""
+) -> Program:
+    """Emit the binary-level program for a ``cicero.program`` op."""
+    labels = program_op.label_map()
+    instructions: List[Instruction] = []
+    for address, op in enumerate(program_op.instructions):
+        if isinstance(op, AcceptOp):
+            instructions.append(Instruction(Opcode.ACCEPT))
+        elif isinstance(op, AcceptPartialOp):
+            instructions.append(Instruction(Opcode.ACCEPT_PARTIAL))
+        elif isinstance(op, SplitOp):
+            instructions.append(Instruction(Opcode.SPLIT, labels[op.target]))
+        elif isinstance(op, JumpOp):
+            instructions.append(Instruction(Opcode.JMP, labels[op.target]))
+        elif isinstance(op, MatchAnyOp):
+            instructions.append(Instruction(Opcode.MATCH_ANY))
+        elif isinstance(op, MatchCharOp):
+            instructions.append(Instruction(Opcode.MATCH, op.code))
+        elif isinstance(op, NotMatchCharOp):
+            instructions.append(Instruction(Opcode.NOT_MATCH, op.code))
+        else:
+            raise CodegenError(f"cannot encode op '{op.name}' at {address}")
+    return Program(instructions, source_pattern=source_pattern, compiler=compiler)
+
+
+def program_to_dialect(program: Program) -> ProgramOp:
+    """Inverse direction: lift a binary program back into the dialect.
+
+    Used by round-trip tests and by tools that want to re-optimize an
+    existing binary.  Only jump/split targets receive labels.
+    """
+    program_op = ProgramOp()
+    block = program_op.regions[0].entry_block
+    ops = []
+    for instruction in program:
+        if instruction.opcode is Opcode.ACCEPT:
+            ops.append(AcceptOp())
+        elif instruction.opcode is Opcode.ACCEPT_PARTIAL:
+            ops.append(AcceptPartialOp())
+        elif instruction.opcode is Opcode.SPLIT:
+            ops.append(SplitOp(f"A{instruction.operand}"))
+        elif instruction.opcode is Opcode.JMP:
+            ops.append(JumpOp(f"A{instruction.operand}"))
+        elif instruction.opcode is Opcode.MATCH_ANY:
+            ops.append(MatchAnyOp())
+        elif instruction.opcode is Opcode.MATCH:
+            ops.append(MatchCharOp(instruction.operand))
+        elif instruction.opcode is Opcode.NOT_MATCH:
+            ops.append(NotMatchCharOp(instruction.operand))
+        else:  # pragma: no cover - Opcode is closed
+            raise CodegenError(f"unknown opcode {instruction.opcode}")
+    targets = {
+        instruction.operand
+        for instruction in program
+        if instruction.opcode.is_control_flow
+    }
+    for address, op in enumerate(ops):
+        if address in targets:
+            op.set_label(f"A{address}")
+        block.append(op)
+    program_op.verify()
+    return program_op

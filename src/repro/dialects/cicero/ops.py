@@ -1,0 +1,232 @@
+"""The ``cicero`` dialect: low-level IR mapping 1:1 onto the Cicero ISA.
+
+Operation set (paper Table 4):
+
+=================  ==============================  =====================
+Cicero ISA         Operation                       Arguments
+=================  ==============================  =====================
+Accept             ``cicero.accept``
+Accept Partial     ``cicero.accept_partial``
+Split              ``cicero.split``                ``splitReturn: @sym``
+Jump               ``cicero.jump``                 ``target: @sym``
+MatchAny           ``cicero.match_any``
+Match              ``cicero.match_char``           ``char``
+NotMatch           ``cicero.not_match_char``       ``char``
+=================  ==============================  =====================
+
+Structure: a ``cicero.program`` op holds one region with a single block
+whose operation order *is* the instruction-memory layout (the "mapping of
+basic blocks to instruction memory" happens at lowering, §3).  Control
+flow targets are symbolic until code generation: any instruction op may
+carry a ``sym_name`` label, and ``cicero.split``/``cicero.jump``
+reference labels, so transformations may insert and remove instructions
+without address fix-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ...ir.attributes import CharAttr, StringAttr, SymbolRefAttr
+from ...ir.context import Dialect
+from ...ir.diagnostics import VerificationError
+from ...ir.operation import Operation
+
+CICERO_DIALECT = Dialect("cicero", "Low-level IR for the Cicero ISA (paper §3.3)")
+
+
+class CiceroInstructionOp(Operation):
+    """Base class of the seven instruction ops; handles labels."""
+
+    def __init__(self, label: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        if label is not None:
+            self.attributes["sym_name"] = StringAttr(label)
+
+    @property
+    def label(self) -> Optional[str]:
+        attr = self.attributes.get("sym_name")
+        return attr.value if attr is not None else None
+
+    def set_label(self, label: Optional[str]) -> None:
+        if label is None:
+            self.attributes.pop("sym_name", None)
+        else:
+            self.attributes["sym_name"] = StringAttr(label)
+
+    def verify_op(self) -> None:
+        self.expect_num_regions(0)
+        label = self.attributes.get("sym_name")
+        if label is not None and not isinstance(label, StringAttr):
+            raise VerificationError("'sym_name' must be a string", self)
+
+    @property
+    def falls_through(self) -> bool:
+        """Does control continue to the next op after this one?
+
+        Acceptance ends the thread; a jump transfers unconditionally.
+        Everything else (including split, which also continues at its
+        target) falls through.
+        """
+        return True
+
+
+@CICERO_DIALECT.register_op
+class AcceptOp(CiceroInstructionOp):
+    """Accept only if the whole input has been consumed."""
+
+    OP_NAME = "cicero.accept"
+    falls_through = False
+
+
+@CICERO_DIALECT.register_op
+class AcceptPartialOp(CiceroInstructionOp):
+    """Accept at any point in the input stream."""
+
+    OP_NAME = "cicero.accept_partial"
+    falls_through = False
+
+
+@CICERO_DIALECT.register_op
+class SplitOp(CiceroInstructionOp):
+    """Fork execution: one thread falls through, one jumps to the target."""
+
+    OP_NAME = "cicero.split"
+
+    def __init__(self, split_return: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        if split_return is not None:
+            self.attributes["splitReturn"] = SymbolRefAttr(split_return)
+
+    @property
+    def target(self) -> str:
+        return self.attributes["splitReturn"].name
+
+    def set_target(self, label: str) -> None:
+        self.attributes["splitReturn"] = SymbolRefAttr(label)
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        self.expect_attr("splitReturn", SymbolRefAttr)
+
+
+@CICERO_DIALECT.register_op
+class JumpOp(CiceroInstructionOp):
+    """Unconditional jump to the target label."""
+
+    OP_NAME = "cicero.jump"
+    falls_through = False
+
+    def __init__(self, target: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        if target is not None:
+            self.attributes["target"] = SymbolRefAttr(target)
+
+    @property
+    def target(self) -> str:
+        return self.attributes["target"].name
+
+    def set_target(self, label: str) -> None:
+        self.attributes["target"] = SymbolRefAttr(label)
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        self.expect_attr("target", SymbolRefAttr)
+
+
+@CICERO_DIALECT.register_op
+class MatchAnyOp(CiceroInstructionOp):
+    """Consume any one character."""
+
+    OP_NAME = "cicero.match_any"
+
+
+@CICERO_DIALECT.register_op
+class MatchCharOp(CiceroInstructionOp):
+    """Consume the current character if it equals the operand."""
+
+    OP_NAME = "cicero.match_char"
+
+    def __init__(self, char=None, **kwargs):
+        super().__init__(**kwargs)
+        if char is not None:
+            self.attributes["char"] = CharAttr(char)
+
+    @property
+    def code(self) -> int:
+        return self.attributes["char"].value
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        self.expect_attr("char", CharAttr)
+
+
+@CICERO_DIALECT.register_op
+class NotMatchCharOp(CiceroInstructionOp):
+    """Continue (without consuming) if the current character differs."""
+
+    OP_NAME = "cicero.not_match_char"
+
+    def __init__(self, char=None, **kwargs):
+        super().__init__(**kwargs)
+        if char is not None:
+            self.attributes["char"] = CharAttr(char)
+
+    @property
+    def code(self) -> int:
+        return self.attributes["char"].value
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        self.expect_attr("char", CharAttr)
+
+
+TARGET_CARRYING_OPS = (SplitOp, JumpOp)
+ACCEPTANCE_OPS = (AcceptOp, AcceptPartialOp)
+
+
+@CICERO_DIALECT.register_op
+class ProgramOp(Operation):
+    """Container whose single block is the instruction-memory layout."""
+
+    OP_NAME = "cicero.program"
+
+    def __init__(self, **kwargs):
+        super().__init__(num_regions=1, **kwargs)
+
+    @property
+    def instructions(self):
+        return self.body_ops()
+
+    def label_map(self) -> Dict[str, int]:
+        """Label → instruction index (i.e. the address after layout)."""
+        labels: Dict[str, int] = {}
+        for index, op in enumerate(self.instructions):
+            label = op.label
+            if label is not None:
+                if label in labels:
+                    raise VerificationError(f"duplicate label '{label}'", self)
+                labels[label] = index
+        return labels
+
+    def op_with_label(self, label: str) -> Operation:
+        for op in self.instructions:
+            if op.label == label:
+                return op
+        raise VerificationError(f"unknown label '{label}'", self)
+
+    def verify_op(self) -> None:
+        self.expect_num_regions(1)
+        for op in self.instructions:
+            if not isinstance(op, CiceroInstructionOp):
+                raise VerificationError(
+                    f"'cicero.program' may only contain cicero instructions, "
+                    f"found '{op.name}'",
+                    self,
+                )
+        labels = self.label_map()
+        for op in self.instructions:
+            if isinstance(op, TARGET_CARRYING_OPS) and op.target not in labels:
+                raise VerificationError(
+                    f"'{op.name}' targets undefined label '{op.target}'", self
+                )

@@ -1,0 +1,6 @@
+"""Architecture-oriented transforms over the ``cicero`` dialect (§5)."""
+
+from .dce import DeadCodeEliminationPass
+from .jump_simplification import JumpSimplificationPass
+
+__all__ = ["DeadCodeEliminationPass", "JumpSimplificationPass"]

@@ -1,0 +1,64 @@
+"""Dead-code elimination for ``cicero.program``.
+
+Reachability starts at the first instruction (the engine's reset PC) and
+follows:
+
+* fall-through for every op except jumps and acceptances (a jump
+  transfers unconditionally; acceptance terminates the thread);
+* the symbolic target of every reachable split and jump.
+
+Unreachable instructions are erased.  This cleans up after Jump
+Simplification: once every jump to the shared acceptance has been
+duplicated into a local acceptance, the shared op (reached only by
+fall-through from a jump that no longer exists) goes away — giving the
+paper's 10-instruction result for ``ab|cd`` (Listing 2, right column).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ....ir.operation import Operation
+from ....ir.pass_manager import Pass, register_pass
+from ..ops import ProgramOp, TARGET_CARRYING_OPS
+
+
+def _reachable_indices(program: ProgramOp) -> Set[int]:
+    instructions = program.instructions
+    if not instructions:
+        return set()
+    labels = program.label_map()
+    reachable: Set[int] = set()
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        if index in reachable or index >= len(instructions):
+            continue
+        reachable.add(index)
+        op = instructions[index]
+        if op.falls_through:
+            worklist.append(index + 1)
+        if isinstance(op, TARGET_CARRYING_OPS):
+            worklist.append(labels[op.target])
+    return reachable
+
+
+class DeadCodeEliminationPass(Pass):
+    """Remove instructions unreachable from the program entry."""
+
+    PASS_NAME = "cicero-dce"
+
+    def run(self, root: Operation) -> None:
+        programs = (
+            [root]
+            if isinstance(root, ProgramOp)
+            else [op for op in root.walk() if isinstance(op, ProgramOp)]
+        )
+        for program in programs:
+            reachable = _reachable_indices(program)
+            for index, op in reversed(list(enumerate(program.instructions))):
+                if index not in reachable:
+                    op.erase()
+
+
+register_pass(DeadCodeEliminationPass)

@@ -1,0 +1,37 @@
+"""The high-level ``regex`` dialect (paper §3.1–§3.2)."""
+
+from .emit_pattern import emit_pattern, emit_python_re
+from .from_ast import pattern_to_regex_dialect, regex_to_module
+from .ops import (
+    ATOM_OP_NAMES,
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    QuantifierOp,
+    REGEX_DIALECT,
+    RootOp,
+    SubRegexOp,
+    UNBOUNDED,
+)
+
+__all__ = [
+    "ATOM_OP_NAMES",
+    "ConcatenationOp",
+    "DollarOp",
+    "GroupOp",
+    "MatchAnyCharOp",
+    "MatchCharOp",
+    "PieceOp",
+    "QuantifierOp",
+    "REGEX_DIALECT",
+    "RootOp",
+    "SubRegexOp",
+    "UNBOUNDED",
+    "emit_pattern",
+    "emit_python_re",
+    "pattern_to_regex_dialect",
+    "regex_to_module",
+]

@@ -1,0 +1,124 @@
+"""Render ``regex`` dialect IR back into a pattern string.
+
+Two uses:
+
+* Round-trip debugging (the CLI's ``--emit=pattern``).
+* Differential testing: the emitted string is valid Python :mod:`re`
+  syntax, so tests can check that high-level transforms preserve the
+  match semantics by comparing ``re.search`` results before and after a
+  rewrite.
+
+The emitted pattern reflects only the alternation body; the implicit
+``.*`` prefix/suffix flags are the caller's to interpret (they map to
+``re.search`` vs anchored matching).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ir.diagnostics import IRError
+from ...ir.operation import Operation
+from .ops import (
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    RootOp,
+    SubRegexOp,
+    UNBOUNDED,
+)
+
+_META = set("\\^$.|?*+()[]{}")
+_CLASS_META = set("\\]^-")
+
+
+def _escape(code: int, inside_class: bool = False) -> str:
+    char = chr(code)
+    if code < 0x20 or code > 0x7E:
+        return f"\\x{code:02x}"
+    if inside_class:
+        return "\\" + char if char in _CLASS_META else char
+    return "\\" + char if char in _META else char
+
+
+def _emit_class(op: GroupOp) -> str:
+    parts: List[str] = []
+    for low, high in op.charset.ranges():
+        if high - low >= 2:
+            parts.append(f"{_escape(low, True)}-{_escape(high, True)}")
+        else:
+            parts.extend(_escape(code, True) for code in range(low, high + 1))
+    negation = "^" if op.negated else ""
+    return f"[{negation}{''.join(parts)}]"
+
+
+def _emit_quantifier(minimum: int, maximum: int) -> str:
+    if (minimum, maximum) == (1, 1):
+        return ""
+    if (minimum, maximum) == (0, UNBOUNDED):
+        return "*"
+    if (minimum, maximum) == (1, UNBOUNDED):
+        return "+"
+    if (minimum, maximum) == (0, 1):
+        return "?"
+    if maximum == UNBOUNDED:
+        return f"{{{minimum},}}"
+    if minimum == maximum:
+        return f"{{{minimum}}}"
+    return f"{{{minimum},{maximum}}}"
+
+
+def _emit_atom(op: Operation) -> str:
+    if isinstance(op, MatchCharOp):
+        return _escape(op.code)
+    if isinstance(op, MatchAnyCharOp):
+        return "."
+    if isinstance(op, GroupOp):
+        return _emit_class(op)
+    if isinstance(op, SubRegexOp):
+        return "(" + _emit_alternation(op) + ")"
+    if isinstance(op, DollarOp):
+        return "$"
+    raise IRError(f"not a regex atom: {op.name}")
+
+
+def _emit_piece(op: PieceOp) -> str:
+    minimum, maximum = op.bounds
+    atom_text = _emit_atom(op.atom)
+    quantifier = _emit_quantifier(minimum, maximum)
+    # A quantified multi-char construct needs no extra parens: atoms are
+    # single chars, classes, or already-parenthesized sub-regexes.
+    return atom_text + quantifier
+
+
+def _emit_alternation(op) -> str:
+    branches = []
+    for concat in op.alternatives:
+        branches.append("".join(_emit_piece(piece) for piece in concat.pieces))
+    return "|".join(branches)
+
+
+def emit_pattern(root: RootOp) -> str:
+    """Emit the pattern body of a ``regex.root`` as a string."""
+    if not isinstance(root, RootOp):
+        raise IRError(f"expected regex.root, got {root.name}")
+    return _emit_alternation(root)
+
+
+def emit_python_re(root: RootOp) -> str:
+    """Emit a Python :mod:`re` pattern honouring the prefix/suffix flags.
+
+    With both flags set the result is usable with ``re.search``-style
+    semantics via ``re.match`` by wrapping in explicit wildcards.
+    """
+    body = emit_pattern(root)
+    prefix = "" if root.has_prefix else "^"
+    # A fully unanchored pattern needs no explicit .* when used with
+    # re.search; anchoring is expressed with ^/$.
+    suffix = "" if root.has_suffix else "$"
+    if "|" in body and (prefix or suffix):
+        body = f"(?:{body})"
+    return prefix + body + suffix

@@ -1,0 +1,78 @@
+"""AST → ``regex`` dialect conversion (the paper's second compiler stage)."""
+
+from __future__ import annotations
+
+from ...frontend import ast_nodes as ast
+from ...ir.operation import ModuleOp
+from .ops import (
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    QuantifierOp,
+    RootOp,
+    SubRegexOp,
+)
+
+
+def _build_atom(atom: ast.Atom):
+    if isinstance(atom, ast.Char):
+        return MatchCharOp(atom.code, location=atom.location)
+    if isinstance(atom, ast.AnyChar):
+        return MatchAnyCharOp(location=atom.location)
+    if isinstance(atom, ast.CharClass):
+        return GroupOp(atom.members, negated=atom.negated, location=atom.location)
+    if isinstance(atom, ast.SubRegex):
+        op = SubRegexOp(location=atom.location)
+        _fill_alternation(op, atom.body)
+        return op
+    if isinstance(atom, ast.Dollar):
+        return DollarOp(location=atom.location)
+    raise TypeError(f"unknown atom node: {atom!r}")
+
+
+def _build_piece(piece: ast.Piece) -> PieceOp:
+    op = PieceOp(location=piece.location)
+    block = op.regions[0].entry_block
+    block.append(_build_atom(piece.atom))
+    if piece.is_quantified:
+        block.append(QuantifierOp(piece.min, piece.max, location=piece.location))
+    return op
+
+
+def _fill_alternation(container, alternation: ast.Alternation) -> None:
+    block = container.regions[0].entry_block
+    for branch in alternation.branches:
+        concat = ConcatenationOp(location=branch.location)
+        concat_block = concat.regions[0].entry_block
+        for piece in branch.pieces:
+            concat_block.append(_build_piece(piece))
+        block.append(concat)
+
+
+def pattern_to_regex_dialect(pattern: ast.Pattern, verify: bool = False) -> ModuleOp:
+    """Convert a parsed pattern into a module holding one ``regex.root``.
+
+    Construction is correct by construction; ``verify=True`` re-checks
+    the invariants (used by tests and debug builds, not the hot path).
+    """
+    module = ModuleOp()
+    root = RootOp(
+        has_prefix=pattern.has_prefix,
+        has_suffix=pattern.has_suffix,
+        location=pattern.location,
+    )
+    _fill_alternation(root, pattern.root)
+    module.body.append(root)
+    if verify:
+        module.verify()
+    return module
+
+
+def regex_to_module(pattern_text: str) -> ModuleOp:
+    """Parse + convert in one step (frontend → high-level IR)."""
+    from ...frontend.parser import parse_regex
+
+    return pattern_to_regex_dialect(parse_regex(pattern_text))

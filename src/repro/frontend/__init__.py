@@ -1,0 +1,44 @@
+"""Regex frontend: lexer, parser, and AST (the ANTLR4 stage of the paper)."""
+
+from .ast_nodes import (
+    Alternation,
+    AnyChar,
+    Atom,
+    Char,
+    CharClass,
+    Concatenation,
+    Dollar,
+    Node,
+    Pattern,
+    Piece,
+    SubRegex,
+    UNBOUNDED,
+    dump,
+)
+from .errors import RegexSyntaxError, UnsupportedRegexError
+from .lexer import Lexer, PERL_CLASSES, Token, tokenize
+from .parser import RegexParser, parse_regex
+
+__all__ = [
+    "Alternation",
+    "AnyChar",
+    "Atom",
+    "Char",
+    "CharClass",
+    "Concatenation",
+    "Dollar",
+    "Lexer",
+    "Node",
+    "PERL_CLASSES",
+    "Pattern",
+    "Piece",
+    "RegexParser",
+    "RegexSyntaxError",
+    "SubRegex",
+    "Token",
+    "UNBOUNDED",
+    "UnsupportedRegexError",
+    "dump",
+    "parse_regex",
+    "tokenize",
+]

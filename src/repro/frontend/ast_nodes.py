@@ -1,0 +1,169 @@
+"""Abstract syntax tree for the supported regular-expression subset.
+
+The shape mirrors the paper's Regex dialect (§3.1): a pattern is an
+alternation of concatenations of *pieces*; each piece is an *atom* with an
+optional quantifier.  Atoms are single characters, the ``.`` wildcard,
+character classes, parenthesized sub-regexes, and the ``$`` end anchor.
+
+``min``/``max`` on :class:`Piece` use the dialect's convention: ``max ==
+-1`` means unbounded (``+``, ``*``, ``{m,}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..ir.diagnostics import Location, UNKNOWN_LOCATION
+
+UNBOUNDED = -1
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: Location = field(default=UNKNOWN_LOCATION, kw_only=True)
+
+
+@dataclass
+class Atom(Node):
+    """Base class for atoms (the quantifiable units)."""
+
+
+@dataclass
+class Char(Atom):
+    """A single literal byte."""
+
+    code: int
+
+    def __post_init__(self):
+        if not 0 <= self.code <= 255:
+            raise ValueError(f"character code out of byte range: {self.code}")
+
+
+@dataclass
+class AnyChar(Atom):
+    """The ``.`` wildcard."""
+
+
+@dataclass
+class CharClass(Atom):
+    """A character class ``[...]``.
+
+    ``members`` is the set of byte codes *written in the class* (before
+    negation); ``negated`` is true for ``[^...]``.  Keeping negation
+    explicit (rather than complementing the set) lets the lowering emit
+    the paper's ``NotMatch…;MatchAny`` sequence for negated classes.
+    """
+
+    members: Tuple[int, ...]
+    negated: bool = False
+
+    def matches(self, code: int) -> bool:
+        inside = code in self.members
+        return not inside if self.negated else inside
+
+
+@dataclass
+class SubRegex(Atom):
+    """A parenthesized group containing a full sub-pattern."""
+
+    body: "Alternation"
+
+
+@dataclass
+class Dollar(Atom):
+    """The ``$`` anchor appearing in the middle of a pattern."""
+
+
+@dataclass
+class Piece(Node):
+    """An atom with its quantifier; ``(1, 1)`` means unquantified."""
+
+    atom: Atom
+    min: int = 1
+    max: int = 1
+
+    def __post_init__(self):
+        if self.min < 0:
+            raise ValueError(f"quantifier minimum must be >= 0, got {self.min}")
+        if self.max != UNBOUNDED and self.max < self.min:
+            raise ValueError(
+                f"quantifier maximum {self.max} below minimum {self.min}"
+            )
+
+    @property
+    def is_quantified(self) -> bool:
+        return (self.min, self.max) != (1, 1)
+
+
+@dataclass
+class Concatenation(Node):
+    """A sequence of pieces matched one after another."""
+
+    pieces: List[Piece] = field(default_factory=list)
+
+
+@dataclass
+class Alternation(Node):
+    """``|``-separated branches; a single branch is the degenerate case."""
+
+    branches: List[Concatenation] = field(default_factory=list)
+
+
+@dataclass
+class Pattern(Node):
+    """A complete pattern with its implicit ``.*`` prefix/suffix flags.
+
+    ``has_prefix``/``has_suffix`` default to true (match-anywhere
+    semantics, paper §3.1) and are disabled by a leading ``^`` or a
+    trailing ``$`` respectively.
+    """
+
+    root: Alternation = field(default_factory=Alternation)
+    has_prefix: bool = True
+    has_suffix: bool = True
+    text: str = ""
+
+
+def dump(node: Node, indent: int = 0) -> str:
+    """Human-readable AST dump used by tests and the CLI."""
+    pad = "  " * indent
+    if isinstance(node, Pattern):
+        header = (
+            f"{pad}Pattern(has_prefix={node.has_prefix}, "
+            f"has_suffix={node.has_suffix})"
+        )
+        return header + "\n" + dump(node.root, indent + 1)
+    if isinstance(node, Alternation):
+        lines = [f"{pad}Alternation"]
+        lines.extend(dump(branch, indent + 1) for branch in node.branches)
+        return "\n".join(lines)
+    if isinstance(node, Concatenation):
+        lines = [f"{pad}Concatenation"]
+        lines.extend(dump(piece, indent + 1) for piece in node.pieces)
+        return "\n".join(lines)
+    if isinstance(node, Piece):
+        if node.is_quantified:
+            suffix = f" {{{node.min},{'∞' if node.max == UNBOUNDED else node.max}}}"
+        else:
+            suffix = ""
+        return f"{pad}Piece{suffix}\n" + dump(node.atom, indent + 1)
+    if isinstance(node, Char):
+        shown = chr(node.code) if 0x20 < node.code < 0x7F else f"0x{node.code:02X}"
+        return f"{pad}Char({shown})"
+    if isinstance(node, AnyChar):
+        return f"{pad}AnyChar"
+    if isinstance(node, CharClass):
+        mark = "^" if node.negated else ""
+        members = "".join(
+            chr(code) if 0x20 < code < 0x7F else f"\\x{code:02X}"
+            for code in node.members
+        )
+        return f"{pad}CharClass([{mark}{members}])"
+    if isinstance(node, SubRegex):
+        return f"{pad}SubRegex\n" + dump(node.body, indent + 1)
+    if isinstance(node, Dollar):
+        return f"{pad}Dollar"
+    raise TypeError(f"not an AST node: {node!r}")

@@ -1,0 +1,31 @@
+"""Frontend-specific error types.
+
+All inherit from :class:`~repro.ir.diagnostics.ParseError`, so callers can
+catch a single exception type for "the pattern was rejected" regardless of
+whether lexing or parsing failed.
+"""
+
+from __future__ import annotations
+
+from ..ir.diagnostics import Location, ParseError
+
+
+class RegexSyntaxError(ParseError):
+    """The pattern is not well-formed (unbalanced parens, bad escape...)."""
+
+    def __init__(self, message: str, pattern: str, column: int):
+        self.pattern = pattern
+        self.column = column
+        pointer = ""
+        if 0 <= column <= len(pattern):
+            pointer = f"\n  {pattern}\n  {' ' * column}^"
+        super().__init__(message + pointer, Location(column=column))
+
+
+class UnsupportedRegexError(RegexSyntaxError):
+    """The construct is valid regex but outside the supported subset.
+
+    The paper's compiler performs "syntax and grammar checking, ensuring
+    that input REs ... employ only supported operations" (§3); constructs
+    like back-references or look-around land here.
+    """

@@ -1,0 +1,280 @@
+"""Regular-expression lexer.
+
+Splits a pattern string into structural tokens, resolving escapes and the
+bracket-expression sub-language so the parser only deals with a flat token
+stream (the role ANTLR4 lexer rules play in the paper's frontend).
+
+Token kinds:
+
+``LITERAL``    a single byte to match (``value`` = byte code)
+``CLASS``      a character class (``value`` = (members tuple, negated))
+``DOT``        the ``.`` wildcard
+``STAR PLUS QMARK``  the one-character quantifiers
+``QUANT``      a ``{m}``/``{m,}``/``{m,n}`` quantifier (``value`` = (m, n))
+``PIPE LPAREN RPAREN CARET DOLLAR``  structure and anchors
+``END``        end of pattern
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .errors import RegexSyntaxError, UnsupportedRegexError
+
+UNBOUNDED = -1
+
+_SIMPLE_ESCAPES = {
+    "n": 0x0A,
+    "r": 0x0D,
+    "t": 0x09,
+    "f": 0x0C,
+    "v": 0x0B,
+    "a": 0x07,
+    "0": 0x00,
+}
+
+_DIGITS = tuple(range(ord("0"), ord("9") + 1))
+_WORD = tuple(
+    sorted(
+        set(range(ord("a"), ord("z") + 1))
+        | set(range(ord("A"), ord("Z") + 1))
+        | set(_DIGITS)
+        | {ord("_")}
+    )
+)
+_SPACE = tuple(sorted({0x20, 0x09, 0x0A, 0x0D, 0x0C, 0x0B}))
+
+#: ``\d``-style shorthand classes: name -> (members, negated)
+PERL_CLASSES = {
+    "d": (_DIGITS, False),
+    "D": (_DIGITS, True),
+    "w": (_WORD, False),
+    "W": (_WORD, True),
+    "s": (_SPACE, False),
+    "S": (_SPACE, True),
+}
+
+#: Metacharacters that escape to themselves.
+_SELF_ESCAPES = set("\\^$.|?*+()[]{}-/'\"` ")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    position: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.value is None:
+            return f"{self.kind}@{self.position}"
+        return f"{self.kind}({self.value!r})@{self.position}"
+
+
+class Lexer:
+    """One-pass scanner over the pattern string."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Character-level helpers
+    # ------------------------------------------------------------------
+    def _error(self, message: str, column: Optional[int] = None) -> RegexSyntaxError:
+        where = self.position if column is None else column
+        return RegexSyntaxError(message, self.pattern, where)
+
+    def _unsupported(self, message: str, column: Optional[int] = None):
+        where = self.position if column is None else column
+        return UnsupportedRegexError(message, self.pattern, where)
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.pattern):
+            return self.pattern[self.position]
+        return None
+
+    def _take(self) -> str:
+        char = self.pattern[self.position]
+        self.position += 1
+        return char
+
+    def _read_escape(self) -> Tuple[str, object]:
+        """Consume the body of an escape (after the backslash).
+
+        Returns ``("char", code)`` or ``("class", (members, negated))``.
+        """
+        start = self.position - 1
+        if self.position >= len(self.pattern):
+            raise self._error("dangling backslash at end of pattern", start)
+        char = self._take()
+        if char in _SIMPLE_ESCAPES:
+            return "char", _SIMPLE_ESCAPES[char]
+        if char == "x":
+            hex_digits = self.pattern[self.position : self.position + 2]
+            if len(hex_digits) != 2 or any(
+                digit not in "0123456789abcdefABCDEF" for digit in hex_digits
+            ):
+                raise self._error("\\x escape needs two hex digits", start)
+            self.position += 2
+            return "char", int(hex_digits, 16)
+        if char in PERL_CLASSES:
+            return "class", PERL_CLASSES[char]
+        if char in _SELF_ESCAPES:
+            return "char", ord(char)
+        if char.isdigit():
+            raise self._unsupported(
+                f"back-references (\\{char}) are not supported", start
+            )
+        if char in "bB":
+            raise self._unsupported(
+                "word-boundary anchors (\\b) are not supported", start
+            )
+        raise self._error(f"unknown escape \\{char}", start)
+
+    # ------------------------------------------------------------------
+    # Bracket expressions
+    # ------------------------------------------------------------------
+    def _lex_class(self, start: int) -> Token:
+        """Parse ``[...]``; the opening bracket is already consumed."""
+        negated = False
+        if self._peek() == "^":
+            self._take()
+            negated = True
+        members = set()
+        first = True
+        while True:
+            if self._peek() is None:
+                raise self._error("unterminated character class", start)
+            char = self._take()
+            if char == "]" and not first:
+                break
+            first = False
+            if char == "[" and self._peek() == ":":
+                raise self._unsupported(
+                    "POSIX classes ([:alpha:]) are not supported", self.position - 1
+                )
+            if char == "\\":
+                kind, value = self._read_escape()
+                if kind == "class":
+                    class_members, class_negated = value
+                    if class_negated:
+                        members.update(set(range(256)) - set(class_members))
+                    else:
+                        members.update(class_members)
+                    continue
+                low = value
+            else:
+                low = ord(char)
+            # Possible range low-high.
+            if self._peek() == "-" and self.pattern[self.position + 1 : self.position + 2] not in ("]", ""):
+                self._take()  # '-'
+                range_start = self.position
+                high_char = self._take()
+                if high_char == "\\":
+                    kind, value = self._read_escape()
+                    if kind == "class":
+                        raise self._error(
+                            "character class shorthand cannot end a range",
+                            range_start,
+                        )
+                    high = value
+                else:
+                    high = ord(high_char)
+                if high < low:
+                    raise self._error(
+                        f"reversed range {chr(low)}-{chr(high)} in class", range_start
+                    )
+                members.update(range(low, high + 1))
+            else:
+                members.add(low)
+        if not members:
+            raise self._error("empty character class", start)
+        return Token("CLASS", start, (tuple(sorted(members)), negated))
+
+    # ------------------------------------------------------------------
+    # Bounded quantifiers
+    # ------------------------------------------------------------------
+    def _lex_quantifier(self, start: int) -> Token:
+        """Parse ``{m}``, ``{m,}``, ``{m,n}``; ``{`` already consumed."""
+        body_start = self.position
+        while self._peek() not in ("}", None):
+            self._take()
+        if self._peek() is None:
+            raise self._error("unterminated {m,n} quantifier", start)
+        body = self.pattern[body_start : self.position]
+        self._take()  # '}'
+        parts = body.split(",")
+        try:
+            if len(parts) == 1:
+                minimum = maximum = int(parts[0])
+            elif len(parts) == 2:
+                minimum = int(parts[0])
+                maximum = UNBOUNDED if parts[1] == "" else int(parts[1])
+            else:
+                raise ValueError
+        except ValueError:
+            raise self._error(f"malformed quantifier {{{body}}}", start) from None
+        if minimum < 0 or (maximum != UNBOUNDED and maximum < minimum):
+            raise self._error(f"invalid quantifier bounds {{{body}}}", start)
+        return Token("QUANT", start, (minimum, maximum))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while self.position < len(self.pattern):
+            start = self.position
+            char = self._take()
+            if char == ".":
+                tokens.append(Token("DOT", start))
+            elif char == "*":
+                tokens.append(Token("STAR", start))
+            elif char == "+":
+                tokens.append(Token("PLUS", start))
+            elif char == "?":
+                tokens.append(Token("QMARK", start))
+            elif char == "|":
+                tokens.append(Token("PIPE", start))
+            elif char == "(":
+                if self._peek() == "?":
+                    raise self._unsupported(
+                        "(?...) group extensions are not supported", start
+                    )
+                tokens.append(Token("LPAREN", start))
+            elif char == ")":
+                tokens.append(Token("RPAREN", start))
+            elif char == "^":
+                tokens.append(Token("CARET", start))
+            elif char == "$":
+                tokens.append(Token("DOLLAR", start))
+            elif char == "[":
+                tokens.append(self._lex_class(start))
+            elif char == "{":
+                tokens.append(self._lex_quantifier(start))
+            elif char == "}":
+                raise self._error("unbalanced '}'", start)
+            elif char == "]":
+                tokens.append(Token("LITERAL", start, ord("]")))
+            elif char == "\\":
+                kind, value = self._read_escape()
+                if kind == "class":
+                    tokens.append(Token("CLASS", start, value))
+                else:
+                    tokens.append(Token("LITERAL", start, value))
+            else:
+                code = ord(char)
+                if code > 255:
+                    raise self._error(
+                        f"non-byte character {char!r} (only 8-bit input supported)",
+                        start,
+                    )
+                tokens.append(Token("LITERAL", start, code))
+        tokens.append(Token("END", len(self.pattern)))
+        return tokens
+
+
+def tokenize(pattern: str) -> List[Token]:
+    """Tokenize ``pattern``; raises :class:`RegexSyntaxError` on bad input."""
+    return Lexer(pattern).tokenize()

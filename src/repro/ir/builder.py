@@ -1,0 +1,55 @@
+"""Insertion-point-based IR construction, mirroring MLIR's OpBuilder."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .diagnostics import IRError
+from .operation import Block, Operation, Region
+
+
+class Builder:
+    """Creates operations at a movable insertion point.
+
+    The builder always appends at the end of the current block; use
+    :meth:`at_end_of` / :meth:`inside` to move around.  ``inside`` is a
+    context manager so nested-region construction reads like the IR it
+    produces::
+
+        builder = Builder.at_end_of(module.body)
+        root = builder.insert(RootOp(has_prefix=True, has_suffix=True))
+        with builder.inside(root):
+            concat = builder.insert(ConcatenationOp())
+            ...
+    """
+
+    def __init__(self, block: Optional[Block] = None):
+        self.block = block
+
+    @classmethod
+    def at_end_of(cls, block: Block) -> "Builder":
+        return cls(block)
+
+    @classmethod
+    def at_start_of_region(cls, region: Region) -> "Builder":
+        return cls(region.entry_block)
+
+    def insert(self, op: Operation) -> Operation:
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        return self.block.append(op)
+
+    @contextmanager
+    def inside(self, op: Operation, region_index: int = 0):
+        """Temporarily move the insertion point into ``op``'s region."""
+        if region_index >= len(op.regions):
+            raise IRError(
+                f"'{op.name}' has no region #{region_index} to build into"
+            )
+        saved = self.block
+        self.block = op.regions[region_index].entry_block
+        try:
+            yield self
+        finally:
+            self.block = saved

@@ -1,0 +1,97 @@
+"""Dialect registration.
+
+A :class:`Context` owns a set of :class:`Dialect` s, each of which maps
+fully qualified operation names (``"regex.match_char"``) to their Python
+classes.  The textual IR parser consults the context to materialize
+registered op classes; unknown names fall back to generic
+:class:`~repro.ir.operation.Operation` instances when the context allows
+unregistered dialects (useful in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Type
+
+from .diagnostics import IRError
+from .operation import ModuleOp, Operation
+
+
+class Dialect:
+    """A named namespace of operation classes."""
+
+    def __init__(self, name: str, description: str = ""):
+        if not name or "." in name:
+            raise IRError(f"invalid dialect name: {name!r}")
+        self.name = name
+        self.description = description
+        self.operations: Dict[str, Type[Operation]] = {}
+
+    def register_op(self, op_class: Type[Operation]) -> Type[Operation]:
+        """Register an op class; usable as a decorator."""
+        op_name = op_class.OP_NAME
+        dialect_prefix = op_name.split(".", 1)[0]
+        if dialect_prefix != self.name:
+            raise IRError(
+                f"op '{op_name}' does not belong to dialect '{self.name}'"
+            )
+        if op_name in self.operations:
+            raise IRError(f"duplicate registration of op '{op_name}'")
+        self.operations[op_name] = op_class
+        return op_class
+
+    def op_names(self) -> Iterable[str]:
+        return sorted(self.operations)
+
+
+class Context:
+    """Registry of dialects, consulted when materializing operations."""
+
+    def __init__(self, allow_unregistered: bool = False):
+        self.dialects: Dict[str, Dialect] = {}
+        self.allow_unregistered = allow_unregistered
+        builtin = Dialect("builtin", "Built-in structural operations")
+        builtin.register_op(ModuleOp)
+        self.register_dialect(builtin)
+
+    def register_dialect(self, dialect: Dialect) -> Dialect:
+        if dialect.name in self.dialects:
+            raise IRError(f"dialect '{dialect.name}' already registered")
+        self.dialects[dialect.name] = dialect
+        return dialect
+
+    def get_dialect(self, name: str) -> Dialect:
+        try:
+            return self.dialects[name]
+        except KeyError:
+            raise IRError(f"unknown dialect '{name}'") from None
+
+    def lookup_op_class(self, op_name: str) -> Optional[Type[Operation]]:
+        dialect_name = op_name.split(".", 1)[0]
+        dialect = self.dialects.get(dialect_name)
+        if dialect is not None and op_name in dialect.operations:
+            return dialect.operations[op_name]
+        if self.allow_unregistered:
+            return None
+        raise IRError(f"unregistered operation '{op_name}'")
+
+    def create_op(self, op_name: str, attributes=None, num_regions: int = 0) -> Operation:
+        """Materialize an op by name (used by the textual parser)."""
+        op_class = self.lookup_op_class(op_name)
+        if op_class is None:
+            return Operation(
+                name=op_name, attributes=attributes, num_regions=num_regions
+            )
+        op = op_class.__new__(op_class)
+        Operation.__init__(op, name=op_name, attributes=attributes, num_regions=num_regions)
+        return op
+
+
+def default_context() -> Context:
+    """A context with both paper dialects registered."""
+    from ..dialects.cicero.ops import CICERO_DIALECT
+    from ..dialects.regex.ops import REGEX_DIALECT
+
+    context = Context()
+    context.register_dialect(REGEX_DIALECT)
+    context.register_dialect(CICERO_DIALECT)
+    return context

@@ -1,0 +1,68 @@
+"""Diagnostics and error types shared by the whole compiler stack.
+
+The IR framework mirrors MLIR's split between *locations* (where a
+construct came from) and *diagnostics* (errors and warnings attached to a
+location).  Locations originate in the regex frontend and are threaded
+through AST nodes and IR operations so every later pass can report errors
+pointing back at the offending character of the original pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IRError(ReproError):
+    """Structural misuse of the IR (bad insertion, detached op, ...)."""
+
+
+class VerificationError(ReproError):
+    """An operation or module failed verification."""
+
+    def __init__(self, message: str, op: object = None):
+        self.op = op
+        if op is not None:
+            message = f"{message}\n  in operation: {op}"
+        super().__init__(message)
+
+
+class ParseError(ReproError):
+    """Raised by the textual IR parser and by the regex frontend."""
+
+    def __init__(self, message: str, location: Optional["Location"] = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LoweringError(ReproError):
+    """A dialect conversion could not lower an operation."""
+
+
+class CodegenError(ReproError):
+    """Code generation could not encode the program (e.g. too large)."""
+
+
+@dataclass(frozen=True)
+class Location:
+    """A source location inside the original regular expression.
+
+    ``column`` is the zero-based offset of the construct in the pattern
+    string; ``source`` optionally names where the pattern came from (a
+    benchmark file, the CLI, ...).
+    """
+
+    column: int = 0
+    source: str = "<pattern>"
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.column}"
+
+
+UNKNOWN_LOCATION = Location(column=-1, source="<unknown>")

@@ -1,0 +1,245 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Only the forms the printer emits (plus benign whitespace/comment
+variations) are accepted.  Registered op classes are materialized through
+the :class:`~repro.ir.context.Context`; each parsed op is verified on the
+way out so malformed text fails early.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    CharAttr,
+    CharSetAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+)
+from .context import Context
+from .diagnostics import Location, ParseError
+from .operation import Operation
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<charlit>'(?:\\.|[^'\\])')
+  | (?P<hexnum>0x[0-9A-Fa-f]+)
+  | (?P<number>-?\d+)
+  | (?P<symbol>@[A-Za-z_][A-Za-z0-9_\-$]*)
+  | (?P<blocksep>\^:)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[{}()\[\],=])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}",
+                Location(column=position, source="<ir>"),
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def _unescape_string(literal: str) -> str:
+    body = literal[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_charset_body(body: str) -> CharSetAttr:
+    """Parse the range syntax inside ``charset"..."``."""
+    codes = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            if body[index + 1] == "x":
+                codes.append(int(body[index + 2 : index + 4], 16))
+                index += 4
+            else:
+                codes.append(ord(body[index + 1]))
+                index += 2
+        else:
+            codes.append(ord(char))
+            index += 1
+        # Range?  The printer only emits '-' unescaped as a range marker.
+        if index < len(body) and body[index] == "-":
+            index += 1
+            if body[index] == "\\":
+                if body[index + 1] == "x":
+                    hi = int(body[index + 2 : index + 4], 16)
+                    index += 4
+                else:
+                    hi = ord(body[index + 1])
+                    index += 2
+            else:
+                hi = ord(body[index])
+                index += 1
+            lo = codes.pop()
+            codes.extend(range(lo, hi + 1))
+    return CharSetAttr(codes)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, context: Optional[Context] = None):
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.context = context if context is not None else Context(allow_unregistered=True)
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}",
+                Location(column=token.position, source="<ir>"),
+            )
+        return self._advance()
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.text == text
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_module(self) -> Operation:
+        op = self.parse_op()
+        self._expect("eof")
+        op.verify()
+        return op
+
+    def parse_op(self) -> Operation:
+        name_token = self._expect("ident")
+        attributes = {}
+        if self._at_punct("{"):
+            attributes = self._parse_attr_dict()
+        op = self.context.create_op(name_token.text, attributes=attributes)
+        if self._at_punct("("):
+            self._advance()
+            while True:
+                self._parse_region_into(op)
+                if self._at_punct(","):
+                    self._advance()
+                    continue
+                break
+            self._expect("punct", ")")
+        return op
+
+    def _parse_region_into(self, op: Operation) -> None:
+        region = op.add_region()
+        self._expect("punct", "{")
+        block = region.entry_block
+        while not self._at_punct("}"):
+            if self._peek().kind == "blocksep":
+                self._advance()
+                block = region.add_block()
+                continue
+            block.append(self.parse_op())
+        self._expect("punct", "}")
+
+    def _parse_attr_dict(self) -> dict:
+        self._expect("punct", "{")
+        attributes = {}
+        while not self._at_punct("}"):
+            key = self._expect("ident").text
+            self._expect("punct", "=")
+            attributes[key] = self._parse_attr_value()
+            if self._at_punct(","):
+                self._advance()
+        self._expect("punct", "}")
+        return attributes
+
+    def _parse_attr_value(self) -> Attribute:
+        token = self._peek()
+        if token.kind == "ident" and token.text in ("true", "false"):
+            self._advance()
+            return BoolAttr(token.text == "true")
+        if token.kind == "ident" and token.text == "char":
+            self._advance()
+            value_token = self._advance()
+            if value_token.kind == "charlit":
+                body = value_token.text[1:-1]
+                if body.startswith("\\"):
+                    body = body[1]
+                return CharAttr(body)
+            if value_token.kind == "hexnum":
+                return CharAttr(int(value_token.text, 16))
+            raise ParseError(
+                f"malformed char attribute near {value_token.text!r}",
+                Location(column=value_token.position, source="<ir>"),
+            )
+        if token.kind == "ident" and token.text == "charset":
+            self._advance()
+            literal = self._expect("string")
+            # Strip only the quotes: charset escapes (\-, \\, \", \xNN) are
+            # resolved by _parse_charset_body itself.
+            return _parse_charset_body(literal.text[1:-1])
+        if token.kind == "number":
+            self._advance()
+            return IntegerAttr(int(token.text))
+        if token.kind == "hexnum":
+            self._advance()
+            return IntegerAttr(int(token.text, 16))
+        if token.kind == "string":
+            self._advance()
+            return StringAttr(_unescape_string(token.text))
+        if token.kind == "symbol":
+            self._advance()
+            return SymbolRefAttr(token.text[1:])
+        if self._at_punct("["):
+            self._advance()
+            elements = []
+            while not self._at_punct("]"):
+                elements.append(self._parse_attr_value())
+                if self._at_punct(","):
+                    self._advance()
+            self._expect("punct", "]")
+            return ArrayAttr(elements)
+        raise ParseError(
+            f"cannot parse attribute value near {token.text!r}",
+            Location(column=token.position, source="<ir>"),
+        )
+
+
+def parse_op(text: str, context: Optional[Context] = None) -> Operation:
+    """Parse a single (possibly nested) operation from text."""
+    return Parser(text, context).parse_module()

@@ -1,0 +1,120 @@
+"""Pass management: named passes, pipelines, timing and statistics.
+
+The paper's compilation flow is a linear pipeline of passes over two
+dialects; this module provides the scaffolding — pass registration, a
+:class:`PassManager` that runs passes in order with per-pass wall-clock
+timing (used by the Fig. 9 compile-time benchmark), and verification
+between passes (catching transform bugs at the pass boundary where they
+were introduced).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .diagnostics import IRError
+from .operation import Operation
+
+
+class Pass:
+    """A named transformation over a root operation."""
+
+    #: Unique pipeline name, e.g. ``"regex-factorize-alternations"``.
+    PASS_NAME: str = "unnamed"
+
+    def run(self, root: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pass {self.PASS_NAME}>"
+
+
+class FunctionPass(Pass):
+    """Adapts a plain callable into a pass."""
+
+    def __init__(self, name: str, function: Callable[[Operation], None]):
+        self.PASS_NAME = name
+        self._function = function
+
+    def run(self, root: Operation) -> None:
+        self._function(root)
+
+
+@dataclass
+class PassTiming:
+    pass_name: str
+    seconds: float
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one PassManager invocation."""
+
+    timings: List[PassTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    def seconds_for(self, pass_name: str) -> float:
+        return sum(
+            timing.seconds for timing in self.timings if timing.pass_name == pass_name
+        )
+
+
+_PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(factory: Callable[[], Pass], name: Optional[str] = None):
+    """Register a pass factory under its PASS_NAME (usable as decorator)."""
+    probe = factory()
+    pass_name = name if name is not None else probe.PASS_NAME
+    if pass_name in _PASS_REGISTRY:
+        raise IRError(f"pass '{pass_name}' already registered")
+    _PASS_REGISTRY[pass_name] = factory
+    return factory
+
+
+def create_pass(name: str) -> Pass:
+    try:
+        factory = _PASS_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_PASS_REGISTRY)) or "<none>"
+        raise IRError(f"unknown pass '{name}' (registered: {known})") from None
+    return factory()
+
+
+def registered_pass_names() -> List[str]:
+    return sorted(_PASS_REGISTRY)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module, verifying in between."""
+
+    def __init__(self, verify_each: bool = True):
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+
+    def add(self, pass_or_name) -> "PassManager":
+        if isinstance(pass_or_name, str):
+            self.passes.append(create_pass(pass_or_name))
+        elif isinstance(pass_or_name, Pass):
+            self.passes.append(pass_or_name)
+        else:
+            raise IRError(f"not a pass: {pass_or_name!r}")
+        return self
+
+    def run(self, root: Operation) -> PipelineResult:
+        result = PipelineResult()
+        if self.verify_each:
+            root.verify()
+        for pipeline_pass in self.passes:
+            started = time.perf_counter()
+            pipeline_pass.run(root)
+            elapsed = time.perf_counter() - started
+            result.timings.append(PassTiming(pipeline_pass.PASS_NAME, elapsed))
+            if self.verify_each:
+                root.verify()
+        return result

@@ -1,0 +1,79 @@
+"""Textual IR printer.
+
+The syntax is a compact MLIR-like format designed to round-trip through
+:mod:`repro.ir.parser`::
+
+    regex.root {hasPrefix = true, hasSuffix = true} ({
+      regex.concatenation ({
+        regex.piece ({
+          regex.match_char {char 'a'}
+        })
+      })
+    })
+
+* The optional ``{...}`` after the op name is the attribute dictionary.
+* The optional ``({...}, {...})`` holds the op's regions; blocks beyond
+  the first are separated by ``^:`` lines (rarely used by our dialects).
+* Empty regions print as ``({})``.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .attributes import CharAttr
+from .operation import Block, Operation, Region
+
+_INDENT = "  "
+
+
+def _print_attr_dict(op: Operation, out: StringIO) -> None:
+    if not op.attributes:
+        return
+    parts = []
+    for key in sorted(op.attributes):
+        attr = op.attributes[key]
+        if isinstance(attr, CharAttr):
+            # ``char 'a'`` already names itself; print as ``key = char 'a'``
+            parts.append(f"{key} = {attr.to_text()}")
+        else:
+            parts.append(f"{key} = {attr.to_text()}")
+    out.write(" {" + ", ".join(parts) + "}")
+
+
+def _print_block(block: Block, out: StringIO, indent: int) -> None:
+    for op in block.operations:
+        _print_op(op, out, indent)
+        out.write("\n")
+
+
+def _print_region(region: Region, out: StringIO, indent: int) -> None:
+    out.write("{")
+    if region.is_empty() and len(region.blocks) <= 1:
+        out.write("}")
+        return
+    out.write("\n")
+    for block_index, block in enumerate(region.blocks):
+        if block_index > 0:
+            out.write(_INDENT * indent + "^:\n")
+        _print_block(block, out, indent + 1)
+    out.write(_INDENT * indent + "}")
+
+
+def _print_op(op: Operation, out: StringIO, indent: int) -> None:
+    out.write(_INDENT * indent + op.name)
+    _print_attr_dict(op, out)
+    if op.regions:
+        out.write(" (")
+        for region_index, region in enumerate(op.regions):
+            if region_index > 0:
+                out.write(", ")
+            _print_region(region, out, indent)
+        out.write(")")
+
+
+def print_op(op: Operation) -> str:
+    """Render an operation (and everything nested in it) as text."""
+    out = StringIO()
+    _print_op(op, out, 0)
+    return out.getvalue()

@@ -1,0 +1,53 @@
+"""The Cicero ISA: instructions, programs, binary encoding, metrics."""
+
+from .encoding import (
+    MAGIC,
+    binary_size_bytes,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from .instructions import (
+    Instruction,
+    MAX_OPERAND,
+    MAX_PROGRAM_LENGTH,
+    OPERAND_BITS,
+    Opcode,
+    accept,
+    accept_partial,
+    jmp,
+    match,
+    match_any,
+    not_match,
+    split,
+)
+from .metrics import StaticMetrics, code_size, d_offset, jump_offsets, static_metrics
+from .program import Program, program_from
+
+__all__ = [
+    "Instruction",
+    "MAGIC",
+    "MAX_OPERAND",
+    "MAX_PROGRAM_LENGTH",
+    "OPERAND_BITS",
+    "Opcode",
+    "Program",
+    "StaticMetrics",
+    "accept",
+    "accept_partial",
+    "binary_size_bytes",
+    "code_size",
+    "d_offset",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "jmp",
+    "jump_offsets",
+    "match",
+    "match_any",
+    "not_match",
+    "program_from",
+    "split",
+]

@@ -1,0 +1,77 @@
+"""Binary encoding of Cicero programs.
+
+Each instruction packs into one little-endian 16-bit word: the 3-bit
+opcode in the top bits, the 13-bit operand below — the format the
+paper's binaries are loaded into the engine's instruction memory with.
+A tiny 8-byte header carries a magic and the instruction count so a
+truncated file is detected instead of silently mis-decoded.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..ir.diagnostics import CodegenError
+from .instructions import Instruction, MAX_OPERAND, OPERAND_BITS, Opcode
+from .program import Program
+
+MAGIC = b"CICB"
+_HEADER = struct.Struct("<4sI")
+_WORD = struct.Struct("<H")
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Pack one instruction into its 16-bit word."""
+    return (int(instruction.opcode) << OPERAND_BITS) | instruction.operand
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Unpack a 16-bit word; raises on an undefined opcode."""
+    if not 0 <= word <= 0xFFFF:
+        raise CodegenError(f"word {word:#x} out of 16-bit range")
+    opcode_value = word >> OPERAND_BITS
+    operand = word & MAX_OPERAND
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise CodegenError(f"undefined opcode {opcode_value}") from None
+    if not opcode.has_operand and not opcode.is_acceptance and operand != 0:
+        # Acceptance operands are legal: the multi-matching extension
+        # stores the RE identifier there (paper §8).
+        raise CodegenError(
+            f"{opcode.mnemonic} encoded with non-zero operand {operand}"
+        )
+    return Instruction(opcode, operand)
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to its loadable binary image."""
+    words = [encode_instruction(instruction) for instruction in program]
+    payload = b"".join(_WORD.pack(word) for word in words)
+    return _HEADER.pack(MAGIC, len(words)) + payload
+
+
+def decode_program(data: bytes, source_pattern: str = "") -> Program:
+    """Deserialize a binary image back into a validated Program."""
+    if len(data) < _HEADER.size:
+        raise CodegenError("binary too short for header")
+    magic, count = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CodegenError(f"bad magic {magic!r}")
+    expected = _HEADER.size + count * _WORD.size
+    if len(data) != expected:
+        raise CodegenError(
+            f"binary length {len(data)} does not match header "
+            f"({count} instructions need {expected} bytes)"
+        )
+    instructions: List[Instruction] = []
+    for index in range(count):
+        (word,) = _WORD.unpack_from(data, _HEADER.size + index * _WORD.size)
+        instructions.append(decode_instruction(word))
+    return Program(instructions, source_pattern=source_pattern)
+
+
+def binary_size_bytes(program: Program) -> int:
+    """Size of the encoded image (used by the Fig. 8 code-size metric)."""
+    return _HEADER.size + len(program) * _WORD.size

@@ -1,0 +1,101 @@
+"""Executable Cicero programs: container, validation, disassembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from ..ir.diagnostics import CodegenError
+from .instructions import Instruction, MAX_PROGRAM_LENGTH, Opcode
+
+
+@dataclass
+class Program:
+    """A validated, position-addressed sequence of Cicero instructions.
+
+    ``source_pattern`` and ``compiler`` are provenance metadata used by
+    the benchmark harness and the disassembler header.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    source_pattern: str = ""
+    compiler: str = ""
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, address: int) -> Instruction:
+        return self.instructions[address]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check program-level invariants.
+
+        * non-empty, within the 13-bit address space;
+        * every control-flow target is a valid address;
+        * the program can terminate: at least one acceptance instruction.
+        """
+        if not self.instructions:
+            raise CodegenError("empty program")
+        if len(self.instructions) > MAX_PROGRAM_LENGTH:
+            raise CodegenError(
+                f"program of {len(self.instructions)} instructions exceeds "
+                f"the {MAX_PROGRAM_LENGTH}-entry address space"
+            )
+        has_acceptance = False
+        for address, instruction in enumerate(self.instructions):
+            if instruction.opcode.is_control_flow:
+                if instruction.operand >= len(self.instructions):
+                    raise CodegenError(
+                        f"instruction {address} targets address "
+                        f"{instruction.operand} beyond program end"
+                    )
+            if instruction.opcode.is_acceptance:
+                has_acceptance = True
+        if not has_acceptance:
+            raise CodegenError("program has no acceptance instruction")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def disassemble(self) -> str:
+        """Paper Listing-2 style disassembly."""
+        lines = []
+        if self.source_pattern:
+            lines.append(f"; pattern: {self.source_pattern}")
+        if self.compiler:
+            lines.append(f"; compiler: {self.compiler}")
+        lines.extend(
+            instruction.render(address)
+            for address, instruction in enumerate(self.instructions)
+        )
+        return "\n".join(lines)
+
+    def opcode_histogram(self) -> dict:
+        histogram = {}
+        for instruction in self.instructions:
+            name = instruction.opcode.mnemonic
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+
+    def __str__(self) -> str:
+        return self.disassemble()
+
+
+def program_from(
+    instructions: Iterable[Instruction],
+    source_pattern: str = "",
+    compiler: str = "",
+) -> Program:
+    return Program(list(instructions), source_pattern, compiler)

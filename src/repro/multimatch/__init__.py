@@ -1,0 +1,27 @@
+"""Multi-matching with RE identification — the paper's §8 future work.
+
+The extended acceptance instructions carry a 13-bit RE identifier in
+their operand field; one combined program matches a whole pattern set
+and reports *which* patterns matched:
+
+>>> from repro.multimatch import compile_multipattern, run_multimatch
+>>> combined = compile_multipattern(["ab", "cd", "x+y"])
+>>> result = run_multimatch(combined, "zzcdzxxy")
+>>> result.matched_patterns
+['cd', 'x+y']
+
+The cycle-level simulator supports the same mode through
+``CiceroSystem.run(text, collect_matches=True)``.
+"""
+
+from .compiler import MultiPatternCompiler, MultiProgram, compile_multipattern
+from .vm import MultiMatchResult, MultiMatchVM, run_multimatch
+
+__all__ = [
+    "MultiMatchResult",
+    "MultiMatchVM",
+    "MultiPatternCompiler",
+    "MultiProgram",
+    "compile_multipattern",
+    "run_multimatch",
+]

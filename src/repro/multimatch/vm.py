@@ -1,0 +1,105 @@
+"""Functional executor for identifier-tagged multi-matching programs.
+
+Semantics of the extended acceptance instructions: when a thread
+reaches ``ACCEPT_PARTIAL(id)`` (or ``ACCEPT(id)`` at end of input), the
+engine records ``id`` and kills that thread; the remaining enumeration
+continues so *every* matching RE of the set is reported.  Execution
+stops early once all identifiers have been seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Union
+
+from ..isa.instructions import Opcode
+from .compiler import MultiProgram
+
+
+@dataclass(frozen=True)
+class MultiMatchResult:
+    """Identifiers (and patterns) that matched the input."""
+
+    matched_ids: FrozenSet[int]
+    patterns: dict
+
+    @property
+    def matched_patterns(self) -> List[str]:
+        return [self.patterns[match_id] for match_id in sorted(self.matched_ids)]
+
+    def __bool__(self) -> bool:
+        return bool(self.matched_ids)
+
+    def __contains__(self, match_id: int) -> bool:
+        return match_id in self.matched_ids
+
+
+class MultiMatchVM:
+    """Breadth-first executor collecting every matching identifier."""
+
+    def __init__(self, multi_program: MultiProgram):
+        self.multi_program = multi_program
+        program = multi_program.program
+        self._opcodes = [int(instruction.opcode) for instruction in program]
+        self._operands = [instruction.operand for instruction in program]
+        self._all_ids = frozenset(multi_program.patterns)
+
+    def run(self, text: Union[str, bytes]) -> MultiMatchResult:
+        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        opcodes = self._opcodes
+        operands = self._operands
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        SPLIT = int(Opcode.SPLIT)
+        JMP = int(Opcode.JMP)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        matched: Set[int] = set()
+        frontier: List[int] = [0]
+        for position in range(length + 1):
+            if not frontier or matched == self._all_ids:
+                break
+            char = data[position] if position < length else None
+            at_end = position == length
+            visited: Set[int] = set()
+            next_frontier: List[int] = []
+            worklist = list(frontier)
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == SPLIT:
+                    worklist.append(pc + 1)
+                    worklist.append(operands[pc])
+                elif opcode == JMP:
+                    worklist.append(operands[pc])
+                elif opcode == ACCEPT_PARTIAL:
+                    matched.add(operands[pc])
+                elif opcode == ACCEPT:
+                    if at_end:
+                        matched.add(operands[pc])
+                elif opcode == NOT_MATCH:
+                    if char is not None and char != operands[pc]:
+                        worklist.append(pc + 1)
+                elif opcode == MATCH_ANY:
+                    if char is not None:
+                        next_frontier.append(pc + 1)
+                else:  # MATCH
+                    if char is not None and char == operands[pc]:
+                        next_frontier.append(pc + 1)
+            frontier = next_frontier
+        return MultiMatchResult(
+            matched_ids=frozenset(matched),
+            patterns=dict(self.multi_program.patterns),
+        )
+
+
+def run_multimatch(
+    multi_program: MultiProgram, text: Union[str, bytes]
+) -> MultiMatchResult:
+    return MultiMatchVM(multi_program).run(text)

@@ -1,0 +1,22 @@
+"""The old single-IR Cicero compiler (the paper's baseline, §2.1)."""
+
+from .code_restructuring import code_restructuring
+from .compiler import (
+    COMPILER_NAME,
+    OldCompilationResult,
+    OldCompiler,
+    compile_regex_old,
+)
+from .ir import AltRecord, Fragment, MappedProgram, OldInstruction
+
+__all__ = [
+    "AltRecord",
+    "COMPILER_NAME",
+    "Fragment",
+    "MappedProgram",
+    "OldCompilationResult",
+    "OldCompiler",
+    "OldInstruction",
+    "code_restructuring",
+    "compile_regex_old",
+]

@@ -1,0 +1,231 @@
+"""The old compiler's *Code Restructuring* optimization (paper §5, Fig. 5–6).
+
+Reorganizes every mapped split sequence (root alternation, nested
+alternations, character classes) into a balanced binary split tree of
+minimal depth, reducing the longest split path to any leaf and folding
+the first branch's jump-to-acceptance into a fall-through (one fewer
+``JMP``).  For the root alternation the implicit ``.*`` prefix loop
+becomes the *last* leaf of the tree, re-entered via a jump back to the
+tree root.
+
+Because this runs on the single-level **mapped** IR, each rebuilt chain
+forces a whole-program address remap: a full scan rewriting every
+control-flow operand (and every other pending alternation record)
+through an old→new address table.  That per-chain global fix-up is the
+honest cost of restructuring control flow after premature lowering — the
+compile-time blow-up Fig. 9 reports — and the balanced tree spreads
+basic blocks apart, the locality loss Fig. 10 and Listing 2 (middle
+column, ``D_offset`` 14 → 21 for ``ab|cd``) report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..isa.instructions import Opcode
+from .ir import AltRecord, MappedProgram, OldInstruction
+
+
+def _tree_midpoint(low: int, high: int) -> int:
+    """Left subtree gets ``(high-low)//2`` leaves: minimal-depth split."""
+    return low + (high - low) // 2
+
+
+class _TreeLayout:
+    """Two-phase balanced-tree emission over leaf *blocks*.
+
+    Phase 1 (``__init__``) computes, from the block sizes alone, where
+    each block lands; phase 2 (:meth:`build`) emits split nodes and
+    blocks in the same traversal order.  Both phases walk the tree
+    identically: ``[split, left-subtree, right-subtree]``.
+    """
+
+    def __init__(self, span_start: int, block_sizes: List[int]):
+        self.span_start = span_start
+        self.block_sizes = block_sizes
+        #: leaf index -> absolute start address of its block after rebuild
+        self.block_starts: Dict[int, int] = {}
+        self.total = self._place(0, len(block_sizes), span_start)
+
+    def _place(self, low: int, high: int, base: int) -> int:
+        if high - low == 1:
+            self.block_starts[low] = base
+            return self.block_sizes[low]
+        mid = _tree_midpoint(low, high)
+        left = self._place(low, mid, base + 1)
+        right = self._place(mid, high, base + 1 + left)
+        return 1 + left + right
+
+    def build(
+        self, make_block: Callable[[int], List[OldInstruction]]
+    ) -> List[OldInstruction]:
+        out: List[OldInstruction] = []
+        self._build(0, len(self.block_sizes), out, make_block)
+        return out
+
+    def _build(self, low, high, out, make_block) -> None:
+        if high - low == 1:
+            block = make_block(low)
+            assert len(block) == self.block_sizes[low]
+            assert self.span_start + len(out) == self.block_starts[low]
+            out.extend(block)
+            return
+        mid = _tree_midpoint(low, high)
+        split = OldInstruction(Opcode.SPLIT, 0)
+        out.append(split)
+        self._build(low, mid, out, make_block)
+        split.operand = self.span_start + len(out)  # right subtree starts here
+        self._build(mid, high, out, make_block)
+
+
+def _rebuild_join(mapped: MappedProgram, record: AltRecord) -> None:
+    """Balance a nested alternation / character-class split chain.
+
+    Leaves keep their order and their forward jumps to the common join
+    point; only the split skeleton is rebuilt, so the span length — and
+    therefore every address outside the span — is unchanged.
+    """
+    leaves = list(record.leaves)
+    count = len(leaves)
+    if count < 2:
+        return
+    instructions = mapped.instructions
+    span_start = record.head
+    span_end = leaves[-1][1]  # the last leaf falls through to the join
+
+    block_sizes = [
+        (end - start) + (1 if index < count - 1 else 0)
+        for index, (start, end) in enumerate(leaves)
+    ]
+    layout = _TreeLayout(span_start, block_sizes)
+    assert span_start + layout.total == span_end, "join rebuild preserves size"
+
+    # The old leaf instruction objects, captured before the splice.
+    bodies = [instructions[start:end] for start, end in leaves]
+    terminators = [
+        instructions[end] for index, (start, end) in enumerate(leaves)
+        if index < count - 1
+    ]
+
+    # Address map: uncovered span addresses (the old chain splits) route
+    # to the new tree root; everything outside the span is untouched.
+    address_map = list(range(len(instructions) + 1))
+    for address in range(span_start, span_end):
+        address_map[address] = span_start
+    for index, (start, end) in enumerate(leaves):
+        new_start = layout.block_starts[index]
+        for offset in range(end - start):
+            address_map[start + offset] = new_start + offset
+        if index < count - 1:
+            address_map[end] = new_start + (end - start)
+    mapped.remap_addresses(address_map)
+
+    def make_block(index: int) -> List[OldInstruction]:
+        block = list(bodies[index])
+        if index < count - 1:
+            block.append(terminators[index])  # its JMP join still holds
+        return block
+
+    mapped.instructions[span_start:span_end] = layout.build(make_block)
+
+
+def _rebuild_root(mapped: MappedProgram, record: AltRecord) -> None:
+    """Balance the root alternation, absorbing the ``.*`` prefix loop.
+
+    New layout (Fig. 6): balanced tree over ``[branch_1 … branch_n,
+    prefix_loop]``; the first jump-to-acceptance branch falls through
+    into the shared acceptance, later ones jump back to it, and the
+    prefix loop (``match_any; jmp tree_root``) re-enters the whole tree.
+    """
+    leaves = list(record.leaves)
+    terminators = list(record.leaf_terminators)
+    count = len(leaves)
+    if count + (1 if record.has_prefix else 0) < 2:
+        return
+    instructions = mapped.instructions
+    span_start = record.head
+    span_end = len(instructions)  # the root alternation ends the program
+
+    first_shared = next(
+        (i for i, kind in enumerate(terminators) if kind == "jmp_accept"), None
+    )
+
+    # Leaf blocks: each branch body plus one terminator instruction; the
+    # prefix loop contributes [match_any, jmp tree_root].
+    block_sizes = [end - start + 1 for start, end in leaves]
+    if record.has_prefix:
+        block_sizes.append(2)
+    layout = _TreeLayout(span_start, block_sizes)
+
+    acceptance_new = None
+    if first_shared is not None:
+        start, end = leaves[first_shared]
+        acceptance_new = layout.block_starts[first_shared] + (end - start)
+
+    bodies = [instructions[start:end] for start, end in leaves]
+    exact_acceptances = {
+        index: instructions[leaves[index][1]]
+        for index, kind in enumerate(terminators)
+        if kind == "accept_exact"
+    }
+    prefix_match_any = instructions[span_start + 1] if record.has_prefix else None
+
+    # ------------------------------------------------------------------
+    # Address map
+    # ------------------------------------------------------------------
+    delta = (span_start + layout.total) - span_end
+    address_map = [span_start] * span_end + [
+        address + delta for address in range(span_end, len(instructions) + 1)
+    ]
+    for address in range(span_start):
+        address_map[address] = address
+    for index, (start, end) in enumerate(leaves):
+        new_start = layout.block_starts[index]
+        for offset in range(end - start):
+            address_map[start + offset] = new_start + offset
+        address_map[end] = new_start + (end - start)  # old terminator
+    if first_shared is not None:
+        # The old shared acceptance sat right after the first
+        # jump-to-acceptance leaf's JMP.
+        old_acceptance = leaves[first_shared][1] + 1
+        address_map[old_acceptance] = acceptance_new
+    if record.has_prefix:
+        loop_start = layout.block_starts[count]
+        address_map[span_start + 1] = loop_start
+        address_map[span_start + 2] = loop_start + 1
+    mapped.remap_addresses(address_map)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def make_block(index: int) -> List[OldInstruction]:
+        if index == count:  # prefix loop leaf
+            return [prefix_match_any, OldInstruction(Opcode.JMP, span_start)]
+        block = list(bodies[index])
+        if terminators[index] == "accept_exact":
+            block.append(exact_acceptances[index])
+        elif index == first_shared:
+            block.append(OldInstruction(record.default_acceptance))
+        else:
+            block.append(OldInstruction(Opcode.JMP, acceptance_new))
+        return block
+
+    mapped.instructions[span_start:span_end] = layout.build(make_block)
+
+
+def code_restructuring(mapped: MappedProgram) -> None:
+    """Apply Code Restructuring to every recorded split sequence.
+
+    The root alternation is rebuilt first (its span covers the nested
+    ones, and rebuilding it relocates them — the remap keeps their
+    records consistent); nested chains follow in address order.
+    """
+    root_records = [record for record in mapped.records if record.kind == "root"]
+    for record in root_records:
+        _rebuild_root(mapped, record)
+    join_records = sorted(
+        (record for record in mapped.records if record.kind == "join"),
+        key=lambda record: record.head,
+    )
+    for record in join_records:
+        _rebuild_join(mapped, record)

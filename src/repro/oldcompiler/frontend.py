@@ -1,0 +1,348 @@
+"""The old compiler's own frontend (lex/yacc-style).
+
+The original Cicero compiler shipped its own parsing stack built on
+table-driven lexer/parser generators (PLY), independent from any later
+infrastructure.  This module reproduces that design faithfully: a
+regex-table lexer and a generic grammar-interpreting parser that first
+builds an untyped parse tree and then converts it into the shared AST.
+
+The generic machinery (token tables scanned per token, a grammar
+interpreted at parse time, an intermediate parse tree that is walked a
+second time) is how such generated frontends work, and is the source of
+the old toolchain's higher constant factors compared with the new
+compiler's streamlined frontend — one ingredient of the Fig. 9
+compile-time gap.
+
+The *language* accepted is identical to :mod:`repro.frontend` (tests
+assert AST equality on a corpus); only the implementation style differs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..frontend import ast_nodes as ast
+from ..frontend.errors import RegexSyntaxError, UnsupportedRegexError
+from ..frontend.lexer import PERL_CLASSES
+
+# ---------------------------------------------------------------------------
+# Token table (PLY-style: one named regex per token, tried in order)
+# ---------------------------------------------------------------------------
+
+TOKEN_TABLE: List[Tuple[str, str]] = [
+    ("CLASS", r"\[\^?\]?(?:\\.|[^\]\\])*\]"),
+    ("QUANT", r"\{[0-9]+(?:,[0-9]*)?\}"),
+    ("HEXESCAPE", r"\\x[0-9A-Fa-f]{2}"),
+    ("ESCAPE", r"\\."),
+    ("LPAREN", r"\((?:\?)?"),
+    ("RPAREN", r"\)"),
+    ("STAR", r"\*"),
+    ("PLUS", r"\+"),
+    ("QMARK", r"\?"),
+    ("PIPE", r"\|"),
+    ("DOT", r"\."),
+    ("CARET", r"\^"),
+    ("DOLLAR", r"\$"),
+    ("BADBRACE", r"\}"),
+    ("LITERAL", r"[^\\^$.|?*+()\[\]{}]"),
+]
+
+_MASTER = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in TOKEN_TABLE),
+    re.DOTALL,
+)
+
+_SIMPLE_ESCAPES = {
+    "n": 0x0A, "r": 0x0D, "t": 0x09, "f": 0x0C, "v": 0x0B, "a": 0x07, "0": 0x00,
+}
+
+
+@dataclass
+class LexToken:
+    """PLY-style token: type, value (lexeme), position."""
+
+    type: str
+    value: str
+    lexpos: int
+
+
+def tokenize(pattern: str) -> List[LexToken]:
+    tokens: List[LexToken] = []
+    position = 0
+    while position < len(pattern):
+        match = _MASTER.match(pattern, position)
+        if match is None:
+            char = pattern[position]
+            if ord(char) > 255:
+                raise RegexSyntaxError(
+                    f"non-byte character {char!r}", pattern, position
+                )
+            raise RegexSyntaxError(
+                f"cannot tokenize at {char!r}", pattern, position
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "BADBRACE":
+            raise RegexSyntaxError("unbalanced '}'", pattern, position)
+        if kind == "LPAREN" and text == "(?":
+            raise UnsupportedRegexError(
+                "(?...) group extensions are not supported", pattern, position
+            )
+        if kind == "LITERAL" and ord(text) > 255:
+            raise RegexSyntaxError(
+                f"non-byte character {text!r}", pattern, position
+            )
+        tokens.append(LexToken(kind, text, position))
+        position = match.end()
+    tokens.append(LexToken("END", "", len(pattern)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parse tree (untyped, yacc-style productions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParseNode:
+    """Generic parse-tree node: a production name plus children."""
+
+    production: str
+    children: List[object] = field(default_factory=list)
+    token: Optional[LexToken] = None
+
+
+class _TableParser:
+    """Grammar-interpreting recursive parser producing ParseNodes.
+
+    Grammar (classic yacc layout)::
+
+        pattern      : CARET? alternation DOLLAR?
+        alternation  : concat (PIPE concat)*
+        concat       : piece*
+        piece        : atom quantifier?
+        atom         : LITERAL | ESCAPE | DOT | CLASS | DOLLAR
+                     | LPAREN alternation RPAREN
+        quantifier   : STAR | PLUS | QMARK | QUANT
+    """
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.tokens = tokenize(pattern)
+        self.index = 0
+
+    def peek(self) -> LexToken:
+        return self.tokens[self.index]
+
+    def advance(self) -> LexToken:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def error(self, message: str, token: LexToken) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, token.lexpos)
+
+    def parse(self) -> ParseNode:
+        node = ParseNode("pattern")
+        if self.peek().type == "CARET":
+            node.children.append(ParseNode("anchor_start", token=self.advance()))
+        node.children.append(self.parse_alternation())
+        trailing = self.peek()
+        if trailing.type != "END":
+            raise self.error(f"unexpected {trailing.type} at top level", trailing)
+        return node
+
+    def parse_alternation(self) -> ParseNode:
+        node = ParseNode("alternation")
+        node.children.append(self.parse_concat())
+        while self.peek().type == "PIPE":
+            self.advance()
+            node.children.append(self.parse_concat())
+        return node
+
+    def parse_concat(self) -> ParseNode:
+        node = ParseNode("concat")
+        while self.peek().type not in ("PIPE", "RPAREN", "END"):
+            node.children.append(self.parse_piece())
+        return node
+
+    def parse_piece(self) -> ParseNode:
+        token = self.peek()
+        if token.type in ("STAR", "PLUS", "QMARK", "QUANT"):
+            raise self.error("quantifier with nothing to repeat", token)
+        atom = self.parse_atom()
+        node = ParseNode("piece", [atom])
+        quantifier = self.peek()
+        if quantifier.type in ("STAR", "PLUS", "QMARK", "QUANT"):
+            self.advance()
+            follower = self.peek()
+            if follower.type in ("STAR", "PLUS", "QMARK", "QUANT"):
+                raise self.error(
+                    "multiple quantifiers on one atom are not supported", follower
+                )
+            node.children.append(ParseNode("quantifier", token=quantifier))
+        return node
+
+    def parse_atom(self) -> ParseNode:
+        token = self.advance()
+        if token.type in ("LITERAL", "ESCAPE", "HEXESCAPE", "DOT", "CLASS",
+                          "DOLLAR"):
+            return ParseNode("atom", token=token)
+        if token.type == "CARET":
+            raise UnsupportedRegexError(
+                "'^' is only supported at the start of the pattern",
+                self.pattern,
+                token.lexpos,
+            )
+        if token.type == "LPAREN":
+            inner = self.parse_alternation()
+            closer = self.advance()
+            if closer.type != "RPAREN":
+                raise self.error("unbalanced '('", token)
+            return ParseNode("group", [inner], token=token)
+        if token.type == "RPAREN":
+            raise self.error("unbalanced ')'", token)
+        raise self.error(f"unexpected {token.type}", token)
+
+
+# ---------------------------------------------------------------------------
+# Parse tree → shared AST (the second walk)
+# ---------------------------------------------------------------------------
+
+
+def _decode_escape(lexeme: str, pattern: str, position: int):
+    body = lexeme[1:]
+    if body in _SIMPLE_ESCAPES:
+        return ast.Char(code=_SIMPLE_ESCAPES[body])
+    if body == "x":
+        raise RegexSyntaxError("\\x escape needs two hex digits", pattern, position)
+    if body in PERL_CLASSES:
+        members, negated = PERL_CLASSES[body]
+        return ast.CharClass(members=members, negated=negated)
+    if body.isdigit():
+        raise UnsupportedRegexError(
+            f"back-references (\\{body}) are not supported", pattern, position
+        )
+    if body in "bB":
+        raise UnsupportedRegexError(
+            "word-boundary anchors (\\b) are not supported", pattern, position
+        )
+    if body.isalnum():
+        raise RegexSyntaxError(f"unknown escape \\{body}", pattern, position)
+    return ast.Char(code=ord(body))
+
+
+def _decode_class(lexeme: str, pattern: str, position: int) -> ast.CharClass:
+    # Reuse the shared class sub-language decoder: the bracket body
+    # grammar is identical.
+    from ..frontend.lexer import Lexer
+
+    tokens = Lexer(lexeme).tokenize()
+    members, negated = tokens[0].value
+    return ast.CharClass(members=members, negated=negated)
+
+
+def _decode_quant(lexeme: str) -> Tuple[int, int]:
+    body = lexeme[1:-1]
+    if "," not in body:
+        value = int(body)
+        return value, value
+    low_text, high_text = body.split(",", 1)
+    low = int(low_text)
+    high = ast.UNBOUNDED if high_text == "" else int(high_text)
+    return low, high
+
+
+class _TreeToAst:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+
+    def convert_atom(self, node: ParseNode) -> ast.Atom:
+        if node.production == "group":
+            return ast.SubRegex(body=self.convert_alternation(node.children[0]))
+        token = node.token
+        if token.type == "LITERAL":
+            return ast.Char(code=ord(token.value))
+        if token.type == "DOT":
+            return ast.AnyChar()
+        if token.type == "DOLLAR":
+            return ast.Dollar()
+        if token.type == "HEXESCAPE":
+            return ast.Char(code=int(token.value[2:], 16))
+        if token.type == "ESCAPE":
+            return _decode_escape(token.value, self.pattern, token.lexpos)
+        if token.type == "CLASS":
+            return _decode_class(token.value, self.pattern, token.lexpos)
+        raise RegexSyntaxError(
+            f"unexpected atom {token.type}", self.pattern, token.lexpos
+        )
+
+    def convert_piece(self, node: ParseNode) -> ast.Piece:
+        atom = self.convert_atom(node.children[0])
+        minimum, maximum = 1, 1
+        if len(node.children) == 2:
+            quantifier = node.children[1].token
+            if quantifier.type == "STAR":
+                minimum, maximum = 0, ast.UNBOUNDED
+            elif quantifier.type == "PLUS":
+                minimum, maximum = 1, ast.UNBOUNDED
+            elif quantifier.type == "QMARK":
+                minimum, maximum = 0, 1
+            else:
+                minimum, maximum = _decode_quant(quantifier.value)
+                if maximum != ast.UNBOUNDED and maximum < minimum:
+                    raise RegexSyntaxError(
+                        f"invalid quantifier bounds {quantifier.value}",
+                        self.pattern,
+                        quantifier.lexpos,
+                    )
+            if isinstance(atom, ast.Dollar):
+                raise RegexSyntaxError(
+                    "'$' cannot be quantified", self.pattern, quantifier.lexpos
+                )
+        return ast.Piece(atom=atom, min=minimum, max=maximum)
+
+    def convert_concat(self, node: ParseNode) -> ast.Concatenation:
+        return ast.Concatenation(
+            pieces=[self.convert_piece(child) for child in node.children]
+        )
+
+    def convert_alternation(self, node: ParseNode) -> ast.Alternation:
+        return ast.Alternation(
+            branches=[self.convert_concat(child) for child in node.children]
+        )
+
+
+def parse_regex_old(pattern: str) -> ast.Pattern:
+    """Parse with the old toolchain's own frontend.
+
+    Accepts exactly the language of :func:`repro.frontend.parse_regex`
+    and produces an identical AST (tested), via the two-stage
+    table-lexer → parse-tree → AST pipeline of the original compiler.
+    """
+    tree = _TableParser(pattern).parse()
+    has_prefix = True
+    children = list(tree.children)
+    if children and isinstance(children[0], ParseNode) and (
+        children[0].production == "anchor_start"
+    ):
+        has_prefix = False
+        children = children[1:]
+    alternation_tree = children[0]
+    alternation = _TreeToAst(pattern).convert_alternation(alternation_tree)
+
+    has_suffix = True
+    if len(alternation.branches) == 1:
+        branch = alternation.branches[0]
+        if branch.pieces and isinstance(branch.pieces[-1].atom, ast.Dollar):
+            if (branch.pieces[-1].min, branch.pieces[-1].max) == (1, 1):
+                branch.pieces.pop()
+                has_suffix = False
+    return ast.Pattern(
+        root=alternation,
+        has_prefix=has_prefix,
+        has_suffix=has_suffix,
+        text=pattern,
+    )

@@ -1,0 +1,157 @@
+"""The old compiler's single-level, prematurely lowered IR (paper §2.1).
+
+The defining property of this IR — and the root of the old compiler's
+problems — is that instructions carry **absolute instruction-memory
+addresses from the moment they are created**.  Basic blocks are mapped to
+instruction memory and control instructions are generated immediately
+after parsing; every structural change afterwards (concatenating
+fragments, restructuring control flow) must rebase or remap operand
+addresses by scanning the affected code.
+
+The new compiler's ``cicero`` dialect avoids all of this with symbolic
+labels; this module deliberately does not, because reproducing the old
+design's cost and code-layout behaviour is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+
+#: Operands during construction: a resolved absolute address (int) or a
+#: placeholder waiting for a joint point that is not yet mapped.
+Operand = Union[int, Tuple[str, int]]
+
+ACCEPT_SENTINEL = ("accept", 0)
+
+
+def join_sentinel(alt_id: int) -> Tuple[str, int]:
+    return ("join", alt_id)
+
+
+@dataclass
+class OldInstruction:
+    """A mutable, already-mapped instruction."""
+
+    opcode: Opcode
+    operand: Operand = 0
+
+    def resolved(self) -> Instruction:
+        if not isinstance(self.operand, int):
+            raise ValueError(f"unresolved operand {self.operand!r}")
+        return Instruction(self.opcode, self.operand)
+
+    def clone(self) -> "OldInstruction":
+        return OldInstruction(self.opcode, self.operand)
+
+
+@dataclass
+class AltRecord:
+    """A mapped alternation (split sequence) the optimizer may rebuild.
+
+    ``head`` is the address of the first split of the chain; ``leaves``
+    are the ``[start, end)`` address ranges of the alternative bodies
+    (terminator jumps excluded); ``kind`` is ``"root"`` for the top-level
+    alternation (whose alternatives rejoin at the shared acceptance and
+    which absorbs the ``.*`` prefix loop) or ``"join"`` for nested
+    alternations and character classes rejoining at a forward label.
+    """
+
+    kind: str
+    head: int
+    leaves: List[Tuple[int, int]] = field(default_factory=list)
+    #: "root" only: whether the chain starts with the .*-prefix loop.
+    has_prefix: bool = False
+    #: "root" only: per-leaf terminator, "jmp_accept" or "accept_exact".
+    leaf_terminators: List[str] = field(default_factory=list)
+    #: "root" only: opcode of the shared acceptance instruction.
+    default_acceptance: Optional[Opcode] = None
+
+    def shifted(self, delta: int) -> "AltRecord":
+        return AltRecord(
+            kind=self.kind,
+            head=self.head + delta,
+            leaves=[(start + delta, end + delta) for start, end in self.leaves],
+            has_prefix=self.has_prefix,
+            leaf_terminators=list(self.leaf_terminators),
+            default_acceptance=self.default_acceptance,
+        )
+
+
+@dataclass
+class Fragment:
+    """A mapped code fragment; addresses are fragment-relative (base 0).
+
+    Combining fragments rebases every resolved operand and every
+    alternation record of the appended fragment — the full-scan cost the
+    single-level IR cannot avoid.
+    """
+
+    instructions: List[OldInstruction] = field(default_factory=list)
+    records: List[AltRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def rebase(self, delta: int) -> None:
+        """Shift all internal absolute addresses by ``delta`` (full scan)."""
+        for instruction in self.instructions:
+            if instruction.opcode.is_control_flow and isinstance(
+                instruction.operand, int
+            ):
+                instruction.operand += delta
+        self.records = [record.shifted(delta) for record in self.records]
+
+    def append_fragment(self, other: "Fragment") -> None:
+        other.rebase(len(self.instructions))
+        self.instructions.extend(other.instructions)
+        self.records.extend(other.records)
+
+    def append_instruction(self, opcode: Opcode, operand: Operand = 0) -> int:
+        """Append one instruction; returns its fragment-relative address."""
+        self.instructions.append(OldInstruction(opcode, operand))
+        return len(self.instructions) - 1
+
+    def resolve_sentinel(self, sentinel: Tuple[str, int], address: int) -> None:
+        """Patch every occurrence of ``sentinel`` (another full scan)."""
+        for instruction in self.instructions:
+            if instruction.operand == sentinel:
+                instruction.operand = address
+
+
+class MappedProgram:
+    """The fully assembled program plus its alternation records."""
+
+    def __init__(self, fragment: Fragment, pattern: str):
+        self.instructions = fragment.instructions
+        self.records = fragment.records
+        self.pattern = pattern
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def remap_addresses(self, address_map: List[int]) -> None:
+        """Rewrite every control-flow operand through ``address_map``.
+
+        ``address_map[old] = new``; entry ``len`` maps the end boundary.
+        Records are rewritten through the same table.
+        """
+        for instruction in self.instructions:
+            if instruction.opcode.is_control_flow:
+                instruction.operand = address_map[instruction.operand]
+        for record in self.records:
+            record.head = address_map[record.head]
+            record.leaves = [
+                (address_map[start], address_map[end])
+                for start, end in record.leaves
+            ]
+
+    def to_program(self, compiler: str) -> Program:
+        return Program(
+            [instruction.resolved() for instruction in self.instructions],
+            source_pattern=self.pattern,
+            compiler=compiler,
+        )

@@ -1,0 +1,17 @@
+"""Translation validation: decision procedures over compiled programs."""
+
+from .equivalence import (
+    EquivalenceCheckExceeded,
+    EquivalenceResult,
+    accepts,
+    assert_programs_equivalent,
+    check_equivalence,
+)
+
+__all__ = [
+    "EquivalenceCheckExceeded",
+    "EquivalenceResult",
+    "accepts",
+    "assert_programs_equivalent",
+    "check_equivalence",
+]

@@ -1,0 +1,217 @@
+"""Translation validation: decide language equivalence of Cicero programs.
+
+The compiler test suite samples behaviour; this module *decides* it.
+Two programs are equivalent iff they accept the same set of inputs, and
+that is decidable: a program is a finite-state acceptor, so we
+determinize both directly over the ISA semantics and walk the product
+automaton looking for a distinguishing state — returning a shortest
+counterexample input when one exists.
+
+Determinization works on configurations = sets of program counters
+pending at the current input position.  One transition consumes one
+character: the configuration is expanded through the ε-like instructions
+(``SPLIT``, ``JMP``, and ``NOT_MATCH`` — whose guard reads the current
+character), matched against it, and collapsed to the next configuration.
+A fired ``ACCEPT_PARTIAL`` (or ``ACCEPT`` when the input ends) routes to
+an absorbing MATCHED state, so "some prefix matched" becomes ordinary
+DFA end-acceptance.
+
+Character classes keep this tractable: only the characters named by
+either program (plus one representative of "everything else") can be
+distinguished, so the effective alphabet is tiny.
+
+Used by:
+
+* `tests/verify/` — proves the old and the new compiler agree, and that
+  every optimization level preserves the language, over whole corpora;
+* :func:`assert_programs_equivalent` — a debugging aid for pass authors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+
+#: The absorbing "a match has fired" configuration.
+MATCHED = frozenset({-1})
+
+_ACCEPT = int(Opcode.ACCEPT)
+_ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+_SPLIT = int(Opcode.SPLIT)
+_JMP = int(Opcode.JMP)
+_MATCH_ANY = int(Opcode.MATCH_ANY)
+_NOT_MATCH = int(Opcode.NOT_MATCH)
+
+
+class EquivalenceCheckExceeded(Exception):
+    """The product walk hit the configured state budget."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"equivalence check exceeded {limit} product states")
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    equivalent: bool
+    #: A shortest input accepted by exactly one program (None if equal).
+    counterexample: Optional[bytes] = None
+    #: Which side accepts the counterexample ("left"/"right").
+    accepted_by: Optional[str] = None
+    explored_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+class _Acceptor:
+    """Deterministic view of one program over configurations."""
+
+    def __init__(self, program: Program):
+        self.opcodes = [int(instruction.opcode) for instruction in program]
+        self.operands = [instruction.operand for instruction in program]
+        self.match_chars = {
+            instruction.operand
+            for instruction in program
+            if instruction.opcode in (Opcode.MATCH, Opcode.NOT_MATCH)
+        }
+        self.start: FrozenSet[int] = frozenset({0})
+
+    def step(
+        self, configuration: FrozenSet[int], char: Optional[int]
+    ) -> Tuple[FrozenSet[int], bool]:
+        """One input position: expand, match, collapse.
+
+        ``char is None`` models the end of input (only acceptance can
+        fire; the returned configuration is irrelevant then).  Returns
+        ``(next_configuration, accepted_here)``.
+        """
+        if configuration == MATCHED:
+            return MATCHED, True
+        opcodes = self.opcodes
+        operands = self.operands
+        accepted = False
+        next_pcs = set()
+        seen = set()
+        worklist = list(configuration)
+        while worklist:
+            pc = worklist.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            opcode = opcodes[pc]
+            if opcode == _SPLIT:
+                worklist.append(pc + 1)
+                worklist.append(operands[pc])
+            elif opcode == _JMP:
+                worklist.append(operands[pc])
+            elif opcode == _ACCEPT_PARTIAL:
+                accepted = True
+            elif opcode == _ACCEPT:
+                if char is None:
+                    accepted = True
+            elif opcode == _NOT_MATCH:
+                if char is not None and char != operands[pc]:
+                    worklist.append(pc + 1)
+            elif opcode == _MATCH_ANY:
+                if char is not None:
+                    next_pcs.add(pc + 1)
+            else:  # MATCH
+                if char is not None and char == operands[pc]:
+                    next_pcs.add(pc + 1)
+        if accepted:
+            return MATCHED, True
+        return frozenset(next_pcs), False
+
+    def accepts_at_end(self, configuration: FrozenSet[int]) -> bool:
+        _next, accepted = self.step(configuration, None)
+        return accepted
+
+
+def _alphabet(left: _Acceptor, right: _Acceptor) -> List[Optional[int]]:
+    """Distinguishable characters: every named char + one 'other'."""
+    named = sorted(left.match_chars | right.match_chars)
+    for candidate in range(256):
+        if candidate not in named:
+            return named + [candidate]
+    return named
+
+
+def check_equivalence(
+    left: Program,
+    right: Program,
+    max_states: int = 200_000,
+) -> EquivalenceResult:
+    """Decide whether two programs accept exactly the same inputs.
+
+    Breadth-first product walk → the returned counterexample (if any)
+    is of minimal length.
+    """
+    left_acceptor = _Acceptor(left)
+    right_acceptor = _Acceptor(right)
+    alphabet = _alphabet(left_acceptor, right_acceptor)
+
+    start = (left_acceptor.start, right_acceptor.start)
+    visited: Dict[Tuple[FrozenSet[int], FrozenSet[int]], bytes] = {start: b""}
+    frontier: List[Tuple[FrozenSet[int], FrozenSet[int]]] = [start]
+
+    while frontier:
+        next_frontier: List[Tuple[FrozenSet[int], FrozenSet[int]]] = []
+        for pair in frontier:
+            left_config, right_config = pair
+            prefix = visited[pair]
+            left_accepts = left_acceptor.accepts_at_end(left_config)
+            right_accepts = right_acceptor.accepts_at_end(right_config)
+            if left_accepts != right_accepts:
+                return EquivalenceResult(
+                    equivalent=False,
+                    counterexample=prefix,
+                    accepted_by="left" if left_accepts else "right",
+                    explored_states=len(visited),
+                )
+            # Dead on both sides: no extension can differ.
+            if not left_config and not right_config:
+                continue
+            if left_config == MATCHED and right_config == MATCHED:
+                continue
+            for char in alphabet:
+                next_left, _fired_left = left_acceptor.step(left_config, char)
+                next_right, _fired_right = right_acceptor.step(right_config, char)
+                next_pair = (next_left, next_right)
+                if next_pair not in visited:
+                    if len(visited) >= max_states:
+                        raise EquivalenceCheckExceeded(max_states)
+                    visited[next_pair] = prefix + bytes([char])
+                    next_frontier.append(next_pair)
+        frontier = next_frontier
+    return EquivalenceResult(equivalent=True, explored_states=len(visited))
+
+
+def assert_programs_equivalent(
+    left: Program, right: Program, max_states: int = 200_000
+) -> None:
+    """Raise ``AssertionError`` with the counterexample when not equal."""
+    result = check_equivalence(left, right, max_states=max_states)
+    if not result.equivalent:
+        raise AssertionError(
+            f"programs differ: input {result.counterexample!r} is accepted "
+            f"only by the {result.accepted_by} program\n"
+            f"left ({left.compiler}):\n{left.disassemble()}\n"
+            f"right ({right.compiler}):\n{right.disassemble()}"
+        )
+
+
+def accepts(program: Program, text: Union[str, bytes]) -> bool:
+    """Reference acceptance through the deterministic view (used to
+    cross-check the checker itself against the VM in tests)."""
+    data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+    acceptor = _Acceptor(program)
+    configuration = acceptor.start
+    for code in data:
+        configuration, fired = acceptor.step(configuration, code)
+        if fired:
+            return True
+    return acceptor.accepts_at_end(configuration)

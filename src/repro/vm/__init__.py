@@ -1,0 +1,5 @@
+"""Functional golden-model execution of Cicero programs."""
+
+from .thompson import MatchResult, ThompsonVM, VMStatistics, run_program
+
+__all__ = ["MatchResult", "ThompsonVM", "VMStatistics", "run_program"]

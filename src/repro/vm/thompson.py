@@ -1,0 +1,154 @@
+"""Functional (timing-free) executor for Cicero programs.
+
+A breadth-first Thompson/Pike-style virtual machine: it advances a
+deduplicated set of program counters over the input one character at a
+time, exactly the enumeration the hardware performs, but without any
+micro-architectural modelling.  It serves as the *golden model*: the
+cycle-level simulator must return the same verdict for every program,
+input, and configuration (tested property), and compiled programs must
+agree with Python's :mod:`re` on generated corpora.
+
+Instruction semantics (paper Table 1):
+
+* ``SPLIT``/``JMP`` are input-independent ε-moves.
+* ``NOT_MATCH(c)`` is an ε-move *conditioned on the current character*:
+  the thread continues (without consuming) iff the character exists and
+  differs from ``c``.
+* ``MATCH(c)``/``MATCH_ANY`` consume one character or kill the thread.
+* ``ACCEPT`` matches iff the whole input was consumed; ``ACCEPT_PARTIAL``
+  matches immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Union
+
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+
+
+@dataclass
+class VMStatistics:
+    """Enumeration-shape statistics (the "ideal" parallelism profile)."""
+
+    instructions_executed: int = 0
+    threads_spawned: int = 0
+    threads_killed: int = 0
+    positions_processed: int = 0
+    max_frontier: int = 0
+    #: Live thread count after processing each input position.
+    frontier_sizes: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    matched: bool
+    #: Input position at which acceptance fired (None when no match).
+    position: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+def _as_bytes(text: Union[str, bytes]) -> bytes:
+    if isinstance(text, str):
+        return text.encode("latin-1")
+    return bytes(text)
+
+
+class ThompsonVM:
+    """Breadth-first executor over one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        # Split into parallel arrays once; the hot loop then avoids
+        # attribute lookups on Instruction objects.
+        self._opcodes = [int(instruction.opcode) for instruction in program]
+        self._operands = [instruction.operand for instruction in program]
+
+    def run(self, text: Union[str, bytes]) -> MatchResult:
+        """Execute the program over ``text``; stops at the first match."""
+        return self._run(_as_bytes(text), None)
+
+    def run_with_stats(self, text: Union[str, bytes]):
+        """Like :meth:`run` but also returns :class:`VMStatistics`."""
+        stats = VMStatistics()
+        result = self._run(_as_bytes(text), stats)
+        return result, stats
+
+    def _run(self, data: bytes, stats: Optional[VMStatistics]) -> MatchResult:
+        opcodes = self._opcodes
+        operands = self._operands
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        SPLIT = int(Opcode.SPLIT)
+        JMP = int(Opcode.JMP)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        MATCH = int(Opcode.MATCH)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        frontier: List[int] = [0]
+        if stats is not None:
+            stats.threads_spawned += 1
+
+        for position in range(length + 1):
+            if not frontier:
+                break
+            char = data[position] if position < length else None
+            at_end = position == length
+            visited: Set[int] = set()
+            next_frontier: List[int] = []
+            worklist = list(frontier)
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    if stats is not None:
+                        stats.threads_killed += 1
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if stats is not None:
+                    stats.instructions_executed += 1
+                if opcode == SPLIT:
+                    worklist.append(pc + 1)
+                    worklist.append(operands[pc])
+                    if stats is not None:
+                        stats.threads_spawned += 1
+                elif opcode == JMP:
+                    worklist.append(operands[pc])
+                elif opcode == ACCEPT_PARTIAL:
+                    return MatchResult(True, position)
+                elif opcode == ACCEPT:
+                    if at_end:
+                        return MatchResult(True, position)
+                    if stats is not None:
+                        stats.threads_killed += 1
+                elif opcode == NOT_MATCH:
+                    if char is not None and char != operands[pc]:
+                        worklist.append(pc + 1)
+                    elif stats is not None:
+                        stats.threads_killed += 1
+                elif opcode == MATCH_ANY:
+                    if char is not None:
+                        next_frontier.append(pc + 1)
+                    elif stats is not None:
+                        stats.threads_killed += 1
+                else:  # MATCH
+                    if char is not None and char == operands[pc]:
+                        next_frontier.append(pc + 1)
+                    elif stats is not None:
+                        stats.threads_killed += 1
+            if stats is not None:
+                stats.positions_processed += 1
+                stats.frontier_sizes.append(len(next_frontier))
+                stats.max_frontier = max(stats.max_frontier, len(next_frontier))
+            frontier = next_frontier
+        return MatchResult(False, None)
+
+
+def run_program(program: Program, text: Union[str, bytes]) -> MatchResult:
+    """One-shot convenience wrapper."""
+    return ThompsonVM(program).run(text)

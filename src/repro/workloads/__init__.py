@@ -1,0 +1,28 @@
+"""Synthetic AutomataZoo-style workloads (Protomata, Brill, ×4 variants)."""
+
+from . import brill, protomata
+from .alternation import alternate, sample_and_alternate
+from .sampler import sample_match, sample_match_for
+from .suite import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    benchmark_from_files,
+    load_all,
+    load_benchmark,
+    load_patterns_file,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "benchmark_from_files",
+    "load_patterns_file",
+    "alternate",
+    "brill",
+    "load_all",
+    "load_benchmark",
+    "protomata",
+    "sample_and_alternate",
+    "sample_match",
+    "sample_match_for",
+]

@@ -1,0 +1,48 @@
+"""The paper's *alternate* benchmark construction (§6).
+
+"The alternate one reflects the scenarios in which, among a set of REs,
+it is essential to have at least one of them matching to trigger an
+acceptance behavior.  For this purpose, we randomly sample 800 REs from
+each benchmark and alternate 4 at a time in a single RE using the |
+operator, resulting in 200 REs, called Protomata4 and Brill4."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def alternate(patterns: Sequence[str], group_size: int = 4) -> List[str]:
+    """OR consecutive groups of ``group_size`` patterns together.
+
+    ``len(patterns)`` must be a multiple of ``group_size`` (the paper
+    samples exactly ``200 * 4`` REs).
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be positive")
+    if len(patterns) % group_size:
+        raise ValueError(
+            f"{len(patterns)} patterns do not group into {group_size}s"
+        )
+    grouped = []
+    for start in range(0, len(patterns), group_size):
+        grouped.append("|".join(patterns[start : start + group_size]))
+    return grouped
+
+
+def sample_and_alternate(
+    patterns: Sequence[str],
+    result_count: int,
+    group_size: int = 4,
+    seed: int = 2025,
+) -> List[str]:
+    """Randomly sample ``result_count * group_size`` REs and alternate
+    them, as the paper does (800 sampled → 200 alternated)."""
+    rng = random.Random(seed)
+    needed = result_count * group_size
+    if len(patterns) >= needed:
+        chosen = rng.sample(list(patterns), needed)
+    else:  # sample with replacement when the pool is scaled down
+        chosen = [rng.choice(list(patterns)) for _ in range(needed)]
+    return alternate(chosen, group_size)

@@ -1,0 +1,80 @@
+"""Synthetic Brill benchmark (AutomataZoo substitution).
+
+AutomataZoo's Brill workload encodes the contextual rules of the Brill
+part-of-speech tagger as patterns over text: short sequences of literal
+words and word alternatives separated by spaces, with occasional
+wildcard word slots.  This generator emits structurally equivalent REs
+over a small English-like lexicon plus input streams of synthetic
+sentences from the same lexicon.
+
+Compared to Protomata, Brill REs are literal-heavy with shallow
+fan-out, so they stress code layout (long match chains) more than
+enumeration — which is why the paper sees smaller architectural gains
+on Brill than on Protomata (Figs. 14–15).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+LEXICON = (
+    "the a an this that is was are were be been has have had do does "
+    "did will would can could may might must not no yes and or but if "
+    "when then than as of in on at by for with from to into over under "
+    "time year day man woman world life hand part child eye place work "
+    "week case point company number group problem fact right big high "
+    "small large next early young important few public bad same able"
+).split()
+
+
+def _word(rng: random.Random) -> str:
+    return rng.choice(LEXICON)
+
+
+def generate_pattern(rng: random.Random, tokens: int = None) -> str:
+    """One Brill-style contextual rule RE."""
+    if tokens is None:
+        tokens = rng.randint(2, 4)
+    parts: List[str] = []
+    for _ in range(tokens):
+        roll = rng.random()
+        if roll < 0.5:
+            parts.append(_word(rng))
+        elif roll < 0.82:
+            alternatives = rng.sample(LEXICON, rng.randint(2, 4))
+            parts.append("(" + "|".join(alternatives) + ")")
+        else:
+            low = rng.randint(2, 4)
+            high = low + rng.randint(1, 4)
+            parts.append(f"[a-z]{{{low},{high}}}")
+    return " ".join(parts)
+
+
+def generate_patterns(count: int, seed: int = 2025) -> List[str]:
+    rng = random.Random(seed)
+    return [generate_pattern(rng) for _ in range(count)]
+
+
+def generate_input(
+    patterns: List[str],
+    length: int,
+    seed: int = 2025,
+    plant_rate: float = 0.003,
+) -> str:
+    """Synthetic sentences, with genuine rule matches planted."""
+    from .sampler import sample_match_for
+
+    rng = random.Random(seed ^ 0xB211)
+    pieces: List[str] = []
+    produced = 0
+    while produced < length:
+        if patterns and rng.random() < plant_rate * 30:
+            planted = sample_match_for(rng.choice(patterns), rng)
+            pieces.append(planted + " ")
+            produced += len(planted) + 1
+        sentence_words = [_word(rng) for _ in range(rng.randint(5, 12))]
+        sentence = " ".join(sentence_words) + ". "
+        pieces.append(sentence)
+        produced += len(sentence)
+    return "".join(pieces)[:length]

@@ -1,0 +1,102 @@
+"""Synthetic Protomata benchmark (AutomataZoo substitution).
+
+AutomataZoo's Protomata derives its patterns from PROSITE protein
+motifs: sequences of residue constraints over the 20-letter amino-acid
+alphabet — exact residues, residue classes (``[LIVM]``), bounded gaps
+(``x(2,4)`` in PROSITE, ``.{2,4}`` here) and occasional repetitions.
+This generator emits structurally equivalent REs and matching input
+streams (random residue sequences with genuine motif instances planted
+at a configurable rate), seeded for reproducibility.
+
+These REs drive high enumeration loads: every input position restarts
+the motif through the implicit ``.*`` prefix, and residue classes fan
+out split chains — the behaviour that separates the architecture
+configurations in §6.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .sampler import sample_match_for
+
+#: The 20 standard amino acids.
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Residue classes that actually occur in PROSITE-style motifs.
+_COMMON_CLASSES = (
+    "LIVM", "LIVMF", "FYW", "DE", "KR", "ST", "AG", "DENQ", "ILVF",
+    "HKR", "FYWH", "NQST", "SAG", "GASTC", "CMLIV", "DEKRH", "LIVMAT",
+)
+
+
+def _class(rng: random.Random) -> str:
+    members = rng.choice(_COMMON_CLASSES)
+    if rng.random() < 0.15:
+        return f"[^{members}]"
+    return f"[{members}]"
+
+
+def generate_pattern(rng: random.Random, elements: int = None) -> str:
+    """One PROSITE-style motif RE.
+
+    Motifs lean on residue classes and bounded gaps — the constructs
+    that keep many NFA paths alive simultaneously and give the
+    benchmark its enumeration pressure (AutomataZoo's Protomata set is
+    the paper's high-parallelism workload).
+    """
+    if elements is None:
+        elements = rng.randint(10, 16)
+    parts: List[str] = []
+    for index in range(elements):
+        roll = rng.random()
+        if index == 0 or roll < 0.42:
+            # PROSITE motifs typically open with a residue class.
+            parts.append(_class(rng))
+        elif roll < 0.68:
+            # x(m,n) gaps: the main source of simultaneously live paths.
+            low = rng.randint(1, 3)
+            high = low + rng.randint(1, 4)
+            parts.append(f".{{{low},{high}}}")
+        elif roll < 0.82:
+            parts.append(rng.choice(AMINO_ACIDS))
+        elif roll < 0.92:
+            low = rng.randint(1, 2)
+            high = low + rng.randint(1, 2)
+            parts.append(f"{_class(rng)}{{{low},{high}}}")
+        else:
+            # Short alternative sub-motifs, e.g. (G[DE]|A[KR]).
+            left = rng.choice(AMINO_ACIDS) + _class(rng)
+            right = rng.choice(AMINO_ACIDS) + _class(rng)
+            parts.append(f"({left}|{right})")
+    return "".join(parts)
+
+
+def generate_patterns(count: int, seed: int = 2025) -> List[str]:
+    """The benchmark's RE set (the paper samples 200 per benchmark)."""
+    rng = random.Random(seed)
+    return [generate_pattern(rng) for _ in range(count)]
+
+
+def generate_input(
+    patterns: List[str],
+    length: int,
+    seed: int = 2025,
+    plant_rate: float = 0.004,
+) -> str:
+    """A residue stream with motif instances planted at ``plant_rate``
+    (expected plants per character)."""
+    rng = random.Random(seed ^ 0x5EED)
+    pieces: List[str] = []
+    produced = 0
+    while produced < length:
+        if patterns and rng.random() < plant_rate * 40:
+            planted = sample_match_for(rng.choice(patterns), rng)
+            pieces.append(planted)
+            produced += len(planted)
+        run_length = rng.randint(20, 60)
+        run = "".join(rng.choice(AMINO_ACIDS) for _ in range(run_length))
+        pieces.append(run)
+        produced += run_length
+    return "".join(pieces)[:length]

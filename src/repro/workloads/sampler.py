@@ -1,0 +1,69 @@
+"""Sampling strings that match a pattern (for planting benchmark hits).
+
+The benchmark input generators plant genuine matches into their random
+streams so the acceptance paths of the architecture get exercised; this
+module draws a random member of a pattern's language by walking its AST.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse_regex
+
+#: Bound used when sampling an unbounded quantifier.
+_UNBOUNDED_EXTRA = 2
+
+
+def _sample_atom(atom: ast.Atom, rng: random.Random, out: List[int]) -> None:
+    if isinstance(atom, ast.Char):
+        out.append(atom.code)
+    elif isinstance(atom, ast.AnyChar):
+        out.append(rng.randrange(0x20, 0x7F))
+    elif isinstance(atom, ast.CharClass):
+        if atom.negated:
+            excluded = set(atom.members)
+            candidates = [c for c in range(0x20, 0x7F) if c not in excluded]
+            if not candidates:
+                candidates = [c for c in range(256) if c not in excluded]
+            out.append(rng.choice(candidates))
+        else:
+            out.append(rng.choice(atom.members))
+    elif isinstance(atom, ast.SubRegex):
+        _sample_alternation(atom.body, rng, out)
+    elif isinstance(atom, ast.Dollar):
+        pass  # zero-width
+    else:  # pragma: no cover - the AST is closed
+        raise TypeError(f"cannot sample {atom!r}")
+
+
+def _sample_piece(piece: ast.Piece, rng: random.Random, out: List[int]) -> None:
+    minimum, maximum = piece.min, piece.max
+    if maximum == ast.UNBOUNDED:
+        maximum = minimum + _UNBOUNDED_EXTRA
+    count = rng.randint(minimum, maximum)
+    for _ in range(count):
+        _sample_atom(piece.atom, rng, out)
+
+
+def _sample_alternation(
+    alternation: ast.Alternation, rng: random.Random, out: List[int]
+) -> None:
+    branch = rng.choice(alternation.branches)
+    for piece in branch.pieces:
+        _sample_piece(piece, rng, out)
+
+
+def sample_match(pattern: ast.Pattern, rng: random.Random) -> str:
+    """A random string in the pattern's language (body only: the caller
+    supplies surrounding context exploiting the implicit ``.*``)."""
+    out: List[int] = []
+    _sample_alternation(pattern.root, rng, out)
+    return "".join(chr(code) for code in out)
+
+
+def sample_match_for(pattern_text: str, rng: random.Random) -> str:
+    """Parse + sample in one step."""
+    return sample_match(parse_regex(pattern_text), rng)

@@ -1,0 +1,117 @@
+"""Benchmark suite assembly: the four workloads of §6.
+
+``load_benchmark`` builds a scaled-down but structurally faithful
+version of Protomata, Brill, Protomata4 and Brill4: ``num_res`` REs and
+an input stream cut into 500-byte chunks, shared by all REs of the
+benchmark (as in the paper, where every RE scans the same data).
+
+The paper runs 200 REs over thousands of chunks on an FPGA; a pure
+Python cycle simulator cannot, so the defaults are small and every
+benchmark harness exposes environment knobs to scale up
+(``REPRO_BENCH_RES``, ``REPRO_BENCH_CHUNKS`` — see
+``benchmarks/common.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..arch.simulator import DEFAULT_CHUNK_BYTES, split_chunks
+from . import brill, protomata
+from .alternation import sample_and_alternate
+
+BENCHMARK_NAMES = ("protomata", "brill", "protomata4", "brill4")
+
+
+@dataclass
+class Benchmark:
+    """A named set of REs plus the chunked input stream they scan."""
+
+    name: str
+    patterns: List[str]
+    chunks: List[bytes] = field(repr=False)
+    seed: int = 2025
+
+    @property
+    def is_alternate(self) -> bool:
+        return self.name.endswith("4")
+
+
+def _base_generator(name: str):
+    if name.startswith("protomata"):
+        return protomata
+    if name.startswith("brill"):
+        return brill
+    raise ValueError(
+        f"unknown benchmark {name!r}; expected one of {BENCHMARK_NAMES}"
+    )
+
+
+def load_benchmark(
+    name: str,
+    num_res: int = 12,
+    num_chunks: int = 2,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    seed: int = 2025,
+) -> Benchmark:
+    """Build one of the four benchmarks at the requested scale."""
+    name = name.lower()
+    generator = _base_generator(name)
+    if name.endswith("4"):
+        # Sample a larger pool and alternate 4 at a time (paper §6).
+        pool = generator.generate_patterns(num_res * 4, seed=seed)
+        patterns = sample_and_alternate(pool, num_res, group_size=4, seed=seed)
+    else:
+        patterns = generator.generate_patterns(num_res, seed=seed)
+    stream = generator.generate_input(
+        patterns if not name.endswith("4") else pool,
+        length=num_chunks * chunk_bytes,
+        seed=seed,
+    )
+    chunks = split_chunks(stream, chunk_bytes)[:num_chunks]
+    return Benchmark(name=name, patterns=patterns, chunks=chunks, seed=seed)
+
+
+def load_patterns_file(path) -> List[str]:
+    """Read an AutomataZoo-style pattern file: one RE per line, blank
+    lines and ``#`` comments ignored."""
+    patterns: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.rstrip("\n")
+            if not stripped or stripped.lstrip().startswith("#"):
+                continue
+            patterns.append(stripped)
+    return patterns
+
+
+def benchmark_from_files(
+    patterns_path,
+    input_path,
+    name: str = "custom",
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    num_chunks: int = None,
+) -> Benchmark:
+    """Build a benchmark from user-provided pattern and input files."""
+    patterns = load_patterns_file(patterns_path)
+    if not patterns:
+        raise ValueError(f"no patterns in {patterns_path}")
+    with open(input_path, "rb") as handle:
+        data = handle.read()
+    chunks = split_chunks(data, chunk_bytes)
+    if num_chunks is not None:
+        chunks = chunks[:num_chunks]
+    return Benchmark(name=name, patterns=patterns, chunks=chunks)
+
+
+def load_all(
+    num_res: int = 12,
+    num_chunks: int = 2,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    seed: int = 2025,
+) -> List[Benchmark]:
+    return [
+        load_benchmark(name, num_res, num_chunks, chunk_bytes, seed)
+        for name in BENCHMARK_NAMES
+    ]

@@ -1,0 +1,115 @@
+"""Instruction cache, memory port, and thread FIFO models."""
+
+import pytest
+
+from repro.arch.cache import InstructionCache, MemoryPort
+from repro.arch.fifo import ThreadFifo
+
+
+class TestInstructionCache:
+    def test_cold_miss_then_hit(self):
+        cache = InstructionCache(lines=4, line_words=4, ways=1)
+        assert not cache.lookup(0)
+        cache.fill(0)
+        assert cache.lookup(0)
+        assert cache.lookup(3)  # same line
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_direct_mapped_conflict(self):
+        cache = InstructionCache(lines=2, line_words=4, ways=1)
+        cache.fill(0)    # line 0 -> set 0
+        cache.fill(8)    # line 2 -> set 0, evicts line 0
+        assert not cache.lookup(0)
+
+    def test_two_way_avoids_pingpong(self):
+        cache = InstructionCache(lines=4, line_words=4, ways=2)
+        cache.fill(0)    # line 0 -> set 0
+        cache.fill(8)    # line 2 -> set 0, second way
+        assert cache.lookup(0)
+        assert cache.lookup(8)
+
+    def test_lru_eviction(self):
+        cache = InstructionCache(lines=4, line_words=4, ways=2)
+        cache.fill(0)    # line 0, set 0
+        cache.fill(8)    # line 2, set 0
+        cache.lookup(0)  # line 0 becomes MRU
+        cache.fill(16)   # line 4, set 0: evicts LRU = line 2
+        assert cache.lookup(0)
+        assert not cache.lookup(8)
+
+    def test_ways_must_divide_lines(self):
+        with pytest.raises(ValueError):
+            InstructionCache(lines=5, line_words=4, ways=2)
+
+    def test_flush(self):
+        cache = InstructionCache(lines=4, line_words=4, ways=2)
+        cache.fill(0)
+        cache.flush()
+        assert not cache.lookup(0)
+
+    def test_miss_rate(self):
+        cache = InstructionCache(lines=4, line_words=4, ways=2)
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestMemoryPort:
+    def test_uncontended_latency(self):
+        port = MemoryPort(latency=4)
+        assert port.request_fill(10) == 14
+
+    def test_contention_serializes(self):
+        port = MemoryPort(latency=4)
+        first = port.request_fill(0)
+        second = port.request_fill(0)
+        assert first == 4
+        assert second == 5  # granted one cycle later
+
+    def test_idle_period_resets_queue(self):
+        port = MemoryPort(latency=4)
+        port.request_fill(0)
+        assert port.request_fill(100) == 104
+
+    def test_fill_counter_and_reset(self):
+        port = MemoryPort(latency=2)
+        port.request_fill(0)
+        port.request_fill(0)
+        assert port.fills == 2
+        port.reset()
+        assert port.fills == 0
+        assert port.request_fill(0) == 2
+
+
+class TestThreadFifo:
+    def test_fifo_order(self):
+        fifo = ThreadFifo()
+        fifo.push(1, 0, 0)
+        fifo.push(2, 0, 0)
+        assert fifo.pop_ready(0)[0] == 1
+        assert fifo.pop_ready(0)[0] == 2
+
+    def test_not_ready_head_blocks(self):
+        fifo = ThreadFifo()
+        fifo.push(1, 0, ready_cycle=5)
+        fifo.push(2, 0, ready_cycle=0)  # behind a not-ready head
+        assert fifo.pop_ready(0) is None
+        assert fifo.head_ready(5)
+        assert fifo.pop_ready(5)[0] == 1
+
+    def test_high_watermark(self):
+        fifo = ThreadFifo()
+        for index in range(5):
+            fifo.push(index, 0, 0)
+        fifo.pop_ready(0)
+        fifo.push(9, 0, 0)
+        assert fifo.high_watermark == 5
+        assert fifo.total_pushed == 6
+
+    def test_truthiness_and_len(self):
+        fifo = ThreadFifo()
+        assert not fifo
+        fifo.push(1, 0, 0)
+        assert fifo and len(fifo) == 1

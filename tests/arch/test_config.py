@@ -1,0 +1,76 @@
+"""Architecture configuration validation and naming."""
+
+import pytest
+
+from repro.arch.config import ArchConfig, ConfigurationError, MICROBENCH_GRID
+
+
+def test_old_constructor():
+    config = ArchConfig.old(9)
+    assert config.name == "OLD 1x9 CORES"
+    assert not config.is_new_organization
+    assert config.window_size == 8
+    assert config.total_cores == 9
+    assert config.total_fifos == 72
+
+
+def test_new_constructor():
+    config = ArchConfig.new(16)
+    assert config.name == "NEW 16x1 CORES"
+    assert config.is_new_organization
+    assert config.cc_id_bits == 4
+    assert config.window_size == 16
+    assert config.total_fifos == 16
+
+
+def test_new_multi_engine():
+    config = ArchConfig.new(8, 4)
+    assert config.name == "NEW 8x4 CORES"
+    assert config.total_cores == 32
+
+
+def test_new_requires_power_of_two():
+    with pytest.raises(ConfigurationError):
+        ArchConfig.new(9)
+
+
+def test_cores_must_match_window():
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=4, cc_id_bits=3)
+
+
+def test_positive_counts():
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=0)
+    with pytest.raises(ConfigurationError):
+        ArchConfig(num_engines=0)
+
+
+def test_cc_id_range():
+    with pytest.raises(ConfigurationError):
+        ArchConfig.old(1, cc_id_bits=0)
+    with pytest.raises(ConfigurationError):
+        ArchConfig.old(1, cc_id_bits=9)
+
+
+def test_with_cache():
+    config = ArchConfig.new(8).with_cache(4, 2)
+    assert config.icache_lines == 4
+    assert config.icache_line_words == 2
+    # other fields preserved
+    assert config.cores_per_engine == 8
+
+
+def test_microbench_grid_matches_table5():
+    names = [config.name for config in MICROBENCH_GRID]
+    assert "OLD 1x9 CORES" in names
+    assert "NEW 16x1 CORES" in names
+    assert "NEW 32x4 CORES" in names
+    assert len(names) == 14  # Table 5 has 14 configurations
+
+
+def test_frozen():
+    import dataclasses
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ArchConfig.old(1).num_engines = 2

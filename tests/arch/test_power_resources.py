@@ -1,0 +1,107 @@
+"""Power, resource, and frequency models (Figs. 12–13 substrate)."""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.power import energy_w_us, execution_time_us, power_watts
+from repro.arch.resources import (
+    DERATED_CLOCK_MHZ,
+    NOMINAL_CLOCK_MHZ,
+    ResourceVector,
+    clock_mhz,
+    fits_device,
+    resource_usage,
+    utilization,
+)
+
+
+class TestResourceModel:
+    def test_new_cheaper_than_old_at_equal_cores(self):
+        """§4/Fig. 13: OLD 1xN replicates FIFOs + balancers; NEW Nx1
+        does not."""
+        for cores in (8, 16, 32):
+            old = resource_usage(ArchConfig.old(cores))
+            new = resource_usage(ArchConfig.new(cores))
+            assert new.luts < old.luts
+            assert new.regs < old.regs
+            assert new.brams < old.brams
+
+    def test_new_8x1_is_most_resource_efficient(self):
+        """Fig. 13's headline claim among the selected configurations."""
+        selected = [
+            ArchConfig.old(9), ArchConfig.old(16),
+            ArchConfig.new(8), ArchConfig.new(16), ArchConfig.new(32),
+        ]
+        usages = {config.name: resource_usage(config) for config in selected}
+        best = usages["NEW 8x1 CORES"]
+        for name, usage in usages.items():
+            if name != "NEW 8x1 CORES":
+                assert best.luts < usage.luts, name
+                assert best.brams < usage.brams, name
+
+    def test_monotone_in_engines(self):
+        smaller = resource_usage(ArchConfig.new(8, 1))
+        larger = resource_usage(ArchConfig.new(8, 4))
+        assert larger.luts > smaller.luts
+
+    def test_32x9_does_not_fit(self):
+        """The paper excludes NEW 32x9 as over budget."""
+        assert not fits_device(ArchConfig.new(32, 9))
+
+    def test_selected_configs_fit(self):
+        for config in (ArchConfig.old(32), ArchConfig.new(32), ArchConfig.new(16, 4)):
+            assert fits_device(config)
+
+    def test_vector_arithmetic(self):
+        vector = ResourceVector(1, 2, 3) + ResourceVector(10, 20, 30).scaled(0.5)
+        assert vector == ResourceVector(6, 12, 18)
+
+
+class TestClockDerating:
+    def test_nominal_for_small_configs(self):
+        assert clock_mhz(ArchConfig.new(16)) == NOMINAL_CLOCK_MHZ
+
+    def test_derated_configurations(self):
+        """Table 5's footnote: NEW 16x9 and 32x4 run at 100 MHz."""
+        assert clock_mhz(ArchConfig.new(16, 9)) == DERATED_CLOCK_MHZ
+        assert clock_mhz(ArchConfig.new(32, 4)) == DERATED_CLOCK_MHZ
+
+    def test_unbuildable_config_raises(self):
+        with pytest.raises(ValueError):
+            clock_mhz(ArchConfig.new(32, 9))
+
+
+class TestPowerModel:
+    def test_power_grows_with_engines(self):
+        assert power_watts(ArchConfig.old(32)) > power_watts(ArchConfig.old(9))
+
+    def test_new_draws_less_than_old_at_equal_cores(self):
+        """Fig. 12: e.g. NEW 16x1 below OLD 1x16."""
+        for cores in (8, 16, 32):
+            assert power_watts(ArchConfig.new(cores)) < power_watts(
+                ArchConfig.old(cores)
+            )
+
+    def test_plausible_absolute_range(self):
+        """Fig. 12 shows roughly 1–8 W across configurations."""
+        for config in (ArchConfig.old(1), ArchConfig.old(32), ArchConfig.new(32, 4)):
+            assert 0.8 < power_watts(config) < 10.0
+
+    def test_derating_reduces_dynamic_power(self):
+        import dataclasses
+
+        nominal_like = power_watts(ArchConfig.new(16, 4))   # 150 MHz
+        derated = power_watts(ArchConfig.new(32, 4))        # 100 MHz
+        # The derated config has many more cores yet frequency scaling
+        # keeps its power from exploding linearly.
+        assert derated < nominal_like * 2.2
+
+    def test_energy_is_time_times_power(self):
+        config = ArchConfig.new(16)
+        cycles = 1500
+        expected = execution_time_us(cycles, config) * power_watts(config)
+        assert energy_w_us(cycles, config) == pytest.approx(expected)
+
+    def test_execution_time_uses_clock(self):
+        assert execution_time_us(150, ArchConfig.new(16)) == pytest.approx(1.0)
+        assert execution_time_us(100, ArchConfig.new(32, 4)) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Deeper simulator unit tests: routing, parking, balancer policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.system import CiceroSystem
+from repro.compiler import compile_regex
+from repro.isa.instructions import accept, accept_partial, match, match_any, split
+from repro.isa.program import Program
+
+
+class TestWindowParking:
+    def test_long_match_chain_crosses_windows(self):
+        """A pattern longer than the window forces slides + unparking."""
+        pattern = "^" + "a" * 20 + "$"  # 20 > window of 8
+        program = compile_regex(pattern).program
+        config = ArchConfig.new(8)
+        result = CiceroSystem(program, config).run("a" * 20)
+        assert result.matched
+        assert result.stats.window_slides >= 12
+
+    def test_window_one_wide(self):
+        """CC_ID=1: a two-character window still executes correctly."""
+        config = ArchConfig(cores_per_engine=2, num_engines=1, cc_id_bits=1)
+        program = compile_regex("abcde").program
+        result = CiceroSystem(program, config).run("zzabcdezz")
+        assert result.matched
+
+    def test_no_threads_before_window(self):
+        """Threads never target a character before the window base
+        (they only move forward), so runs always drain."""
+        program = compile_regex("a+b").program
+        result = CiceroSystem(program, ArchConfig.new(8)).run("a" * 50)
+        assert not result.matched
+        assert result.stats.threads_spawned == result.stats.threads_killed
+
+
+class TestBalancerPolicy:
+    def test_offload_only_to_shorter_neighbour(self):
+        """With a single live thread there is nothing to balance: the
+        neighbour queue is never strictly shorter at production time."""
+        program = Program([match("a"), match("b"), accept_partial()])
+        config = ArchConfig.old(4)
+        result = CiceroSystem(program, config).run("ab")
+        assert result.matched
+        assert result.stats.cross_engine_transfers == 0
+
+    def test_split_chain_spreads(self):
+        """A burst of split-produced threads spills to the ring."""
+        # Four parallel alternatives re-seeded at every position.
+        program = compile_regex("(aa|bb|cc|dd)x").program
+        result = CiceroSystem(program, ArchConfig.old(4)).run("ab" * 40)
+        assert result.stats.cross_engine_transfers > 0
+
+    def test_ring_wraps_around(self):
+        """Offloading from the last engine reaches engine 0 (ring)."""
+        program = compile_regex("(aa|bb|cc|dd|ee|ff)x").program
+        config = ArchConfig.old(2)
+        result = CiceroSystem(program, config).run("ab" * 40)
+        # with 2 engines the only neighbour of engine 1 is engine 0
+        assert result.stats.cross_engine_transfers > 0
+
+
+class TestAcceptSemantics:
+    def test_accept_requires_exact_end(self):
+        program = Program([match("a"), accept()])
+        system = CiceroSystem(program, ArchConfig.new(8))
+        assert system.run("a").matched
+        assert not system.run("ab").matched
+
+    def test_accept_partial_position_reported(self):
+        program = compile_regex("ab").program
+        result = CiceroSystem(program, ArchConfig.new(8)).run("zzabzz")
+        assert result.matched
+        assert result.position == 4  # fired after consuming 'b'
+
+    def test_empty_input_with_nullable_pattern(self):
+        program = compile_regex("a{0,3}").program  # matches everything
+        assert CiceroSystem(program, ArchConfig.new(8)).run("").matched
+
+    def test_empty_input_no_match(self):
+        program = compile_regex("a").program
+        assert not CiceroSystem(program, ArchConfig.new(8)).run("").matched
+
+
+class TestConfigKnobs:
+    def test_memory_latency_slows_cold_start(self):
+        program = compile_regex("abcd").program
+        fast = dataclasses.replace(ArchConfig.new(8), memory_latency=1)
+        slow = dataclasses.replace(ArchConfig.new(8), memory_latency=12)
+        fast_cycles = CiceroSystem(program, fast).run("zzzabcd").cycles
+        slow_cycles = CiceroSystem(program, slow).run("zzzabcd").cycles
+        assert slow_cycles > fast_cycles
+
+    def test_transfer_latency_hurts_old_org(self):
+        program = compile_regex("(aa|bb|cc|dd)x").program
+        text = "ab" * 30
+        cheap = dataclasses.replace(ArchConfig.old(4), transfer_latency=1)
+        pricey = dataclasses.replace(ArchConfig.old(4), transfer_latency=12)
+        cheap_cycles = CiceroSystem(program, cheap).run(text).cycles
+        pricey_cycles = CiceroSystem(program, pricey).run(text).cycles
+        assert pricey_cycles > cheap_cycles
+
+    def test_tiny_cache_forces_misses(self):
+        program = compile_regex("abcdefghij" * 4).program  # 40+ instrs
+        tiny = dataclasses.replace(
+            ArchConfig.new(8), icache_lines=2, icache_line_words=2, icache_ways=1
+        )
+        result = CiceroSystem(program, tiny).run("x" * 30)
+        assert result.stats.cache_misses > result.stats.cache_hits * 0.05

@@ -1,0 +1,62 @@
+"""Execution tracing (the Figure-4 view)."""
+
+from repro.arch.config import ArchConfig
+from repro.arch.trace import TraceRecorder, render_figure4, trace_run
+from repro.compiler import compile_regex
+from repro.isa.instructions import Opcode
+
+
+def test_trace_collects_one_event_per_instruction():
+    program = compile_regex("ab").program
+    result, recorder = trace_run(program, ArchConfig.new(8), "zzab")
+    assert result.matched
+    assert len(recorder.events) == result.stats.instructions
+
+
+def test_trace_outcomes_are_consistent():
+    program = compile_regex("ab").program
+    _result, recorder = trace_run(program, ArchConfig.new(8), "zzab")
+    outcomes = {event.outcome for event in recorder.events}
+    assert outcomes <= {"flow", "advance", "kill", "accept"}
+    accepts = [e for e in recorder.events if e.outcome == "accept"]
+    assert len(accepts) == 1
+    assert accepts[0].opcode == Opcode.ACCEPT_PARTIAL
+
+
+def test_trace_cycles_monotone_per_core():
+    program = compile_regex("a[bc]d").program
+    _result, recorder = trace_run(program, ArchConfig.new(8), "zabdz")
+    for engine in range(1):
+        for core in range(8):
+            cycles = [e.cycle for e in recorder.events_for(engine, core)]
+            assert cycles == sorted(cycles)
+            assert len(set(cycles)) == len(cycles)  # ≤1 instruction/cycle
+
+
+def test_render_figure4_grid():
+    program = compile_regex("ab|cd").program
+    config = ArchConfig(cores_per_engine=2, num_engines=1, cc_id_bits=1)
+    _result, recorder = trace_run(program, config, "aacd")
+    rendered = render_figure4(recorder, 1, 2, max_cycles=30)
+    lines = rendered.splitlines()
+    assert lines[0].startswith("cycle")
+    assert any(line.startswith("E0 CORE0") for line in lines)
+    assert any(line.startswith("E0 CORE1") for line in lines)
+    assert "→" in rendered  # at least one split/jump cell
+
+
+def test_trace_does_not_change_results():
+    program = compile_regex("th(is|at)").program
+    config = ArchConfig.old(4)
+    plain = trace_run(program, config, "say that")[0]
+    from repro.arch.system import CiceroSystem
+
+    untraced = CiceroSystem(program, config).run("say that")
+    assert plain.matched == untraced.matched
+    assert plain.cycles == untraced.cycles
+
+
+def test_recorder_empty():
+    recorder = TraceRecorder()
+    assert recorder.num_cycles == 0
+    assert render_figure4(recorder, 1, 1).count("\n") >= 1

@@ -1,0 +1,132 @@
+"""Classical automata substrate: NFA/DFA correctness and minimization."""
+
+import random
+import re
+
+import pytest
+
+from repro.automata import (
+    DFASizeLimitExceeded,
+    alphabet_classes,
+    determinize,
+    dfa_from_pattern,
+    minimize,
+    nfa_from_pattern,
+)
+
+ALPHA = "abcdxyfoqurtz.the si"
+
+
+class TestNFA:
+    def test_simple_match(self):
+        nfa = nfa_from_pattern("ab|cd")
+        assert nfa.matches("xxabyy")
+        assert nfa.matches("cd")
+        assert not nfa.matches("ac")
+        assert not nfa.matches("")
+
+    def test_anchored(self):
+        nfa = nfa_from_pattern("^ab$")
+        assert nfa.matches("ab")
+        assert not nfa.matches("xab")
+        assert not nfa.matches("abx")
+
+    def test_dollar_branch(self):
+        nfa = nfa_from_pattern("a$|b")
+        assert nfa.matches("xa")       # 'a' at the end
+        assert not nfa.matches("ax")   # 'a' not at the end, no 'b'
+        assert nfa.matches("xbx")
+
+    def test_negated_class(self):
+        nfa = nfa_from_pattern("^[^ab]$")
+        assert nfa.matches("z")
+        assert not nfa.matches("a")
+
+    def test_unbounded_quantifier(self):
+        nfa = nfa_from_pattern("^a+$")
+        assert nfa.matches("aaa")
+        assert not nfa.matches("")
+
+    def test_reachable_size(self):
+        nfa = nfa_from_pattern("abc")
+        assert 0 < nfa.reachable_size() <= nfa.num_states
+
+    def test_agreement_with_python_re(self, corpus_pattern):
+        nfa = nfa_from_pattern(corpus_pattern)
+        gold = re.compile(corpus_pattern)
+        rng = random.Random(hash(corpus_pattern) & 0xFFFF)
+        for _ in range(30):
+            text = "".join(
+                rng.choice("abcdefghLIVMDER qux.") for _ in range(rng.randint(0, 16))
+            )
+            assert nfa.matches(text) == bool(gold.search(text)), text
+
+
+class TestAlphabetClasses:
+    def test_small_patterns_have_few_classes(self):
+        nfa = nfa_from_pattern("^[ab]c$")
+        classes = alphabet_classes(nfa)
+        # a, b, c, everything-else (plus possibly the full-mask class
+        # from nothing) — far fewer than 256.
+        assert max(classes) + 1 <= 4
+
+    def test_classes_cover_all_bytes(self):
+        classes = alphabet_classes(nfa_from_pattern("x"))
+        assert len(classes) == 256
+
+
+class TestDFA:
+    def test_agreement_with_nfa(self, corpus_pattern):
+        nfa = nfa_from_pattern(corpus_pattern)
+        dfa = dfa_from_pattern(corpus_pattern)
+        rng = random.Random(0xD7A)
+        for _ in range(30):
+            text = "".join(
+                rng.choice("abcdefghLIVMDER qux.") for _ in range(rng.randint(0, 16))
+            )
+            assert dfa.matches(text) == nfa.matches(text), (corpus_pattern, text)
+
+    def test_minimization_preserves_language(self, corpus_pattern):
+        full = determinize(nfa_from_pattern(corpus_pattern))
+        small = minimize(full)
+        assert small.num_states <= full.num_states
+        rng = random.Random(0x111)
+        for _ in range(30):
+            text = "".join(
+                rng.choice("abcdefghLIVMDER qux.") for _ in range(rng.randint(0, 14))
+            )
+            assert small.matches(text) == full.matches(text), (corpus_pattern, text)
+
+    def test_minimization_reaches_known_minimum(self):
+        # ^a*b$ has the 2-state minimal DFA (modulo the dead state).
+        small = dfa_from_pattern("^a*b$")
+        assert small.num_states == 2
+
+    def test_state_limit_guard(self):
+        # A bounded-counting pattern with .* prefix forces exponential
+        # subset blow-up.
+        pattern = "a.{12}b"
+        with pytest.raises(DFASizeLimitExceeded):
+            determinize(nfa_from_pattern(pattern), max_states=500)
+
+    def test_blowup_pattern_fits_as_nfa(self):
+        nfa = nfa_from_pattern("a.{12}b")
+        assert nfa.num_states < 40
+
+
+class TestCrossValidation:
+    def test_dfa_agrees_with_cicero_vm(self, corpus_pattern):
+        """Three independent execution strategies, one language."""
+        from repro.compiler import compile_regex
+        from repro.vm import run_program
+
+        program = compile_regex(corpus_pattern).program
+        dfa = dfa_from_pattern(corpus_pattern)
+        rng = random.Random(0xABC)
+        for _ in range(25):
+            text = "".join(
+                rng.choice("abcdefghLIVMDER qux.") for _ in range(rng.randint(0, 16))
+            )
+            assert dfa.matches(text) == bool(run_program(program, text)), (
+                corpus_pattern, text,
+            )

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+# Make tests/strategies.py importable from nested test directories.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.arch.config import ArchConfig
+from repro.compiler import CompileOptions, NewCompiler
+from repro.oldcompiler.compiler import OldCompiler
+
+
+@pytest.fixture(scope="session")
+def new_compiler():
+    return NewCompiler()
+
+
+@pytest.fixture(scope="session")
+def new_compiler_noopt():
+    return NewCompiler(CompileOptions.none())
+
+
+@pytest.fixture(scope="session")
+def old_compiler():
+    return OldCompiler(optimize=True)
+
+
+@pytest.fixture(scope="session")
+def old_compiler_noopt():
+    return OldCompiler(optimize=False)
+
+
+#: A small but structurally diverse pattern corpus reused across tests.
+CORPUS = [
+    "a",
+    "ab|cd",
+    "a|b|c|d",
+    "(ab)|c{3,6}d+",
+    "th(is|at|ose)",
+    "a[bc]+d",
+    "[^ab]x",
+    "x.{2,4}y",
+    "a*b",
+    "^abc$",
+    "^ab",
+    "ab$",
+    "(a|b)(c|d)",
+    "[A-D]{3}",
+    "a{2,3}|b{4,5}",
+    "abcd*|efgh+",
+    "(foo|bar|baz)qux",
+    "a?b?c",
+    "[a-z]{2,5} (is|was)",
+    "L[IVM].{1,3}[DE]R",
+]
+
+
+@pytest.fixture(params=CORPUS, ids=lambda p: repr(p))
+def corpus_pattern(request):
+    return request.param
+
+
+SMALL_CONFIGS = [
+    ArchConfig.old(1),
+    ArchConfig.old(4),
+    ArchConfig.new(8),
+    ArchConfig.new(8, 2),
+]
+
+
+@pytest.fixture(params=SMALL_CONFIGS, ids=lambda c: c.name)
+def small_config(request):
+    return request.param

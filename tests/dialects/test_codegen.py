@@ -1,0 +1,80 @@
+"""Cicero dialect ↔ binary program round-trips."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_regex
+from repro.dialects.cicero.codegen import generate_program, program_to_dialect
+from repro.dialects.cicero.ops import (
+    AcceptPartialOp,
+    JumpOp,
+    MatchCharOp,
+    ProgramOp,
+    SplitOp,
+)
+from repro.ir.diagnostics import CodegenError, VerificationError
+from repro.isa.instructions import Opcode
+
+
+def test_addresses_follow_op_order():
+    program_op = ProgramOp()
+    block = program_op.regions[0].entry_block
+    block.append(SplitOp("end", label="start"))
+    block.append(MatchCharOp("a"))
+    block.append(AcceptPartialOp(label="end"))
+    program = generate_program(program_op)
+    assert program[0].opcode == Opcode.SPLIT
+    assert program[0].operand == 2
+
+
+def test_labels_resolve_backwards():
+    program_op = ProgramOp()
+    block = program_op.regions[0].entry_block
+    block.append(MatchCharOp("a", label="loop"))
+    block.append(JumpOp("loop"))
+    block.append(AcceptPartialOp())
+    program = generate_program(program_op)
+    assert program[1].operand == 0
+
+
+def test_undefined_label_fails_verification():
+    program_op = ProgramOp()
+    program_op.regions[0].entry_block.append(JumpOp("ghost"))
+    with pytest.raises(VerificationError):
+        program_op.verify()
+
+
+def test_duplicate_label_rejected():
+    program_op = ProgramOp()
+    block = program_op.regions[0].entry_block
+    block.append(MatchCharOp("a", label="L"))
+    block.append(MatchCharOp("b", label="L"))
+    with pytest.raises(VerificationError):
+        program_op.label_map()
+
+
+def test_non_instruction_op_rejected():
+    from repro.dialects.regex.ops import MatchCharOp as RegexMatch
+
+    program_op = ProgramOp()
+    program_op.regions[0].entry_block.append(RegexMatch("a"))
+    with pytest.raises(VerificationError):
+        program_op.verify()
+
+
+def test_roundtrip_through_dialect(corpus_pattern):
+    original = compile_regex(corpus_pattern, CompileOptions.none()).program
+    lifted = program_to_dialect(original)
+    regenerated = generate_program(lifted)
+    assert list(regenerated) == list(original)
+
+
+def test_roundtrip_preserves_optimized(corpus_pattern):
+    original = compile_regex(corpus_pattern).program
+    regenerated = generate_program(program_to_dialect(original))
+    assert list(regenerated) == list(original)
+
+
+def test_metadata_attached():
+    program = compile_regex("ab").program
+    assert program.source_pattern == "ab"
+    assert program.compiler == "new-mlir"

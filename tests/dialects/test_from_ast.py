@@ -1,0 +1,94 @@
+"""AST → regex dialect conversion, including the paper's Listing 1."""
+
+import pytest
+
+from repro.dialects.regex.from_ast import regex_to_module
+from repro.dialects.regex.ops import (
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    QuantifierOp,
+    RootOp,
+    SubRegexOp,
+)
+
+
+def root_of(pattern):
+    module = regex_to_module(pattern)
+    root = module.body.operations[0]
+    assert isinstance(root, RootOp)
+    return root
+
+
+def test_listing1_structure():
+    """The paper's Listing 1: (ab)|c{3,6}d+ — same nesting, with the
+    quantified atom kept unexpanded (a documented deviation)."""
+    root = root_of("(ab)|c{3,6}d+")
+    assert root.has_prefix and root.has_suffix
+    branches = list(root.alternatives)
+    assert len(branches) == 2
+
+    # branch 0: a piece wrapping (ab)
+    first_pieces = branches[0].pieces
+    assert len(first_pieces) == 1
+    group = first_pieces[0].atom
+    assert isinstance(group, SubRegexOp)
+    inner = list(group.alternatives)[0].pieces
+    assert [piece.atom.code for piece in inner] == [ord("a"), ord("b")]
+
+    # branch 1: c{3,6} then d+
+    second_pieces = branches[1].pieces
+    assert len(second_pieces) == 2
+    assert second_pieces[0].atom.code == ord("c")
+    assert second_pieces[0].bounds == (3, 6)
+    assert second_pieces[1].atom.code == ord("d")
+    assert second_pieces[1].bounds == (1, -1)
+
+
+def test_flags_follow_anchors():
+    assert root_of("^ab").has_prefix is False
+    assert root_of("ab$").has_suffix is False
+    root = root_of("ab")
+    assert root.has_prefix and root.has_suffix
+
+
+def test_atoms_map_to_ops():
+    root = root_of(".[ab][^cd]x")
+    pieces = list(root.alternatives)[0].pieces
+    assert isinstance(pieces[0].atom, MatchAnyCharOp)
+    assert isinstance(pieces[1].atom, GroupOp) and not pieces[1].atom.negated
+    assert isinstance(pieces[2].atom, GroupOp) and pieces[2].atom.negated
+    assert isinstance(pieces[3].atom, MatchCharOp)
+
+
+def test_dollar_atom_in_multibranch():
+    root = root_of("a$|b")
+    first = list(root.alternatives)[0].pieces
+    assert isinstance(first[-1].atom, DollarOp)
+
+
+def test_module_verifies(corpus_pattern):
+    regex_to_module(corpus_pattern).verify()
+
+
+def test_every_piece_well_formed(corpus_pattern):
+    module = regex_to_module(corpus_pattern)
+    for op in module.walk():
+        if isinstance(op, PieceOp):
+            assert op.atom.name in {
+                "regex.match_char",
+                "regex.match_any_char",
+                "regex.group",
+                "regex.sub_regex",
+                "regex.dollar",
+            }
+
+
+def test_locations_propagate():
+    root = root_of("ab")
+    pieces = list(root.alternatives)[0].pieces
+    assert pieces[0].location.column == 0
+    assert pieces[1].location.column == 1

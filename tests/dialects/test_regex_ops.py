@@ -1,0 +1,155 @@
+"""Regex dialect: op construction, accessors, verification."""
+
+import pytest
+
+from repro.dialects.regex.ops import (
+    ConcatenationOp,
+    DollarOp,
+    GroupOp,
+    MatchAnyCharOp,
+    MatchCharOp,
+    PieceOp,
+    QuantifierOp,
+    RootOp,
+    SubRegexOp,
+    UNBOUNDED,
+)
+from repro.ir.diagnostics import VerificationError
+from repro.ir.operation import Operation
+
+
+def _piece(atom, quantifier=None):
+    piece = PieceOp()
+    piece.regions[0].entry_block.append(atom)
+    if quantifier is not None:
+        piece.regions[0].entry_block.append(quantifier)
+    return piece
+
+
+def _branch(*pieces):
+    concat = ConcatenationOp()
+    for piece in pieces:
+        concat.regions[0].entry_block.append(piece)
+    return concat
+
+
+class TestRootOp:
+    def test_flags(self):
+        root = RootOp(has_prefix=False, has_suffix=True)
+        assert not root.has_prefix
+        assert root.has_suffix
+        root.has_prefix = True
+        assert root.has_prefix
+
+    def test_requires_branch(self):
+        with pytest.raises(VerificationError):
+            RootOp().verify()
+
+    def test_rejects_non_concatenation_children(self):
+        root = RootOp()
+        root.regions[0].entry_block.append(MatchCharOp("a"))
+        with pytest.raises(VerificationError):
+            root.verify()
+
+    def test_valid_root(self):
+        root = RootOp()
+        root.regions[0].entry_block.append(_branch(_piece(MatchCharOp("a"))))
+        root.verify()
+
+
+class TestPieceOp:
+    def test_atom_accessor(self):
+        piece = _piece(MatchCharOp("x"))
+        assert piece.atom.code == ord("x")
+        assert piece.quantifier is None
+        assert piece.bounds == (1, 1)
+
+    def test_quantifier_accessor(self):
+        piece = _piece(MatchCharOp("x"), QuantifierOp(2, 5))
+        assert piece.bounds == (2, 5)
+
+    def test_set_bounds_creates_quantifier(self):
+        piece = _piece(MatchCharOp("x"))
+        piece.set_bounds(0, UNBOUNDED)
+        assert piece.bounds == (0, UNBOUNDED)
+
+    def test_set_bounds_to_one_removes_quantifier(self):
+        piece = _piece(MatchCharOp("x"), QuantifierOp(2, 3))
+        piece.set_bounds(1, 1)
+        assert piece.quantifier is None
+
+    def test_set_bounds_updates_in_place(self):
+        piece = _piece(MatchCharOp("x"), QuantifierOp(2, 3))
+        piece.set_bounds(2, 2)
+        assert piece.bounds == (2, 2)
+
+    def test_requires_atom(self):
+        with pytest.raises(VerificationError):
+            PieceOp().verify()
+
+    def test_rejects_two_atoms(self):
+        piece = _piece(MatchCharOp("x"))
+        piece.regions[0].entry_block.append(MatchCharOp("y"))
+        with pytest.raises(VerificationError):
+            piece.verify()
+
+    def test_rejects_quantifier_first(self):
+        piece = PieceOp()
+        piece.regions[0].entry_block.append(QuantifierOp(1, 2))
+        with pytest.raises(VerificationError):
+            piece.verify()
+
+    def test_rejects_three_ops(self):
+        piece = _piece(MatchCharOp("x"), QuantifierOp(1, 2))
+        piece.regions[0].entry_block.append(QuantifierOp(1, 2))
+        with pytest.raises(VerificationError):
+            piece.verify()
+
+
+class TestQuantifierOp:
+    def test_unbounded(self):
+        quantifier = QuantifierOp(1, UNBOUNDED)
+        quantifier.verify()
+        assert quantifier.maximum == UNBOUNDED
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(VerificationError):
+            QuantifierOp(-1, 2).verify()
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(VerificationError):
+            QuantifierOp(3, 2).verify()
+
+
+class TestGroupOp:
+    def test_membership(self):
+        group = GroupOp("abc")
+        assert group.matches(ord("a"))
+        assert not group.matches(ord("z"))
+
+    def test_negated_membership(self):
+        group = GroupOp("abc", negated=True)
+        assert not group.matches(ord("a"))
+        assert group.matches(ord("z"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            GroupOp("").verify()
+
+
+class TestSubRegexOp:
+    def test_requires_branch(self):
+        with pytest.raises(VerificationError):
+            SubRegexOp().verify()
+
+    def test_valid(self):
+        sub = SubRegexOp()
+        sub.regions[0].entry_block.append(_branch(_piece(MatchAnyCharOp())))
+        sub.verify()
+
+
+def test_atom_ops_have_no_regions():
+    for op in (MatchCharOp("a"), MatchAnyCharOp(), GroupOp("a"), DollarOp()):
+        assert op.regions == []
+        if not isinstance(op, GroupOp):
+            op.verify()

@@ -1,0 +1,165 @@
+"""Regex lexer tests."""
+
+import pytest
+
+from repro.frontend.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(pattern):
+    return [token.kind for token in tokenize(pattern)]
+
+
+def test_literals_and_metachars():
+    assert kinds("ab") == ["LITERAL", "LITERAL", "END"]
+    assert kinds("a.b") == ["LITERAL", "DOT", "LITERAL", "END"]
+    assert kinds("a|b") == ["LITERAL", "PIPE", "LITERAL", "END"]
+    assert kinds("(a)") == ["LPAREN", "LITERAL", "RPAREN", "END"]
+
+
+def test_quantifier_tokens():
+    assert kinds("a*") == ["LITERAL", "STAR", "END"]
+    assert kinds("a+") == ["LITERAL", "PLUS", "END"]
+    assert kinds("a?") == ["LITERAL", "QMARK", "END"]
+
+
+def test_anchors():
+    assert kinds("^a$") == ["CARET", "LITERAL", "DOLLAR", "END"]
+
+
+@pytest.mark.parametrize(
+    "pattern,expected",
+    [("a{3}", (3, 3)), ("a{2,}", (2, -1)), ("a{2,5}", (2, 5)), ("a{0,1}", (0, 1))],
+)
+def test_bounded_quantifiers(pattern, expected):
+    token = tokenize(pattern)[1]
+    assert token.kind == "QUANT"
+    assert token.value == expected
+
+
+@pytest.mark.parametrize("pattern", ["a{", "a{x}", "a{3,2}", "a{-1,2}", "a{1,2,3}"])
+def test_bad_quantifiers(pattern):
+    with pytest.raises(RegexSyntaxError):
+        tokenize(pattern)
+
+
+class TestCharClasses:
+    def _class(self, pattern):
+        token = tokenize(pattern)[0]
+        assert token.kind == "CLASS"
+        return token.value
+
+    def test_simple(self):
+        members, negated = self._class("[abc]")
+        assert members == tuple(sorted(map(ord, "abc")))
+        assert not negated
+
+    def test_negated(self):
+        members, negated = self._class("[^ab]")
+        assert members == tuple(sorted(map(ord, "ab")))
+        assert negated
+
+    def test_range(self):
+        members, _ = self._class("[a-d]")
+        assert members == tuple(sorted(map(ord, "abcd")))
+
+    def test_literal_dash_at_end(self):
+        members, _ = self._class("[a-]")
+        assert set(members) == {ord("a"), ord("-")}
+
+    def test_closing_bracket_first_is_literal(self):
+        members, _ = self._class("[]a]")
+        assert set(members) == {ord("]"), ord("a")}
+
+    def test_shorthand_inside_class(self):
+        members, _ = self._class(r"[\d]")
+        assert members == tuple(range(ord("0"), ord("9") + 1))
+
+    def test_escape_inside_class(self):
+        members, _ = self._class(r"[\]]")
+        assert members == (ord("]"),)
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[d-a]")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[abc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("[^]")  # negation with no members
+
+    def test_posix_class_unsupported(self):
+        with pytest.raises(UnsupportedRegexError):
+            tokenize("[[:alpha:]]")
+
+
+class TestEscapes:
+    def test_simple_escapes(self):
+        assert tokenize(r"\n")[0].value == 0x0A
+        assert tokenize(r"\t")[0].value == 0x09
+
+    def test_hex_escape(self):
+        assert tokenize(r"\x41")[0].value == 0x41
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize(r"\xZZ")
+
+    def test_metachar_escapes(self):
+        assert tokenize(r"\.")[0] .value == ord(".")
+        assert tokenize(r"\\")[0].value == ord("\\")
+        assert tokenize(r"\$")[0].value == ord("$")
+
+    def test_shorthand_class_escape(self):
+        token = tokenize(r"\w")[0]
+        assert token.kind == "CLASS"
+        members, negated = token.value
+        assert ord("a") in members and not negated
+
+    def test_negated_shorthand(self):
+        token = tokenize(r"\D")[0]
+        members, negated = token.value
+        assert negated and ord("5") in members
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a\\")
+
+    def test_backreference_unsupported(self):
+        with pytest.raises(UnsupportedRegexError):
+            tokenize(r"(a)\1")
+
+    def test_word_boundary_unsupported(self):
+        with pytest.raises(UnsupportedRegexError):
+            tokenize(r"\bfoo")
+
+    def test_unknown_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize(r"\q")
+
+
+def test_group_extensions_unsupported():
+    with pytest.raises(UnsupportedRegexError):
+        tokenize("(?:ab)")
+
+
+def test_unbalanced_close_brace():
+    with pytest.raises(RegexSyntaxError):
+        tokenize("a}")
+
+
+def test_non_byte_character_rejected():
+    with pytest.raises(RegexSyntaxError):
+        tokenize("aé€")  # U+20AC is beyond latin-1
+
+
+def test_error_carries_position():
+    try:
+        tokenize("ab[qq")
+    except RegexSyntaxError as error:
+        assert error.column == 2
+    else:  # pragma: no cover
+        pytest.fail("expected error")

@@ -1,0 +1,96 @@
+"""Golden disassembly: exact instruction layouts for canonical patterns.
+
+These pin down the code-generation contract — any layout change (even a
+beneficial one) must be made consciously by updating the goldens.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_regex
+from repro.oldcompiler.compiler import compile_regex_old
+
+GOLDENS_NEW_OPT = {
+    "a": [
+        "000: SPLIT      {1,3}",
+        "001: MATCH_ANY",
+        "002: JMP to     0",
+        "003: MATCH      char a",
+        "004: ACCEPT_PARTIAL",
+    ],
+    "^a$": [
+        "000: MATCH      char a",
+        "001: ACCEPT",
+    ],
+    "^a+$": [
+        "000: MATCH      char a",
+        "001: SPLIT      {2,0}",
+        "002: ACCEPT",
+    ],
+    # The class join-jumps land on the acceptance, so Jump
+    # Simplification duplicates the acceptance into each member branch.
+    "^[abc]$": [
+        "000: SPLIT      {1,3}",
+        "001: MATCH      char a",
+        "002: ACCEPT",
+        "003: SPLIT      {4,6}",
+        "004: MATCH      char b",
+        "005: ACCEPT",
+        "006: MATCH      char c",
+        "007: ACCEPT",
+    ],
+    "^[^ab]$": [
+        "000: NOT_MATCH  char a",
+        "001: NOT_MATCH  char b",
+        "002: MATCH_ANY",
+        "003: ACCEPT",
+    ],
+}
+
+GOLDENS_OLD_OPT = {
+    # Listing 2 middle column.
+    "ab|cd": [
+        "000: SPLIT      {1,4}",
+        "001: MATCH      char a",
+        "002: MATCH      char b",
+        "003: ACCEPT_PARTIAL",
+        "004: SPLIT      {5,8}",
+        "005: MATCH      char c",
+        "006: MATCH      char d",
+        "007: JMP to     3",
+        "008: MATCH_ANY",
+        "009: JMP to     0",
+    ],
+}
+
+
+def _lines(program):
+    return [
+        instruction.render(address)
+        for address, instruction in enumerate(program)
+    ]
+
+
+@pytest.mark.parametrize("pattern", sorted(GOLDENS_NEW_OPT))
+def test_new_compiler_goldens(pattern):
+    program = compile_regex(pattern).program
+    assert _lines(program) == GOLDENS_NEW_OPT[pattern], "\n".join(
+        _lines(program)
+    )
+
+
+@pytest.mark.parametrize("pattern", sorted(GOLDENS_OLD_OPT))
+def test_old_compiler_goldens(pattern):
+    program = compile_regex_old(pattern, optimize=True).program
+    assert _lines(program) == GOLDENS_OLD_OPT[pattern], "\n".join(
+        _lines(program)
+    )
+
+
+def test_goldens_wait_on_semantics_too():
+    """Goldens must not drift from behaviour: spot-check one."""
+    from repro.vm import run_program
+
+    program = compile_regex("^[abc]$").program
+    assert run_program(program, "b").matched
+    assert not run_program(program, "d").matched
+    assert not run_program(program, "ab").matched

@@ -1,0 +1,86 @@
+"""Attribute text round-trips through the IR parser, including the
+awkward charset escapes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    CharAttr,
+    CharSetAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+)
+from repro.ir.operation import Operation
+from repro.ir.parser import parse_op
+from repro.ir.printer import print_op
+
+
+def roundtrip_attr(attribute):
+    op = Operation(name="test.op", attributes={"x": attribute})
+    reparsed = parse_op(print_op(op))
+    return reparsed.attributes["x"]
+
+
+@pytest.mark.parametrize(
+    "attribute",
+    [
+        BoolAttr(True),
+        BoolAttr(False),
+        IntegerAttr(0),
+        IntegerAttr(-12345),
+        StringAttr("plain"),
+        StringAttr('with "quotes" and \\slashes\\'),
+        SymbolRefAttr("L42"),
+        CharAttr("a"),
+        CharAttr(0x00),
+        CharAttr(0xFF),
+        CharAttr("'"),
+        ArrayAttr([IntegerAttr(1), BoolAttr(True), StringAttr("s")]),
+    ],
+)
+def test_scalar_roundtrips(attribute):
+    assert roundtrip_attr(attribute) == attribute
+
+
+@pytest.mark.parametrize(
+    "members",
+    [
+        "a",
+        "abc",
+        "abcdwxyz",
+        "-",
+        "a-",            # literal dash member next to a letter
+        "\\",            # backslash member (the escape-of-escape case)
+        '"',             # quote member inside the quoted literal
+        "\\x",           # backslash then x must not read as \xNN
+    ],
+)
+def test_charset_roundtrips(members):
+    attribute = CharSetAttr(members)
+    assert roundtrip_attr(attribute) == attribute
+
+
+def test_charset_with_nonprintables():
+    attribute = CharSetAttr([0, 9, 10, 13, 127, 200, 255])
+    assert roundtrip_attr(attribute) == attribute
+
+
+def test_charset_full_range():
+    attribute = CharSetAttr(range(256))
+    assert roundtrip_attr(attribute) == attribute
+
+
+@given(members=st.sets(st.integers(min_value=0, max_value=255), max_size=40))
+def test_charset_roundtrip_property(members):
+    if not members:
+        return  # empty charsets are rejected by GroupOp, not the attr
+    attribute = CharSetAttr(members)
+    assert roundtrip_attr(attribute) == attribute
+
+
+@given(value=st.integers(min_value=-(2**40), max_value=2**40))
+def test_integer_roundtrip_property(value):
+    assert roundtrip_attr(IntegerAttr(value)) == IntegerAttr(value)

@@ -1,0 +1,136 @@
+"""Unit tests for the attribute system."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    CharAttr,
+    CharSetAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    wrap_attribute,
+)
+from repro.ir.diagnostics import IRError
+
+
+class TestScalarAttributes:
+    def test_bool_text(self):
+        assert BoolAttr(True).to_text() == "true"
+        assert BoolAttr(False).to_text() == "false"
+
+    def test_bool_truthiness(self):
+        assert BoolAttr(True)
+        assert not BoolAttr(False)
+
+    def test_integer(self):
+        assert IntegerAttr(-3).to_text() == "-3"
+        assert int(IntegerAttr(42)) == 42
+
+    def test_string_escaping(self):
+        assert StringAttr('a"b').to_text() == '"a\\"b"'
+        assert StringAttr("a\\b").to_text() == '"a\\\\b"'
+
+    def test_equality_and_hash(self):
+        assert IntegerAttr(1) == IntegerAttr(1)
+        assert IntegerAttr(1) != IntegerAttr(2)
+        assert IntegerAttr(1) != BoolAttr(True)
+        assert hash(BoolAttr(True)) == hash(BoolAttr(True))
+
+    def test_immutability(self):
+        attr = IntegerAttr(1)
+        with pytest.raises(IRError):
+            attr.value = 2
+
+
+class TestCharAttr:
+    def test_from_string(self):
+        assert CharAttr("a").value == ord("a")
+
+    def test_from_int(self):
+        assert CharAttr(0x41).char == "A"
+
+    def test_printable_rendering(self):
+        assert CharAttr("a").to_text() == "char 'a'"
+
+    def test_nonprintable_rendering(self):
+        assert CharAttr(0x0A).to_text() == "char 0x0A"
+        assert CharAttr("'").to_text() == "char 0x27"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IRError):
+            CharAttr(256)
+        with pytest.raises(IRError):
+            CharAttr("ab")
+
+
+class TestCharSetAttr:
+    def test_membership(self):
+        charset = CharSetAttr("abc")
+        assert "a" in charset
+        assert ord("b") in charset
+        assert "z" not in charset
+
+    def test_length_and_chars(self):
+        charset = CharSetAttr("cab")
+        assert len(charset) == 3
+        assert charset.chars() == (ord("a"), ord("b"), ord("c"))
+
+    def test_ranges_coalescing(self):
+        charset = CharSetAttr("abcx")
+        assert charset.ranges() == ((ord("a"), ord("c")), (ord("x"), ord("x")))
+
+    def test_range_rendering(self):
+        assert CharSetAttr("abcdx").to_text() == 'charset"a-dx"'
+
+    def test_two_element_runs_not_rendered_as_range(self):
+        assert CharSetAttr("ab").to_text() == 'charset"ab"'
+
+    def test_complement(self):
+        charset = CharSetAttr("a")
+        complement = charset.complement()
+        assert "a" not in complement
+        assert "b" in complement
+        assert len(complement) == 255
+
+    def test_union(self):
+        assert CharSetAttr("ab").union(CharSetAttr("bc")) == CharSetAttr("abc")
+
+    def test_escape_rendering(self):
+        assert CharSetAttr("-").to_text() == 'charset"\\-"'
+        assert CharSetAttr([0x0A]).to_text() == 'charset"\\x0A"'
+
+
+class TestSymbolRef:
+    def test_text(self):
+        assert SymbolRefAttr("L1").to_text() == "@L1"
+
+    def test_rejects_empty(self):
+        with pytest.raises(IRError):
+            SymbolRefAttr("")
+
+
+class TestWrapAttribute:
+    def test_bool_before_int(self):
+        assert isinstance(wrap_attribute(True), BoolAttr)
+        assert isinstance(wrap_attribute(1), IntegerAttr)
+
+    def test_string(self):
+        assert isinstance(wrap_attribute("x"), StringAttr)
+
+    def test_list_to_array(self):
+        attr = wrap_attribute([1, True, "s"])
+        assert isinstance(attr, ArrayAttr)
+        assert len(attr) == 3
+
+    def test_set_to_charset(self):
+        assert isinstance(wrap_attribute({"a", "b"}), CharSetAttr)
+
+    def test_passthrough(self):
+        original = IntegerAttr(7)
+        assert wrap_attribute(original) is original
+
+    def test_rejects_unknown(self):
+        with pytest.raises(IRError):
+            wrap_attribute(object())

@@ -1,0 +1,57 @@
+"""Builder insertion-point behaviour."""
+
+import pytest
+
+from repro.ir.builder import Builder
+from repro.ir.diagnostics import IRError
+from repro.ir.operation import ModuleOp, Operation
+
+
+def test_insert_appends_in_order():
+    module = ModuleOp()
+    builder = Builder.at_end_of(module.body)
+    builder.insert(Operation(name="test.a"))
+    builder.insert(Operation(name="test.b"))
+    assert [op.name for op in module.body] == ["test.a", "test.b"]
+
+
+def test_inside_moves_and_restores():
+    module = ModuleOp()
+    builder = Builder.at_end_of(module.body)
+    outer = builder.insert(Operation(name="test.outer", num_regions=1))
+    with builder.inside(outer):
+        builder.insert(Operation(name="test.inner"))
+    builder.insert(Operation(name="test.sibling"))
+    assert [op.name for op in module.body] == ["test.outer", "test.sibling"]
+    assert [op.name for op in outer.body_ops()] == ["test.inner"]
+
+
+def test_inside_restores_on_exception():
+    module = ModuleOp()
+    builder = Builder.at_end_of(module.body)
+    outer = builder.insert(Operation(name="test.outer", num_regions=1))
+    with pytest.raises(RuntimeError):
+        with builder.inside(outer):
+            raise RuntimeError("boom")
+    builder.insert(Operation(name="test.after"))
+    assert module.body.operations[-1].name == "test.after"
+
+
+def test_inside_requires_region():
+    builder = Builder.at_end_of(ModuleOp().body)
+    leaf = builder.insert(Operation(name="test.leaf"))
+    with pytest.raises(IRError):
+        with builder.inside(leaf):
+            pass
+
+
+def test_insert_without_insertion_point():
+    with pytest.raises(IRError):
+        Builder().insert(Operation(name="test.x"))
+
+
+def test_at_start_of_region():
+    module = ModuleOp()
+    builder = Builder.at_start_of_region(module.regions[0])
+    builder.insert(Operation(name="test.x"))
+    assert module.body.operations[0].name == "test.x"

@@ -1,0 +1,70 @@
+"""Dialect and context registration."""
+
+import pytest
+
+from repro.ir.context import Context, Dialect, default_context
+from repro.ir.diagnostics import IRError
+from repro.ir.operation import Operation
+
+
+def test_default_context_has_both_dialects():
+    context = default_context()
+    assert set(context.dialects) >= {"builtin", "regex", "cicero"}
+
+
+def test_dialect_lists_its_ops():
+    context = default_context()
+    names = list(context.get_dialect("cicero").op_names())
+    assert "cicero.split" in names
+    assert "cicero.program" in names
+
+
+def test_lookup_registered_class():
+    from repro.dialects.regex.ops import MatchCharOp
+
+    context = default_context()
+    assert context.lookup_op_class("regex.match_char") is MatchCharOp
+
+
+def test_lookup_unregistered_strict():
+    with pytest.raises(IRError):
+        Context(allow_unregistered=False).lookup_op_class("nope.op")
+
+
+def test_lookup_unregistered_permissive():
+    assert Context(allow_unregistered=True).lookup_op_class("nope.op") is None
+
+
+def test_create_unregistered_op_is_generic():
+    op = Context(allow_unregistered=True).create_op("nope.op", attributes={"x": 1})
+    assert type(op) is Operation
+    assert op.int_attr("x") == 1
+
+
+def test_invalid_dialect_names():
+    with pytest.raises(IRError):
+        Dialect("")
+    with pytest.raises(IRError):
+        Dialect("a.b")
+
+
+def test_duplicate_dialect_rejected():
+    context = Context()
+    context.register_dialect(Dialect("mine"))
+    with pytest.raises(IRError):
+        context.register_dialect(Dialect("mine"))
+
+
+def test_op_must_match_dialect_prefix():
+    dialect = Dialect("mine")
+
+    class Foreign(Operation):
+        OP_NAME = "other.op"
+
+    with pytest.raises(IRError):
+        dialect.register_op(Foreign)
+
+
+def test_unknown_dialect_lookup():
+    with pytest.raises(IRError):
+        Context().get_dialect("ghost")

@@ -1,0 +1,176 @@
+"""Unit tests for operations, blocks, and regions."""
+
+import pytest
+
+from repro.ir.diagnostics import IRError, VerificationError
+from repro.ir.operation import Block, ModuleOp, Operation, Region
+
+
+def _op(name="test.op", **kwargs):
+    return Operation(name=name, **kwargs)
+
+
+class TestStructure:
+    def test_module_has_one_region_one_block(self):
+        module = ModuleOp()
+        assert len(module.regions) == 1
+        assert len(module.regions[0].blocks) == 1
+
+    def test_append_sets_parent(self):
+        module = ModuleOp()
+        op = _op()
+        module.body.append(op)
+        assert op.parent_block is module.body
+        assert op.parent_op is module
+
+    def test_double_append_rejected(self):
+        module = ModuleOp()
+        op = _op()
+        module.body.append(op)
+        with pytest.raises(IRError):
+            ModuleOp().body.append(op)
+
+    def test_erase_detaches(self):
+        module = ModuleOp()
+        op = module.body.append(_op())
+        op.erase()
+        assert op.parent_block is None
+        assert len(module.body) == 0
+
+    def test_erase_detached_rejected(self):
+        with pytest.raises(IRError):
+            _op().erase()
+
+    def test_replace_with_multiple(self):
+        module = ModuleOp()
+        module.body.append(_op("test.a"))
+        victim = module.body.append(_op("test.b"))
+        module.body.append(_op("test.c"))
+        victim.replace_with(_op("test.x"), _op("test.y"))
+        assert [op.name for op in module.body] == [
+            "test.a", "test.x", "test.y", "test.c",
+        ]
+
+    def test_replace_with_nothing(self):
+        module = ModuleOp()
+        victim = module.body.append(_op())
+        victim.replace_with()
+        assert len(module.body) == 0
+
+    def test_move_before(self):
+        module = ModuleOp()
+        first = module.body.append(_op("test.a"))
+        second = module.body.append(_op("test.b"))
+        second.move_before(first)
+        assert [op.name for op in module.body] == ["test.b", "test.a"]
+
+    def test_insert_at_index(self):
+        block = Block()
+        block.append(_op("test.a"))
+        block.insert(0, _op("test.b"))
+        assert [op.name for op in block] == ["test.b", "test.a"]
+
+    def test_dialect_and_short_name(self):
+        op = _op("regex.match_char")
+        assert op.dialect_name == "regex"
+        assert op.short_name == "match_char"
+
+
+class TestAttributesOnOps:
+    def test_constructor_wraps(self):
+        op = _op(attributes={"count": 3, "flag": True})
+        assert op.int_attr("count") == 3
+        assert op.bool_attr("flag") is True
+
+    def test_defaults(self):
+        op = _op()
+        assert op.int_attr("missing", 9) == 9
+        assert op.bool_attr("missing") is False
+
+    def test_set_attr(self):
+        op = _op()
+        op.set_attr("x", 1)
+        assert op.int_attr("x") == 1
+
+
+class TestWalk:
+    def _nested(self):
+        module = ModuleOp()
+        outer = module.body.append(_op("test.outer", num_regions=1))
+        inner = outer.regions[0].entry_block.append(_op("test.inner", num_regions=1))
+        inner.regions[0].entry_block.append(_op("test.leaf"))
+        return module
+
+    def test_walk_preorder(self):
+        names = [op.name for op in self._nested().walk()]
+        assert names == ["builtin.module", "test.outer", "test.inner", "test.leaf"]
+
+    def test_walk_postorder(self):
+        names = [op.name for op in self._nested().walk_post_order()]
+        assert names == ["test.leaf", "test.inner", "test.outer", "builtin.module"]
+
+    def test_walk_callback(self):
+        seen = []
+        self._nested().walk(lambda op: seen.append(op.name))
+        assert len(seen) == 4
+
+    def test_walk_tolerates_erasure(self):
+        module = self._nested()
+        for op in module.walk():
+            if op.name == "test.inner":
+                op.erase()
+        assert all(op.name != "test.leaf" for op in module.walk())
+
+
+class TestCloneAndEquality:
+    def test_clone_is_deep(self):
+        module = ModuleOp()
+        outer = module.body.append(_op("test.outer", num_regions=1))
+        outer.regions[0].entry_block.append(_op("test.leaf", attributes={"v": 1}))
+        clone = outer.clone()
+        assert clone.is_structurally_equal(outer)
+        clone.regions[0].entry_block.operations[0].set_attr("v", 2)
+        assert not clone.is_structurally_equal(outer)
+
+    def test_clone_detached(self):
+        module = ModuleOp()
+        op = module.body.append(_op())
+        assert op.clone().parent_block is None
+
+    def test_structural_inequality_by_name(self):
+        assert not _op("test.a").is_structurally_equal(_op("test.b"))
+
+    def test_structural_inequality_by_region_count(self):
+        assert not _op(num_regions=1).is_structurally_equal(_op(num_regions=0))
+
+
+class TestVerificationHelpers:
+    def test_expect_num_regions(self):
+        with pytest.raises(VerificationError):
+            _op(num_regions=1).expect_num_regions(2)
+
+    def test_expect_attr(self):
+        from repro.ir.attributes import IntegerAttr
+
+        op = _op(attributes={"x": 1})
+        op.expect_attr("x", IntegerAttr)
+        with pytest.raises(VerificationError):
+            op.expect_attr("missing", IntegerAttr)
+
+
+class TestRegionHelpers:
+    def test_region_ops_iteration(self):
+        region = Region()
+        block = region.add_block()
+        block.append(_op("test.a"))
+        block.append(_op("test.b"))
+        assert [op.name for op in region.ops()] == ["test.a", "test.b"]
+
+    def test_empty_region_detection(self):
+        region = Region()
+        region.add_block()
+        assert region.is_empty()
+
+    def test_entry_block_requires_block(self):
+        with pytest.raises(IRError):
+            Region().entry_block

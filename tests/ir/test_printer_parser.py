@@ -1,0 +1,114 @@
+"""Textual IR printing and parsing, including round-trips."""
+
+import pytest
+
+from repro.dialects.regex.from_ast import regex_to_module
+from repro.ir.context import Context, default_context
+from repro.ir.diagnostics import ParseError
+from repro.ir.operation import ModuleOp, Operation
+from repro.ir.parser import parse_op
+from repro.ir.printer import print_op
+
+
+def test_print_flat_op():
+    assert print_op(Operation(name="test.thing")) == "test.thing"
+
+
+def test_print_attributes_sorted():
+    op = Operation(name="test.thing", attributes={"b": 1, "a": True})
+    assert print_op(op) == "test.thing {a = true, b = 1}"
+
+
+def test_print_nested_regions():
+    module = ModuleOp()
+    outer = module.body.append(Operation(name="test.outer", num_regions=1))
+    outer.regions[0].entry_block.append(Operation(name="test.leaf"))
+    text = print_op(module)
+    assert "test.outer ({" in text
+    assert "  test.leaf" in text.splitlines()[2]
+
+
+def test_parse_flat_op():
+    op = parse_op("test.thing")
+    assert op.name == "test.thing"
+
+
+def test_parse_attributes():
+    op = parse_op('test.thing {a = true, b = -3, c = "hi", d = @label}')
+    assert op.bool_attr("a") is True
+    assert op.int_attr("b") == -3
+    assert op.attributes["c"].value == "hi"
+    assert op.attributes["d"].name == "label"
+
+
+def test_parse_array_attribute():
+    op = parse_op("test.thing {xs = [1, 2, 3]}")
+    assert [int(elem) for elem in op.attributes["xs"]] == [1, 2, 3]
+
+
+def test_parse_char_attribute():
+    op = parse_op("test.thing {c = char 'a', d = char 0x0A}")
+    assert op.attributes["c"].value == ord("a")
+    assert op.attributes["d"].value == 0x0A
+
+
+def test_parse_charset_attribute():
+    op = parse_op('test.thing {s = charset"a-dx"}')
+    charset = op.attributes["s"]
+    assert "b" in charset and "x" in charset and "y" not in charset
+
+
+def test_parse_errors_on_garbage():
+    with pytest.raises(ParseError):
+        parse_op("test.thing {a = }")
+    with pytest.raises(ParseError):
+        parse_op("test.thing ({")
+    with pytest.raises(ParseError):
+        parse_op("%%%")
+
+
+def test_parse_trailing_tokens_rejected():
+    with pytest.raises(ParseError):
+        parse_op("test.a test.b")
+
+
+def test_registered_ops_materialize_with_class():
+    from repro.dialects.regex.ops import RootOp
+
+    context = default_context()
+    op = parse_op(
+        "regex.root {hasPrefix = true, hasSuffix = false} ({regex.concatenation ({})})",
+        context,
+    )
+    assert isinstance(op, RootOp)
+    assert op.has_prefix is True
+    assert op.has_suffix is False
+
+
+def test_unregistered_op_rejected_by_strict_context():
+    from repro.ir.diagnostics import IRError
+
+    with pytest.raises(IRError):
+        parse_op("nosuch.op", Context(allow_unregistered=False))
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    ["ab|cd", "(ab)|c{3,6}d+", "[^ab]x", "a[b-e]{2,4}", "^a.b$", "th(is|at|ose)"],
+)
+def test_regex_ir_roundtrip(pattern):
+    """print → parse → print must be a fixpoint on real dialect IR."""
+    module = regex_to_module(pattern)
+    text = print_op(module)
+    reparsed = parse_op(text, default_context())
+    assert print_op(reparsed) == text
+    assert reparsed.is_structurally_equal(module)
+
+
+def test_cicero_ir_roundtrip():
+    from repro.compiler import compile_regex
+
+    module = compile_regex("ab|c[de]+").cicero_module
+    text = print_op(module)
+    reparsed = parse_op(text, default_context())
+    assert print_op(reparsed) == text

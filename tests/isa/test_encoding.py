@@ -1,0 +1,106 @@
+"""Binary encoding round-trips and error detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.diagnostics import CodegenError
+from repro.isa.encoding import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    binary_size_bytes,
+)
+from repro.isa.instructions import Instruction, MAX_OPERAND, Opcode
+from repro.isa.program import Program
+
+
+def test_word_layout():
+    # opcode in top 3 bits, operand below
+    word = encode_instruction(Instruction(Opcode.SPLIT, 5))
+    assert word == (2 << 13) | 5
+
+
+def test_instruction_roundtrip_exhaustive_opcodes():
+    for opcode in Opcode:
+        operand = 42 if opcode.has_operand else 0
+        instruction = Instruction(opcode, operand)
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+
+@given(
+    opcode=st.sampled_from([Opcode.SPLIT, Opcode.JMP, Opcode.MATCH, Opcode.NOT_MATCH]),
+    operand=st.integers(min_value=0, max_value=MAX_OPERAND),
+)
+def test_instruction_roundtrip_property(opcode, operand):
+    if opcode in (Opcode.MATCH, Opcode.NOT_MATCH) and operand > 255:
+        operand %= 256
+    instruction = Instruction(opcode, operand)
+    assert decode_instruction(encode_instruction(instruction)) == instruction
+
+
+def test_undefined_opcode_rejected():
+    with pytest.raises(CodegenError):
+        decode_instruction(7 << 13)
+
+
+def test_spurious_operand_rejected():
+    with pytest.raises(CodegenError):
+        decode_instruction((int(Opcode.MATCH_ANY) << 13) | 9)
+
+
+def test_acceptance_operand_is_match_id():
+    """The §8 multi-matching extension: acceptance operands are legal
+    and carry the RE identifier."""
+    instruction = decode_instruction((int(Opcode.ACCEPT_PARTIAL) << 13) | 9)
+    assert instruction.match_id == 9
+
+
+def test_out_of_range_word():
+    with pytest.raises(CodegenError):
+        decode_instruction(1 << 16)
+
+
+def _sample_program():
+    from repro.compiler import compile_regex
+
+    return compile_regex("a[bc]+d|x{2,3}").program
+
+
+def test_program_roundtrip():
+    program = _sample_program()
+    data = encode_program(program)
+    decoded = decode_program(data, source_pattern=program.source_pattern)
+    assert list(decoded) == list(program)
+    assert decoded.source_pattern == program.source_pattern
+
+
+def test_binary_size():
+    program = _sample_program()
+    assert binary_size_bytes(program) == 8 + 2 * len(program)
+    assert len(encode_program(program)) == binary_size_bytes(program)
+
+
+def test_bad_magic():
+    data = bytearray(encode_program(_sample_program()))
+    data[0] = ord("X")
+    with pytest.raises(CodegenError):
+        decode_program(bytes(data))
+
+
+def test_truncated_payload():
+    data = encode_program(_sample_program())
+    with pytest.raises(CodegenError):
+        decode_program(data[:-1])
+
+
+def test_short_header():
+    with pytest.raises(CodegenError):
+        decode_program(b"CIC")
+
+
+def test_count_mismatch():
+    data = bytearray(encode_program(_sample_program()))
+    data[4] += 1  # bump instruction count in header
+    with pytest.raises(CodegenError):
+        decode_program(bytes(data))

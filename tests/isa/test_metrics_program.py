@@ -1,0 +1,100 @@
+"""Program container validation and the D_offset metric (Eq. 1)."""
+
+import pytest
+
+from repro.ir.diagnostics import CodegenError
+from repro.isa.instructions import (
+    Opcode,
+    accept,
+    accept_partial,
+    jmp,
+    match,
+    match_any,
+    split,
+)
+from repro.isa.metrics import code_size, d_offset, jump_offsets, static_metrics
+from repro.isa.program import Program, program_from
+
+
+class TestProgramValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(CodegenError):
+            Program([])
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(CodegenError):
+            Program([jmp(5), accept()])
+
+    def test_missing_acceptance_rejected(self):
+        with pytest.raises(CodegenError):
+            Program([match("a"), match("b")])
+
+    def test_valid_program(self):
+        program = program_from([split(2), match("a"), accept_partial()])
+        assert len(program) == 3
+        assert program[1].opcode == Opcode.MATCH
+
+    def test_histogram(self):
+        program = Program([split(2), match("a"), accept_partial()])
+        assert program.opcode_histogram() == {
+            "SPLIT": 1, "MATCH": 1, "ACCEPT_PARTIAL": 1,
+        }
+
+    def test_disassembly_contains_addresses(self):
+        program = Program([match("a"), accept_partial()], source_pattern="a")
+        text = program.disassemble()
+        assert "; pattern: a" in text
+        assert "000: MATCH" in text
+        assert "001: ACCEPT_PARTIAL" in text
+
+
+class TestDOffset:
+    def test_zero_for_straight_line(self):
+        program = Program([match("a"), match("b"), accept_partial()])
+        assert d_offset(program) == 0
+
+    def test_listing2_left_column(self):
+        """Offsets 3+2+5+1+3 (paper lists total 13; correct sum is 14)."""
+        program = Program([
+            split(3), match_any(), jmp(0),
+            split(8), match("a"), match("b"), jmp(7), accept_partial(),
+            match("c"), match("d"), jmp(7),
+        ])
+        assert jump_offsets(program) == [3, 2, 5, 1, 3]
+        assert d_offset(program) == 14
+
+    def test_listing2_restructured(self):
+        program = Program([
+            split(4), match("a"), match("b"), accept_partial(),
+            split(8), match("c"), match("d"), jmp(3),
+            match_any(), jmp(0),
+        ])
+        assert d_offset(program) == 21
+
+    def test_listing2_jump_simplified(self):
+        program = Program([
+            split(3), match_any(), jmp(0),
+            split(7), match("a"), match("b"), accept_partial(),
+            match("c"), match("d"), accept_partial(),
+        ])
+        assert d_offset(program) == 9
+
+    def test_backward_and_forward_symmetric(self):
+        forward = Program([jmp(2), match("a"), accept_partial()])
+        # same distance backwards
+        backward = Program([match("a"), accept_partial(), jmp(0)])
+        assert d_offset(forward) == d_offset(backward) == 2
+
+
+class TestStaticMetrics:
+    def test_counts(self):
+        program = Program([
+            split(3), match_any(), jmp(0), match("a"), accept_partial(),
+        ])
+        metrics = static_metrics(program)
+        assert metrics.code_size == code_size(program) == 5
+        assert metrics.num_splits == 1
+        assert metrics.num_jumps == 1
+        assert metrics.num_matches == 2
+        assert metrics.num_acceptances == 1
+        assert metrics.control_flow_fraction == pytest.approx(0.4)

@@ -1,0 +1,131 @@
+"""The old compiler's table-driven frontend: parity with the new one."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.frontend.parser import parse_regex
+from repro.oldcompiler.frontend import LexToken, parse_regex_old, tokenize
+
+
+def ast_equal(left, right) -> bool:
+    """Structural AST equality ignoring source locations."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, ast.Pattern):
+        return (
+            left.has_prefix == right.has_prefix
+            and left.has_suffix == right.has_suffix
+            and ast_equal(left.root, right.root)
+        )
+    if isinstance(left, ast.Alternation):
+        return len(left.branches) == len(right.branches) and all(
+            ast_equal(a, b) for a, b in zip(left.branches, right.branches)
+        )
+    if isinstance(left, ast.Concatenation):
+        return len(left.pieces) == len(right.pieces) and all(
+            ast_equal(a, b) for a, b in zip(left.pieces, right.pieces)
+        )
+    if isinstance(left, ast.Piece):
+        return (
+            left.min == right.min
+            and left.max == right.max
+            and ast_equal(left.atom, right.atom)
+        )
+    if isinstance(left, ast.Char):
+        return left.code == right.code
+    if isinstance(left, ast.CharClass):
+        return left.members == right.members and left.negated == right.negated
+    if isinstance(left, ast.SubRegex):
+        return ast_equal(left.body, right.body)
+    return isinstance(left, (ast.AnyChar, ast.Dollar))
+
+
+class TestTokenizer:
+    def test_token_stream_shape(self):
+        tokens = tokenize("a|b*")
+        assert [t.type for t in tokens] == [
+            "LITERAL", "PIPE", "LITERAL", "STAR", "END",
+        ]
+
+    def test_class_is_one_token(self):
+        tokens = tokenize("[a-c]x")
+        assert tokens[0].type == "CLASS"
+        assert tokens[0].value == "[a-c]"
+
+    def test_hex_escape_token(self):
+        assert tokenize(r"\x41")[0].type == "HEXESCAPE"
+
+    def test_quant_token(self):
+        assert tokenize("a{2,5}")[1].type == "QUANT"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab[cd]")
+        assert tokens[2].lexpos == 2
+
+    def test_group_extension_rejected(self):
+        with pytest.raises(UnsupportedRegexError):
+            tokenize("(?:a)")
+
+    def test_stray_brace_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a}")
+
+    def test_non_byte_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a€")
+
+
+class TestParity:
+    def test_parity_on_corpus(self, corpus_pattern):
+        assert ast_equal(
+            parse_regex(corpus_pattern), parse_regex_old(corpus_pattern)
+        ), corpus_pattern
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [r"\x41\n\d", "[]a]", "a$|b", "(a|)", "", "^", r"\.\*", "a{3,}b?",
+         "[-a]", "[a-]"],
+    )
+    def test_parity_on_edge_cases(self, pattern):
+        assert ast_equal(parse_regex(pattern), parse_regex_old(pattern)), pattern
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "ab)", "a**", "*a", r"a\q", r"(a)\1", r"\bx", "a{2,1}",
+         "(?=x)", "a^b"],
+    )
+    def test_rejection_parity(self, pattern):
+        with pytest.raises(Exception):
+            parse_regex(pattern)
+        with pytest.raises(Exception):
+            parse_regex_old(pattern)
+
+    def test_random_parity(self):
+        import random
+
+        rng = random.Random(0x01DF)
+        for _ in range(150):
+            parts = []
+            for _ in range(rng.randint(1, 6)):
+                roll = rng.random()
+                if roll < 0.4:
+                    parts.append(rng.choice("abcXZ 09"))
+                elif roll < 0.5:
+                    parts.append(".")
+                elif roll < 0.62:
+                    members = "".join(rng.sample("abcdef", rng.randint(1, 3)))
+                    negation = "^" if rng.random() < 0.3 else ""
+                    parts.append(f"[{negation}{members}]")
+                elif roll < 0.72:
+                    parts.append(f"({rng.choice('ab')}|{rng.choice('cd')})")
+                elif roll < 0.86:
+                    parts.append(rng.choice("ab") + rng.choice(
+                        ["*", "+", "?", "{2}", "{1,3}", "{2,}"]
+                    ))
+                else:
+                    parts.append(rng.choice([r"\n", r"\d", r"\.", r"\x41"]))
+            pattern = "".join(parts)
+            assert ast_equal(
+                parse_regex(pattern), parse_regex_old(pattern)
+            ), pattern

@@ -1,0 +1,64 @@
+"""Property: the cycle-level simulator and the golden-model VM agree on
+the match verdict for every architecture configuration."""
+
+from hypothesis import given, settings
+
+from repro.arch.config import ArchConfig
+from repro.arch.system import CiceroSystem
+from repro.compiler import compile_regex
+from repro.oldcompiler.compiler import compile_regex_old
+from repro.vm import run_program
+from strategies import inputs, regex_patterns
+
+CONFIGS = [
+    ArchConfig.old(1),
+    ArchConfig.old(4),
+    ArchConfig.new(8),
+    ArchConfig.new(16),
+    ArchConfig.new(8, 2),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=regex_patterns(), text=inputs(max_size=30))
+def test_simulator_matches_vm_new_compiler(pattern, text):
+    program = compile_regex(pattern).program
+    expected = bool(run_program(program, text))
+    for config in CONFIGS:
+        result = CiceroSystem(program, config).run(text)
+        assert result.matched == expected, config.name
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=regex_patterns(), text=inputs(max_size=30))
+def test_simulator_matches_vm_old_compiler(pattern, text):
+    program = compile_regex_old(pattern, optimize=True).program
+    expected = bool(run_program(program, text))
+    for config in (ArchConfig.old(4), ArchConfig.new(8)):
+        result = CiceroSystem(program, config).run(text)
+        assert result.matched == expected, config.name
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=regex_patterns(), text=inputs(max_size=24))
+def test_thread_conservation(pattern, text):
+    """Threads are created only at spawn/split and destroyed only at
+    kill; a non-matching run must balance the books exactly."""
+    program = compile_regex(pattern).program
+    result = CiceroSystem(program, ArchConfig.new(8)).run(text)
+    if not result.matched:
+        assert result.stats.threads_spawned == result.stats.threads_killed
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=regex_patterns(), text=inputs(max_size=24))
+def test_cache_accounting(pattern, text):
+    """One cache lookup per executed instruction, plus at most one
+    pending (looked-up but not yet executed) fetch per core when the
+    run terminates early on a match."""
+    config = ArchConfig.new(8)
+    program = compile_regex(pattern).program
+    result = CiceroSystem(program, config).run(text)
+    stats = result.stats
+    lookups = stats.cache_hits + stats.cache_misses
+    assert stats.instructions <= lookups <= stats.instructions + config.total_cores

@@ -1,0 +1,83 @@
+"""Hypothesis strategies for regular expressions within the supported
+subset, avoiding the one construct the ISA cannot express: an unbounded
+quantifier over a nullable (possibly-empty-matching) sub-pattern.
+
+To guarantee that, every generated concatenation contains at least one
+non-nullable piece, which by induction makes every group non-nullable
+and therefore safe to quantify arbitrarily.
+"""
+
+from hypothesis import strategies as st
+
+ALPHABET = "abcdef"
+
+
+@st.composite
+def atoms(draw, depth: int):
+    """A non-nullable atom as pattern text."""
+    choices = ["char", "dot", "class", "negclass"]
+    if depth > 0:
+        choices.extend(["group", "group"])
+    kind = draw(st.sampled_from(choices))
+    if kind == "char":
+        return draw(st.sampled_from(ALPHABET))
+    if kind == "dot":
+        return "."
+    if kind == "class":
+        members = draw(st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=4))
+        return "[" + "".join(sorted(members)) + "]"
+    if kind == "negclass":
+        members = draw(st.sets(st.sampled_from("abc"), min_size=1, max_size=2))
+        return "[^" + "".join(sorted(members)) + "]"
+    # Groups contain non-nullable concatenations only, so the group
+    # itself is non-nullable.
+    branches = draw(st.lists(concatenations(depth - 1), min_size=1, max_size=3))
+    return "(" + "|".join(branches) + ")"
+
+
+@st.composite
+def pieces(draw, depth: int):
+    """Returns ``(pattern_text, nullable)``."""
+    atom = draw(atoms(depth))
+    kind = draw(
+        st.sampled_from(["", "", "", "*", "+", "?", "{m}", "{m,}", "{m,n}"])
+    )
+    if kind == "":
+        return atom, False
+    if kind == "*":
+        return atom + "*", True
+    if kind == "+":
+        return atom + "+", False
+    if kind == "?":
+        return atom + "?", True
+    low = draw(st.integers(min_value=0, max_value=3))
+    if kind == "{m}":
+        low = max(low, 1)
+        return f"{atom}{{{low}}}", False
+    if kind == "{m,}":
+        low = max(low, 1)
+        return f"{atom}{{{low},}}", False
+    high = low + draw(st.integers(min_value=0, max_value=3))
+    return f"{atom}{{{low},{high}}}", low == 0
+
+
+@st.composite
+def concatenations(draw, depth: int):
+    """A concatenation guaranteed to contain a non-nullable piece."""
+    drawn = draw(st.lists(pieces(depth), min_size=1, max_size=4))
+    texts = [text for text, _nullable in drawn]
+    if all(nullable for _text, nullable in drawn):
+        texts.append(draw(atoms(depth)))
+    return "".join(texts)
+
+
+@st.composite
+def regex_patterns(draw, max_depth: int = 2):
+    """A full pattern: an alternation of non-nullable concatenations."""
+    branches = draw(st.lists(concatenations(max_depth), min_size=1, max_size=3))
+    return "|".join(branches)
+
+
+@st.composite
+def inputs(draw, max_size: int = 24):
+    return draw(st.text(alphabet=ALPHABET + "gh", max_size=max_size))

@@ -1,0 +1,71 @@
+"""The multi-back-end facade: every engine, one language."""
+
+import random
+
+import pytest
+
+from repro.backends import BACKENDS, compile_with_backend
+from repro.arch.config import ArchConfig
+from repro.compiler import CompileOptions
+
+
+class TestFacade:
+    def test_all_backends_constructible(self):
+        for backend in BACKENDS:
+            matcher = compile_with_backend("ab|cd", backend)
+            assert matcher.backend_name == backend
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile_with_backend("ab", "hyperscan")
+
+    def test_basic_verdicts(self):
+        for backend in BACKENDS:
+            matcher = compile_with_backend("th(is|at)", backend)
+            assert matcher.matches("say that")
+            assert not matcher.matches("nothing")
+
+    def test_sim_backend_exposes_timing(self):
+        matcher = compile_with_backend(
+            "ab", "cicero-sim", config=ArchConfig.new(8)
+        )
+        result = matcher.run("zzab")
+        assert result.matched and result.cycles > 0
+
+    def test_options_respected(self):
+        # With all optimizations off the backends still agree.
+        for backend in BACKENDS:
+            matcher = compile_with_backend(
+                "a{2,3}b", backend, options=CompileOptions.none()
+            )
+            assert matcher.matches("xaab")
+
+    def test_dfa_budget(self):
+        from repro.automata import DFASizeLimitExceeded
+
+        with pytest.raises(DFASizeLimitExceeded):
+            compile_with_backend("a.{12}b", "dfa", max_dfa_states=100)
+
+
+class TestCrossBackendAgreement:
+    def test_corpus_agreement(self, corpus_pattern):
+        matchers = [
+            compile_with_backend(corpus_pattern, backend)
+            for backend in ("cicero", "nfa", "dfa")
+        ]
+        rng = random.Random(hash(corpus_pattern) & 0xFFFF)
+        for _ in range(25):
+            text = "".join(
+                rng.choice("abcdefghLIVMDER qux.") for _ in range(rng.randint(0, 16))
+            )
+            verdicts = {matcher.matches(text) for matcher in matchers}
+            assert len(verdicts) == 1, (corpus_pattern, text)
+
+    def test_simulator_backend_agrees(self):
+        pattern = "a[bc]{1,2}d"
+        reference = compile_with_backend(pattern, "cicero")
+        simulated = compile_with_backend(pattern, "cicero-sim")
+        rng = random.Random(5)
+        for _ in range(10):
+            text = "".join(rng.choice("abcd") for _ in range(rng.randint(0, 12)))
+            assert reference.matches(text) == simulated.matches(text), text

@@ -1,0 +1,178 @@
+"""Workload generators: determinism, validity, structure."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_regex
+from repro.frontend.parser import parse_regex
+from repro.vm import run_program
+from repro.workloads import (
+    alternate,
+    brill,
+    load_all,
+    load_benchmark,
+    protomata,
+    sample_and_alternate,
+    sample_match_for,
+)
+
+
+class TestProtomata:
+    def test_deterministic(self):
+        assert protomata.generate_patterns(5, seed=1) == protomata.generate_patterns(
+            5, seed=1
+        )
+        assert protomata.generate_patterns(5, seed=1) != protomata.generate_patterns(
+            5, seed=2
+        )
+
+    def test_patterns_parse_and_compile(self):
+        for pattern in protomata.generate_patterns(20, seed=7):
+            compile_regex(pattern)  # must not raise
+
+    def test_amino_alphabet(self):
+        stream = protomata.generate_input([], length=500, seed=3)
+        assert set(stream) <= set(protomata.AMINO_ACIDS)
+        assert len(stream) == 500
+
+    def test_planted_matches_occur(self):
+        patterns = protomata.generate_patterns(8, seed=11)
+        stream = protomata.generate_input(patterns, length=4000, seed=11)
+        programs = [compile_regex(p).program for p in patterns]
+        hits = sum(bool(run_program(prog, stream)) for prog in programs)
+        assert hits >= 1
+
+
+class TestBrill:
+    def test_patterns_parse_and_compile(self):
+        for pattern in brill.generate_patterns(20, seed=7):
+            compile_regex(pattern)
+
+    def test_input_is_text_like(self):
+        stream = brill.generate_input([], length=300, seed=5)
+        assert " " in stream
+        assert len(stream) == 300
+
+    def test_lexicon_words_used(self):
+        pattern = brill.generate_pattern(random.Random(0))
+        assert any(word in pattern for word in brill.LEXICON)
+
+
+class TestAlternation:
+    def test_groups_of_four(self):
+        patterns = [f"p{i}" for i in range(8)]
+        grouped = alternate(patterns, 4)
+        assert grouped == ["p0|p1|p2|p3", "p4|p5|p6|p7"]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            alternate(["a", "b", "c"], 2)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            alternate(["a"], 0)
+
+    def test_sample_and_alternate_count(self):
+        pool = [f"x{i}" for i in range(40)]
+        result = sample_and_alternate(pool, result_count=5, group_size=4, seed=1)
+        assert len(result) == 5
+        assert all(p.count("|") == 3 for p in result)
+
+    def test_small_pool_samples_with_replacement(self):
+        result = sample_and_alternate(["a", "b"], result_count=3, seed=1)
+        assert len(result) == 3
+
+
+class TestSampler:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["abc", "a[bc]d", "x{2,4}", "(ab|cd)e", "[^ab]{2}", "a.c", "a+b?"],
+    )
+    def test_samples_match_their_pattern(self, pattern):
+        rng = random.Random(99)
+        program = compile_regex("^" + pattern + "$").program
+        for _ in range(10):
+            sample = sample_match_for(pattern, rng)
+            assert run_program(program, sample).matched, (pattern, sample)
+
+    def test_negated_class_avoids_members(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            sample = sample_match_for("[^ab]", rng)
+            assert sample not in ("a", "b")
+
+
+class TestSuite:
+    def test_load_all_names(self):
+        names = [bench.name for bench in load_all(num_res=2, num_chunks=1)]
+        assert names == ["protomata", "brill", "protomata4", "brill4"]
+
+    def test_alternate_suffix_detection(self):
+        bench = load_benchmark("brill4", num_res=2, num_chunks=1)
+        assert bench.is_alternate
+        assert all(p.count("|") >= 3 for p in bench.patterns)
+
+    def test_chunk_sizing(self):
+        bench = load_benchmark("protomata", num_res=2, num_chunks=3, chunk_bytes=100)
+        assert len(bench.chunks) == 3
+        assert all(len(chunk) == 100 for chunk in bench.chunks)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load_benchmark("nosuch")
+
+    def test_all_benchmark_patterns_compile_and_run(self):
+        for bench in load_all(num_res=3, num_chunks=1):
+            for pattern in bench.patterns:
+                program = compile_regex(pattern).program
+                run_program(program, bench.chunks[0])
+
+    def test_reproducible(self):
+        first = load_benchmark("protomata4", num_res=3, num_chunks=1, seed=9)
+        second = load_benchmark("protomata4", num_res=3, num_chunks=1, seed=9)
+        assert first.patterns == second.patterns
+        assert first.chunks == second.chunks
+
+
+class TestFileLoaders:
+    def test_load_patterns_file(self, tmp_path):
+        from repro.workloads import load_patterns_file
+
+        target = tmp_path / "pats.txt"
+        target.write_text("# header\nab|cd\n\n  # indented comment\nx+y\n")
+        assert load_patterns_file(target) == ["ab|cd", "x+y"]
+
+    def test_benchmark_from_files(self, tmp_path):
+        from repro.workloads import benchmark_from_files
+
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("ab\ncd\n")
+        data = tmp_path / "input.bin"
+        data.write_bytes(b"x" * 1200)
+        bench = benchmark_from_files(patterns, data, chunk_bytes=500)
+        assert bench.name == "custom"
+        assert len(bench.patterns) == 2
+        assert [len(chunk) for chunk in bench.chunks] == [500, 500, 200]
+
+    def test_benchmark_from_files_chunk_limit(self, tmp_path):
+        from repro.workloads import benchmark_from_files
+
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("ab\n")
+        data = tmp_path / "input.bin"
+        data.write_bytes(b"x" * 1200)
+        bench = benchmark_from_files(patterns, data, num_chunks=1)
+        assert len(bench.chunks) == 1
+
+    def test_empty_patterns_file_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.workloads import benchmark_from_files
+
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("# nothing\n")
+        data = tmp_path / "input.bin"
+        data.write_bytes(b"x")
+        with _pytest.raises(ValueError):
+            benchmark_from_files(patterns, data)
