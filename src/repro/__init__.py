@@ -20,7 +20,13 @@ The package layers, bottom-up:
   organizations plus the power/resource/frequency models.
 * :mod:`repro.workloads` — synthetic Protomata/Brill benchmarks.
 * :mod:`repro.evaluation` — the §6 experiment drivers.
+* :mod:`repro.runtime` — the hardening layer: resource budgets, the
+  unified error taxonomy, graceful degradation and fault injection.
 * :mod:`repro.api` — the two-call façade (compile, match, simulate).
+
+Every rejection anywhere in the stack is a
+:class:`~repro.ir.diagnostics.ReproError` with a stable machine-readable
+``code`` — catch that one type at the top of a service loop.
 """
 
 __version__ = "1.0.0"
@@ -34,23 +40,31 @@ from .compiler import (
     NewCompiler,
     compile_regex,
 )
+from .ir.diagnostics import BudgetExceeded, ReproError
 from .isa.program import Program
 from .oldcompiler.compiler import OldCompiler, compile_regex_old
+from .runtime.budget import Budget, DEFAULT_BUDGET
+from .runtime.errors import format_error
 from .vm.thompson import ThompsonVM, run_program
 
 __all__ = [
     "ArchConfig",
+    "Budget",
+    "BudgetExceeded",
     "CiceroSimulator",
     "CompilationResult",
     "CompileOptions",
+    "DEFAULT_BUDGET",
     "NewCompiler",
     "OldCompiler",
     "Program",
+    "ReproError",
     "ThompsonVM",
     "__version__",
     "compile_pattern",
     "compile_regex",
     "compile_regex_old",
+    "format_error",
     "match",
     "run_program",
     "run_program_functionally",

@@ -13,10 +13,20 @@ This is the façade a downstream user starts with::
 
 Everything here wraps the richer interfaces in :mod:`repro.compiler`,
 :mod:`repro.oldcompiler`, :mod:`repro.vm` and :mod:`repro.arch`.
+
+Hardening (see :mod:`repro.runtime` and ``docs/robustness.md``): every
+entry point enforces a resource :class:`~repro.runtime.budget.Budget`
+and raises only :class:`~repro.ir.diagnostics.ReproError` subclasses —
+one ``except ReproError`` catches every rejection, each carrying a
+machine-readable ``code``.  When the new pipeline trips a recoverable
+budget, :func:`compile_pattern` degrades gracefully by retrying with
+optimization passes disabled (recorded in
+``CompilationResult.dropped_passes``) before failing.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 from .arch.config import ArchConfig
@@ -25,6 +35,8 @@ from .arch.system import SimulationResult
 from .compiler import CompilationResult, CompileOptions, NewCompiler
 from .isa.program import Program
 from .oldcompiler.compiler import OldCompilationResult, OldCompiler
+from .runtime.budget import Budget, DEFAULT_BUDGET
+from .runtime.degrade import compile_with_degradation
 from .vm.thompson import MatchResult, ThompsonVM
 
 
@@ -33,6 +45,8 @@ def compile_pattern(
     compiler: str = "new",
     optimize: bool = True,
     options: Optional[CompileOptions] = None,
+    budget: Optional[Budget] = None,
+    degrade: bool = True,
 ) -> Union[CompilationResult, OldCompilationResult]:
     """Compile ``pattern`` with either toolchain.
 
@@ -40,28 +54,52 @@ def compile_pattern(
     ``"old"`` (the single-IR baseline, §2.1).  ``options`` overrides the
     new compiler's per-pass flags; ``optimize`` is the master switch for
     both.
+
+    ``budget`` overrides the enforced resource limits (defaults to
+    :data:`~repro.runtime.budget.DEFAULT_BUDGET`).  With ``degrade``
+    (the default), a recoverable budget trip in the new pipeline retries
+    with optimization passes progressively disabled — check
+    ``result.dropped_passes`` to see whether quality was lost — before
+    surfacing the :class:`~repro.ir.diagnostics.BudgetExceeded`.
     """
     if compiler == "new":
         if options is None:
             options = CompileOptions(optimize=optimize)
+        if budget is not None:
+            options = replace(options, budget=budget)
+        if degrade:
+            return compile_with_degradation(pattern, options)
         return NewCompiler(options).compile(pattern)
     if compiler == "old":
-        return OldCompiler(optimize=optimize).compile(pattern)
+        return OldCompiler(optimize=optimize, budget=budget).compile(pattern)
     raise ValueError(f"unknown compiler {compiler!r}; use 'new' or 'old'")
 
 
-def match(pattern: str, text: Union[str, bytes], compiler: str = "new") -> MatchResult:
+def match(
+    pattern: str,
+    text: Union[str, bytes],
+    compiler: str = "new",
+    budget: Optional[Budget] = None,
+) -> MatchResult:
     """Compile + functionally execute: does ``pattern`` match ``text``?
 
-    Uses the golden-model VM (no micro-architectural timing).
+    Uses the golden-model VM (no micro-architectural timing).  The
+    budget's ``max_vm_steps`` bounds execution, so a pathological
+    pattern × input pair raises a typed error instead of spinning.
     """
-    program = compile_pattern(pattern, compiler=compiler).program
-    return ThompsonVM(program).run(text)
+    effective = budget if budget is not None else DEFAULT_BUDGET
+    program = compile_pattern(pattern, compiler=compiler, budget=budget).program
+    return ThompsonVM(program).run(text, max_steps=effective.max_vm_steps)
 
 
-def run_program_functionally(program: Program, text: Union[str, bytes]) -> MatchResult:
+def run_program_functionally(
+    program: Program,
+    text: Union[str, bytes],
+    budget: Optional[Budget] = None,
+) -> MatchResult:
     """Execute an already-compiled program on the golden-model VM."""
-    return ThompsonVM(program).run(text)
+    effective = budget if budget is not None else DEFAULT_BUDGET
+    return ThompsonVM(program).run(text, max_steps=effective.max_vm_steps)
 
 
 def simulate(
@@ -69,11 +107,16 @@ def simulate(
     text: Union[str, bytes],
     config: Optional[ArchConfig] = None,
     compiler: str = "new",
+    budget: Optional[Budget] = None,
 ) -> SimulationResult:
     """Compile + run on the cycle-level simulator.
 
     ``config`` defaults to the paper's best overall configuration,
-    NEW 16x1 CORES.
+    NEW 16x1 CORES.  The budget's ``max_sim_cycles`` (when set)
+    overrides the simulator's adaptive cycle watchdog.
     """
-    program = compile_pattern(pattern, compiler=compiler).program
-    return CiceroSimulator(config).run(program, text)
+    effective = budget if budget is not None else DEFAULT_BUDGET
+    program = compile_pattern(pattern, compiler=compiler, budget=budget).program
+    return CiceroSimulator(config).run(
+        program, text, max_cycles=effective.max_sim_cycles
+    )

@@ -31,9 +31,11 @@ from .simulator import (
 )
 from .system import (
     CiceroSystem,
+    SimulationCycleBudgetError,
     SimulationError,
     SimulationResult,
     SimulationStatistics,
+    ThreadBudgetError,
 )
 
 __all__ = [
@@ -53,10 +55,12 @@ __all__ = [
     "ResourceVector",
     "SELECTED_NEW",
     "SELECTED_OLD",
+    "SimulationCycleBudgetError",
     "SimulationError",
     "SimulationResult",
     "SimulationStatistics",
     "StreamResult",
+    "ThreadBudgetError",
     "ThreadFifo",
     "UtilizationReport",
     "XCZU3EG",

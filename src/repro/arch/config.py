@@ -23,6 +23,16 @@ from ..ir.diagnostics import ReproError
 class ConfigurationError(ReproError):
     """The requested architecture configuration is not constructible."""
 
+    code = "REPRO-ARCH-CONFIG"
+
+
+#: Upper bounds on the design space: far beyond anything synthesizable
+#: on the paper's XCZU3EG, they exist so a typo (``engines=10**9``) is a
+#: typed error instead of an out-of-memory kill when the simulator
+#: allocates per-engine state.
+MAX_ENGINES = 1024
+MAX_TOTAL_CORES = 4096
+
 
 @dataclass(frozen=True)
 class ArchConfig:
@@ -58,6 +68,11 @@ class ArchConfig:
     def __post_init__(self):
         if self.cores_per_engine < 1 or self.num_engines < 1:
             raise ConfigurationError("cores and engines must be positive")
+        if self.num_engines > MAX_ENGINES:
+            raise ConfigurationError(
+                f"{self.num_engines} engines exceed the supported maximum "
+                f"of {MAX_ENGINES}"
+            )
         if self.cc_id_bits < 1 or self.cc_id_bits > 8:
             raise ConfigurationError("cc_id_bits must be in 1..8")
         if self.cores_per_engine not in (1, self.window_size):
@@ -65,6 +80,32 @@ class ArchConfig:
                 "an engine has either 1 core (old organization) or "
                 f"2^CC_ID = {self.window_size} cores (new organization); "
                 f"got {self.cores_per_engine} with CC_ID={self.cc_id_bits}"
+            )
+        if self.total_cores > MAX_TOTAL_CORES:
+            raise ConfigurationError(
+                f"{self.total_cores} total cores exceed the supported "
+                f"maximum of {MAX_TOTAL_CORES}"
+            )
+        if self.icache_lines < 1 or self.icache_line_words < 1:
+            raise ConfigurationError("icache geometry must be positive")
+        if self.icache_ways < 1 or self.icache_lines % self.icache_ways:
+            raise ConfigurationError(
+                f"{self.icache_lines} icache lines do not divide into "
+                f"{self.icache_ways} ways"
+            )
+        for latency_field in (
+            "memory_latency",
+            "transfer_latency",
+            "balancer_latency",
+            "pipeline_latency",
+            "split_extra_latency",
+        ):
+            if getattr(self, latency_field) < 0:
+                raise ConfigurationError(f"{latency_field} must be >= 0")
+        if self.max_threads_per_position < 1:
+            raise ConfigurationError(
+                "max_threads_per_position must be positive (it is the "
+                "thread blow-up safety valve, not an off switch)"
             )
 
     # ------------------------------------------------------------------

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..isa.program import Program
-from .config import ArchConfig
+from ..runtime.encoding import as_input_bytes
+from .config import ArchConfig, ConfigurationError
 from .power import energy_w_us, execution_time_us, power_watts
 from .resources import clock_mhz
 from .system import CiceroSystem, SimulationResult, SimulationStatistics
@@ -25,9 +26,18 @@ DEFAULT_CHUNK_BYTES = 500
 def split_chunks(
     data: Union[str, bytes], chunk_bytes: int = DEFAULT_CHUNK_BYTES
 ) -> List[bytes]:
-    """The paper's input chunking (500-byte chunks by default)."""
-    if isinstance(data, str):
-        data = data.encode("latin-1")
+    """The paper's input chunking (500-byte chunks by default).
+
+    Raises a typed :class:`~repro.arch.config.ConfigurationError` for a
+    non-positive ``chunk_bytes`` (a zero stride would loop forever) and
+    an :class:`~repro.runtime.errors.InputEncodingError` for non-latin-1
+    text, instead of silently misbehaving downstream.
+    """
+    if chunk_bytes < 1:
+        raise ConfigurationError(
+            f"chunk_bytes must be positive, got {chunk_bytes}"
+        )
+    data = as_input_bytes(data, what="input stream")
     return [data[i : i + chunk_bytes] for i in range(0, len(data), chunk_bytes)] or [
         b""
     ]
@@ -87,10 +97,18 @@ class CiceroSimulator:
         self.config = config if config is not None else ArchConfig.new(16)
 
     def run(
-        self, program: Program, text: Union[str, bytes]
+        self,
+        program: Program,
+        text: Union[str, bytes],
+        max_cycles: Optional[int] = None,
     ) -> SimulationResult:
-        """Execute over a single chunk; stops at the first match."""
-        return CiceroSystem(program, self.config).run(text)
+        """Execute over a single chunk; stops at the first match.
+
+        ``max_cycles`` overrides the system's adaptive cycle watchdog
+        (the guard that turns a stalled simulation into a typed
+        :class:`~repro.arch.system.SimulationCycleBudgetError`).
+        """
+        return CiceroSystem(program, self.config).run(text, max_cycles=max_cycles)
 
     def run_stream(
         self,

@@ -34,9 +34,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from ..ir.diagnostics import ReproError
+from ..ir.diagnostics import BudgetExceeded, ReproError
 from ..isa.instructions import Opcode
 from ..isa.program import Program
+from ..runtime.encoding import as_input_bytes
 from .cache import InstructionCache, MemoryPort
 from .config import ArchConfig
 from .fifo import ThreadFifo
@@ -52,6 +53,24 @@ _NOT_MATCH = int(Opcode.NOT_MATCH)
 
 class SimulationError(ReproError):
     """The simulation hit a structural limit (thread blow-up, no progress)."""
+
+    code = "REPRO-SIM"
+
+
+class SimulationCycleBudgetError(BudgetExceeded, SimulationError):
+    """The cycle watchdog tripped: no termination within the budget.
+
+    Both a :class:`~repro.ir.diagnostics.BudgetExceeded` (taxonomy) and a
+    :class:`SimulationError` (existing callers keep working).
+    """
+
+    code = "REPRO-BUDGET-SIM-CYCLES"
+
+
+class ThreadBudgetError(BudgetExceeded, SimulationError):
+    """Per-position live-thread count exceeded the configured safety cap."""
+
+    code = "REPRO-BUDGET-SIM-THREADS"
 
 
 @dataclass
@@ -179,7 +198,7 @@ class CiceroSystem:
         that receives one event per retired instruction (the Figure-4
         view).
         """
-        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        data = as_input_bytes(text, what="input chunk")
         config = self.config
         window = config.window_size
         self._reset_engines()
@@ -299,9 +318,11 @@ class CiceroSystem:
                 total_alive += 1
                 stats.threads_spawned += 1
                 if counts[cc] > thread_cap:
-                    raise SimulationError(
+                    raise ThreadBudgetError(
                         f"thread blow-up: {counts[cc]} live threads at "
-                        f"position {cc} (pattern {self.program.source_pattern!r})"
+                        f"position {cc} (pattern {self.program.source_pattern!r})",
+                        limit=thread_cap,
+                        spent=counts[cc],
                     )
                 if counts[cc] > stats.peak_threads:
                     stats.peak_threads = counts[cc]
@@ -399,10 +420,12 @@ class CiceroSystem:
             if total_alive == 0 or matched_at is not None or done:
                 break
             if cycle > max_cycles:
-                raise SimulationError(
+                raise SimulationCycleBudgetError(
                     f"no termination after {max_cycles} cycles "
                     f"(pattern {self.program.source_pattern!r}, "
-                    f"config {config.name})"
+                    f"config {config.name})",
+                    limit=max_cycles,
+                    spent=cycle,
                 )
             any_active = False
             for engine_idx in range(num_engines):

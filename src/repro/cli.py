@@ -29,8 +29,15 @@ from .ir.printer import print_op
 from .isa.encoding import encode_program
 from .isa.metrics import static_metrics
 from .oldcompiler.compiler import OldCompiler
+from .runtime.encoding import as_input_bytes
+from .runtime.errors import ReproError, format_error
 from .vm.thompson import ThompsonVM
 from .workloads.suite import BENCHMARK_NAMES, load_benchmark
+
+#: Exit code for a structured rejection (bad pattern, budget trip, bad
+#: input) — EX_DATAERR from sysexits(3), distinct from "no match" (1)
+#: and argparse usage errors (2).
+EXIT_REPRO_ERROR = 65
 
 
 def parse_config(text: str) -> ArchConfig:
@@ -111,15 +118,17 @@ def _run(args) -> int:
         with open(args.file, "rb") as handle:
             text = handle.read()
     else:
-        text = (args.text or "").encode("latin-1")
+        text = as_input_bytes(args.text or "", what="input text")
 
     if args.functional:
-        result = ThompsonVM(program).run(text)
+        result = ThompsonVM(program).run(text, max_steps=args.max_vm_steps)
         print(f"matched: {result.matched}"
               + (f" at position {result.position}" if result.matched else ""))
         return 0 if result.matched else 1
 
-    simulation = CiceroSimulator(args.config).run(program, text)
+    simulation = CiceroSimulator(args.config).run(
+        program, text, max_cycles=args.max_cycles
+    )
     stats = simulation.stats
     print(f"configuration : {simulation.config.name}")
     print(f"matched       : {simulation.matched}"
@@ -271,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--config", type=parse_config,
                             default=ArchConfig.new(16),
                             help="architecture NxM, e.g. 1x9 or 16x1")
+    run_parser.add_argument("--max-vm-steps", type=int, default=None,
+                            help="abort a --functional run after this many "
+                            "VM instruction executions")
+    run_parser.add_argument("--max-cycles", type=int, default=None,
+                            help="abort a simulation after this many cycles "
+                            "(default: adaptive watchdog)")
     run_parser.set_defaults(handler=_run)
 
     bench_parser = sub.add_parser("bench", help="quick benchmark sweep")
@@ -302,8 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        # Inside the guard: argument *conversion* (e.g. --config NxM)
+        # can already raise typed configuration errors.
+        args = build_parser().parse_args(argv)
+        return args.handler(args)
+    except ReproError as error:
+        print(format_error(error), file=sys.stderr)
+        return EXIT_REPRO_ERROR
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .dialects.cicero.codegen import generate_program
 from .dialects.cicero.lowering import lower_to_cicero
@@ -32,6 +32,8 @@ from .ir.operation import ModuleOp
 from .ir.pass_manager import PassManager
 from .isa.metrics import StaticMetrics, static_metrics
 from .isa.program import Program
+from .runtime.budget import Budget, DEFAULT_BUDGET
+from .runtime.guards import check_pattern_budget
 
 COMPILER_NAME = "new-mlir"
 
@@ -53,6 +55,9 @@ class CompileOptions:
     dead_code_elimination: bool = True
     #: Verify the IR between passes (off for benchmark timing runs).
     verify_each: bool = False
+    #: Resource limits enforced through the pipeline; ``None`` applies
+    #: :data:`repro.runtime.budget.DEFAULT_BUDGET`.
+    budget: Optional[Budget] = None
 
     def effective(self) -> "CompileOptions":
         """Options with the master switch folded into the per-pass flags."""
@@ -83,6 +88,15 @@ class CompilationResult:
     cicero_module: ModuleOp
     #: Wall-clock seconds per stage name.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Optimization passes graceful degradation had to disable to fit
+    #: the budget (empty on a normal, full-strength compile).  See
+    #: :func:`repro.runtime.degrade.compile_with_degradation`.
+    dropped_passes: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did this compilation lose optimizations to fit its budget?"""
+        return bool(self.dropped_passes)
 
     @property
     def total_seconds(self) -> float:
@@ -103,10 +117,13 @@ class NewCompiler:
 
     def compile(self, pattern: str) -> CompilationResult:
         options = self.options
+        budget = options.budget if options.budget is not None else DEFAULT_BUDGET
         stage_seconds: Dict[str, float] = {}
 
+        budget.check_pattern_length(pattern)
         started = time.perf_counter()
-        ast = parse_regex(pattern)
+        ast = parse_regex(pattern, max_depth=budget.max_nesting_depth)
+        check_pattern_budget(ast, budget)
         stage_seconds["frontend"] = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -123,6 +140,10 @@ class NewCompiler:
         started = time.perf_counter()
         highlevel.run(regex_module)
         stage_seconds["regex-transforms"] = time.perf_counter() - started
+        if highlevel.passes:
+            budget.check_pass_time(
+                stage_seconds["regex-transforms"], "regex-transforms"
+            )
 
         started = time.perf_counter()
         cicero_module = lower_to_cicero(regex_module, verify=options.verify_each)
@@ -136,6 +157,12 @@ class NewCompiler:
         started = time.perf_counter()
         lowlevel.run(cicero_module)
         stage_seconds["cicero-transforms"] = time.perf_counter() - started
+        if lowlevel.passes:
+            budget.check_pass_time(
+                stage_seconds["regex-transforms"]
+                + stage_seconds["cicero-transforms"],
+                "cicero-transforms",
+            )
 
         started = time.perf_counter()
         program_op = cicero_module.body.operations[0]
@@ -143,6 +170,7 @@ class NewCompiler:
             program_op, source_pattern=pattern, compiler=self.name
         )
         stage_seconds["codegen"] = time.perf_counter() - started
+        budget.check_program_size(len(program), pattern)
 
         return CompilationResult(
             pattern=pattern,

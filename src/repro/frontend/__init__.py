@@ -15,7 +15,12 @@ from .ast_nodes import (
     UNBOUNDED,
     dump,
 )
-from .errors import RegexSyntaxError, UnsupportedRegexError
+from .errors import (
+    DEFAULT_MAX_NESTING_DEPTH,
+    PatternNestingError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+)
 from .lexer import Lexer, PERL_CLASSES, Token, tokenize
 from .parser import RegexParser, parse_regex
 
@@ -26,11 +31,13 @@ __all__ = [
     "Char",
     "CharClass",
     "Concatenation",
+    "DEFAULT_MAX_NESTING_DEPTH",
     "Dollar",
     "Lexer",
     "Node",
     "PERL_CLASSES",
     "Pattern",
+    "PatternNestingError",
     "Piece",
     "RegexParser",
     "RegexSyntaxError",

@@ -7,11 +7,19 @@ whether lexing or parsing failed.
 
 from __future__ import annotations
 
-from ..ir.diagnostics import Location, ParseError
+from ..ir.diagnostics import BudgetExceeded, Location, ParseError
+
+#: Default cap on group-nesting depth.  Both recursive-descent frontends
+#: check it explicitly, so a pathological ``((((...`` pattern is rejected
+#: with a typed error long before Python's interpreter recursion limit
+#: (~1000 frames, several frames per nesting level) could fire.
+DEFAULT_MAX_NESTING_DEPTH = 100
 
 
 class RegexSyntaxError(ParseError):
     """The pattern is not well-formed (unbalanced parens, bad escape...)."""
+
+    code = "REPRO-SYNTAX"
 
     def __init__(self, message: str, pattern: str, column: int):
         self.pattern = pattern
@@ -29,3 +37,26 @@ class UnsupportedRegexError(RegexSyntaxError):
     that input REs ... employ only supported operations" (§3); constructs
     like back-references or look-around land here.
     """
+
+    code = "REPRO-UNSUPPORTED"
+
+
+class PatternNestingError(BudgetExceeded, RegexSyntaxError):
+    """Group nesting deeper than the configured budget.
+
+    Deliberately both a :class:`~repro.ir.diagnostics.BudgetExceeded`
+    (it is a resource guard) and a :class:`RegexSyntaxError` (existing
+    callers that catch "the pattern was rejected" keep working).
+    """
+
+    code = "REPRO-BUDGET-NESTING"
+
+    def __init__(self, pattern: str, column: int, limit: int):
+        RegexSyntaxError.__init__(
+            self,
+            f"group nesting exceeds the {limit}-level budget",
+            pattern,
+            column,
+        )
+        self.limit = limit
+        self.spent = limit + 1

@@ -18,7 +18,7 @@ Anchor semantics follow the paper's ``RootOp`` model, where the implicit
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..ir.diagnostics import Location
 from .ast_nodes import (
@@ -32,7 +32,12 @@ from .ast_nodes import (
     Piece,
     SubRegex,
 )
-from .errors import RegexSyntaxError, UnsupportedRegexError
+from .errors import (
+    DEFAULT_MAX_NESTING_DEPTH,
+    PatternNestingError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+)
 from .lexer import Token, tokenize
 
 _QUANTIFIER_KINDS = ("STAR", "PLUS", "QMARK", "QUANT")
@@ -40,12 +45,24 @@ _UNBOUNDED = -1
 
 
 class RegexParser:
-    """Recursive-descent parser over the lexer's token stream."""
+    """Recursive-descent parser over the lexer's token stream.
 
-    def __init__(self, pattern: str):
+    Recursion happens only through groups, so an explicit ``max_depth``
+    check on ``(`` bounds the interpreter stack: deeply nested patterns
+    raise a typed :class:`PatternNestingError` instead of blowing the
+    Python recursion limit.  ``max_depth=None`` disables the guard.
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        max_depth: Optional[int] = DEFAULT_MAX_NESTING_DEPTH,
+    ):
         self.pattern = pattern
         self.tokens: List[Token] = tokenize(pattern)
         self.index = 0
+        self.max_depth = max_depth
+        self._depth = 0
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -169,7 +186,13 @@ class RegexParser:
                 token.position,
             )
         if token.kind == "LPAREN":
+            self._depth += 1
+            if self.max_depth is not None and self._depth > self.max_depth:
+                raise PatternNestingError(
+                    self.pattern, token.position, self.max_depth
+                )
             body = self._parse_alternation()
+            self._depth -= 1
             closer = self._advance()
             if closer.kind != "RPAREN":
                 raise self._error("unbalanced '('", token)
@@ -179,11 +202,15 @@ class RegexParser:
         raise self._error(f"unexpected {token.kind}", token)
 
 
-def parse_regex(pattern: str) -> Pattern:
+def parse_regex(
+    pattern: str, max_depth: Optional[int] = DEFAULT_MAX_NESTING_DEPTH
+) -> Pattern:
     """Parse ``pattern`` into a :class:`~repro.frontend.ast_nodes.Pattern`.
 
     Raises :class:`~repro.frontend.errors.RegexSyntaxError` for malformed
-    input and :class:`~repro.frontend.errors.UnsupportedRegexError` for
-    constructs outside the supported subset.
+    input, :class:`~repro.frontend.errors.UnsupportedRegexError` for
+    constructs outside the supported subset, and
+    :class:`~repro.frontend.errors.PatternNestingError` when group
+    nesting exceeds ``max_depth`` (``None`` disables the guard).
     """
-    return RegexParser(pattern).parse()
+    return RegexParser(pattern, max_depth=max_depth).parse()

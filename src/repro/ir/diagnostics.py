@@ -14,15 +14,42 @@ from typing import Optional
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Every subclass carries a stable machine-readable :attr:`code` (the
+    error taxonomy used by services and the CLI) and, when one is known,
+    a :attr:`location` pointing back into the original pattern.
+    Callers that wrap the whole pipeline therefore need exactly one
+    ``except ReproError`` clause and can always serialize the failure
+    with :meth:`to_dict`.
+    """
+
+    #: Machine-readable error code, stable across releases.
+    code: str = "REPRO-ERROR"
+    #: Source location of the offending construct, when known.
+    location: Optional["Location"] = None
+
+    def to_dict(self) -> dict:
+        """Serializable view of the error (for APIs, logs, the CLI)."""
+        location = None
+        if self.location is not None:
+            location = {
+                "source": self.location.source,
+                "column": self.location.column,
+            }
+        return {"code": self.code, "message": str(self), "location": location}
 
 
 class IRError(ReproError):
     """Structural misuse of the IR (bad insertion, detached op, ...)."""
 
+    code = "REPRO-IR"
+
 
 class VerificationError(ReproError):
     """An operation or module failed verification."""
+
+    code = "REPRO-IR-VERIFY"
 
     def __init__(self, message: str, op: object = None):
         self.op = op
@@ -34,6 +61,8 @@ class VerificationError(ReproError):
 class ParseError(ReproError):
     """Raised by the textual IR parser and by the regex frontend."""
 
+    code = "REPRO-PARSE"
+
     def __init__(self, message: str, location: Optional["Location"] = None):
         self.location = location
         if location is not None:
@@ -44,9 +73,45 @@ class ParseError(ReproError):
 class LoweringError(ReproError):
     """A dialect conversion could not lower an operation."""
 
+    code = "REPRO-LOWERING"
+
 
 class CodegenError(ReproError):
     """Code generation could not encode the program (e.g. too large)."""
+
+    code = "REPRO-CODEGEN"
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget tripped before the pipeline could finish.
+
+    The runtime layer (:mod:`repro.runtime`) raises a dedicated subclass
+    per guarded resource — parser nesting depth, counted-repetition
+    expansion, compiled program size, optimization-pass time, VM steps,
+    simulator cycles/threads, equivalence-check states — so a service
+    can convert any of them into a well-defined "try a simpler pattern /
+    shorter input" response instead of hanging or dying on
+    ``RecursionError``.
+
+    :attr:`recoverable` marks budgets that graceful degradation
+    (:func:`repro.runtime.degrade.compile_with_degradation`) may clear
+    by disabling optional optimization passes.
+    """
+
+    code = "REPRO-BUDGET"
+    #: Can retrying with optimization passes disabled possibly help?
+    recoverable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: Optional[float] = None,
+        spent: Optional[float] = None,
+    ):
+        self.limit = limit
+        self.spent = spent
+        super().__init__(message)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,7 @@ class Program:
 
         * non-empty, within the 13-bit address space;
         * every control-flow target is a valid address;
+        * the last instruction does not fall through past program end;
         * the program can terminate: at least one acceptance instruction.
         """
         if not self.instructions:
@@ -65,6 +66,14 @@ class Program:
                 has_acceptance = True
         if not has_acceptance:
             raise CodegenError("program has no acceptance instruction")
+        # MATCH/NOT_MATCH/MATCH_ANY continue at PC+1 and SPLIT forks to
+        # it; at the last address that successor does not exist.
+        last = self.instructions[-1]
+        if last.opcode.is_match or last.opcode is Opcode.SPLIT:
+            raise CodegenError(
+                f"last instruction {last.opcode.mnemonic} falls through "
+                "past program end"
+            )
 
     # ------------------------------------------------------------------
     # Introspection

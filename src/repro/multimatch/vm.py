@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set, Union
 
 from ..isa.instructions import Opcode
+from ..runtime.encoding import as_input_bytes
+from ..runtime.errors import VMStepBudgetError
 from .compiler import MultiProgram
 
 
@@ -44,8 +46,11 @@ class MultiMatchVM:
         self._operands = [instruction.operand for instruction in program]
         self._all_ids = frozenset(multi_program.patterns)
 
-    def run(self, text: Union[str, bytes]) -> MultiMatchResult:
-        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+    def run(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ) -> MultiMatchResult:
+        data = as_input_bytes(text, what="input text")
+        executed = 0
         opcodes = self._opcodes
         operands = self._operands
         length = len(data)
@@ -92,6 +97,10 @@ class MultiMatchVM:
                 else:  # MATCH
                     if char is not None and char == operands[pc]:
                         next_frontier.append(pc + 1)
+            if max_steps is not None:
+                executed += len(visited)
+                if executed > max_steps:
+                    raise VMStepBudgetError(executed, max_steps)
             frontier = next_frontier
         return MultiMatchResult(
             matched_ids=frozenset(matched),

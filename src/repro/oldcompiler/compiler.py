@@ -26,6 +26,8 @@ from ..ir.diagnostics import LoweringError
 from ..isa.instructions import Opcode
 from ..isa.metrics import StaticMetrics, static_metrics
 from ..isa.program import Program
+from ..runtime.budget import Budget, DEFAULT_BUDGET
+from ..runtime.guards import check_pattern_budget
 from .code_restructuring import code_restructuring
 from .frontend import parse_regex_old
 from .ir import (
@@ -290,18 +292,28 @@ class OldCompilationResult:
 
 
 class OldCompiler:
-    """The baseline compiler (optimize=True enables Code Restructuring)."""
+    """The baseline compiler (optimize=True enables Code Restructuring).
+
+    Enforces the same resource budgets as the new pipeline (pattern
+    length, nesting depth, counted-repetition expansion, program size),
+    so callers get typed :class:`~repro.ir.diagnostics.BudgetExceeded`
+    errors from either toolchain.
+    """
 
     name = COMPILER_NAME
 
-    def __init__(self, optimize: bool = True):
+    def __init__(self, optimize: bool = True, budget: Optional[Budget] = None):
         self.optimize = optimize
+        self.budget = budget if budget is not None else DEFAULT_BUDGET
 
     def compile(self, pattern: str) -> OldCompilationResult:
+        budget = self.budget
         stage_seconds: Dict[str, float] = {}
 
+        budget.check_pattern_length(pattern)
         started = time.perf_counter()
-        parsed = parse_regex_old(pattern)
+        parsed = parse_regex_old(pattern, max_depth=budget.max_nesting_depth)
+        check_pattern_budget(parsed, budget)
         stage_seconds["frontend"] = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -316,6 +328,7 @@ class OldCompiler:
         started = time.perf_counter()
         program = mapped.to_program(self.name)
         stage_seconds["codegen"] = time.perf_counter() - started
+        budget.check_program_size(len(program), pattern)
 
         return OldCompilationResult(
             pattern=pattern,

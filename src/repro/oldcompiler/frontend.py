@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..frontend import ast_nodes as ast
-from ..frontend.errors import RegexSyntaxError, UnsupportedRegexError
+from ..frontend.errors import (
+    DEFAULT_MAX_NESTING_DEPTH,
+    PatternNestingError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+)
 from ..frontend.lexer import PERL_CLASSES
 
 # ---------------------------------------------------------------------------
@@ -128,10 +133,16 @@ class _TableParser:
         quantifier   : STAR | PLUS | QMARK | QUANT
     """
 
-    def __init__(self, pattern: str):
+    def __init__(
+        self,
+        pattern: str,
+        max_depth: Optional[int] = DEFAULT_MAX_NESTING_DEPTH,
+    ):
         self.pattern = pattern
         self.tokens = tokenize(pattern)
         self.index = 0
+        self.max_depth = max_depth
+        self._depth = 0
 
     def peek(self) -> LexToken:
         return self.tokens[self.index]
@@ -197,7 +208,13 @@ class _TableParser:
                 token.lexpos,
             )
         if token.type == "LPAREN":
+            self._depth += 1
+            if self.max_depth is not None and self._depth > self.max_depth:
+                raise PatternNestingError(
+                    self.pattern, token.lexpos, self.max_depth
+                )
             inner = self.parse_alternation()
+            self._depth -= 1
             closer = self.advance()
             if closer.type != "RPAREN":
                 raise self.error("unbalanced '('", token)
@@ -315,14 +332,18 @@ class _TreeToAst:
         )
 
 
-def parse_regex_old(pattern: str) -> ast.Pattern:
+def parse_regex_old(
+    pattern: str, max_depth: Optional[int] = DEFAULT_MAX_NESTING_DEPTH
+) -> ast.Pattern:
     """Parse with the old toolchain's own frontend.
 
     Accepts exactly the language of :func:`repro.frontend.parse_regex`
     and produces an identical AST (tested), via the two-stage
     table-lexer → parse-tree → AST pipeline of the original compiler.
+    Like the new frontend, group nesting beyond ``max_depth`` raises a
+    typed :class:`~repro.frontend.errors.PatternNestingError`.
     """
-    tree = _TableParser(pattern).parse()
+    tree = _TableParser(pattern, max_depth=max_depth).parse()
     has_prefix = True
     children = list(tree.children)
     if children and isinstance(children[0], ParseNode) and (

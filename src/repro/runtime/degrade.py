@@ -1,0 +1,74 @@
+"""Graceful degradation: trade optimizations for a within-budget compile.
+
+When the full-strength pipeline trips a *recoverable* budget (pass time,
+program size — anything whose ``BudgetExceeded.recoverable`` is true),
+a service should not simply fail the request: the unoptimized pipeline
+may well fit.  :func:`compile_with_degradation` retries down a ladder of
+progressively weaker :class:`~repro.compiler.CompileOptions`, disabling
+passes in order of cost, and records what was lost in
+``CompilationResult.dropped_passes`` so callers can log the quality
+loss.  Every rung still produces a language-equivalent program (each
+pass is semantics-preserving, so removing passes is always sound).
+
+Non-recoverable budgets (nesting depth, counted-repetition expansion,
+input encoding...) re-raise immediately: no amount of pass-dropping can
+shrink the pattern itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..compiler import CompilationResult, CompileOptions, NewCompiler
+from ..ir.diagnostics import BudgetExceeded
+
+#: Pass flags disabled per degradation rung, most-expensive first: the
+#: §3.2 high-level rewrites dominate compile time (greedy fixpoint
+#: drivers), the §5 low-level passes are cheap linear sweeps.
+DEGRADATION_LADDER = (
+    ("factorize_alternations",),
+    ("simplify_subregex", "boundary_quantifier"),
+    ("jump_simplification", "dead_code_elimination"),
+)
+
+
+def compile_with_degradation(
+    pattern: str, options: CompileOptions
+) -> CompilationResult:
+    """Compile, retrying with passes disabled on recoverable budget trips.
+
+    Returns the first result that fits the budget; its
+    ``dropped_passes`` lists every pass flag that had to be turned off
+    (empty when the full-strength compile succeeded).  Raises the last
+    :class:`~repro.ir.diagnostics.BudgetExceeded` when even the
+    unoptimized pipeline does not fit, and re-raises immediately when
+    the error is not recoverable by dropping passes.
+    """
+    options = options.effective()
+    try:
+        return NewCompiler(options).compile(pattern)
+    except BudgetExceeded as error:
+        if not error.recoverable:
+            raise
+        failure = error
+
+    dropped = []
+    current = options
+    for rung in DEGRADATION_LADDER:
+        flags = [flag for flag in rung if getattr(current, flag)]
+        if not flags:
+            continue
+        current = replace(current, **{flag: False for flag in flags})
+        dropped.extend(flags)
+        try:
+            result = NewCompiler(current).compile(pattern)
+            result.dropped_passes = list(dropped)
+            return result
+        except BudgetExceeded as error:
+            if not error.recoverable:
+                raise
+            failure = error
+    raise failure
+
+
+__all__ = ["DEGRADATION_LADDER", "compile_with_degradation"]

@@ -1,0 +1,36 @@
+"""Input-text normalization shared by every execution surface.
+
+The VM, the multi-match VM, the cycle-level simulator and the chunker
+all accept ``str | bytes``; strings are encoded as latin-1 because the
+ISA matches single bytes.  This helper centralizes that conversion and
+turns the former raw ``UnicodeEncodeError`` into the typed
+:class:`~repro.runtime.errors.InputEncodingError` of the taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .errors import InputEncodingError
+
+
+def as_input_bytes(text: Union[str, bytes, bytearray, memoryview],
+                   what: str = "input") -> bytes:
+    """Normalize ``text`` to ``bytes``, raising a typed error.
+
+    ``what`` names the surface in the error message ("input", "chunk",
+    ...), so a service log says which call site rejected the text.
+    """
+    if isinstance(text, bytes):
+        return text
+    if isinstance(text, (bytearray, memoryview)):
+        return bytes(text)
+    try:
+        return text.encode("latin-1")
+    except UnicodeEncodeError as error:
+        raise InputEncodingError(
+            text[error.start], error.start, what=what
+        ) from error
+
+
+__all__ = ["as_input_bytes"]

@@ -1,0 +1,211 @@
+"""The structured error taxonomy of the hardened runtime layer.
+
+One import point for every error the pipeline can raise.  The root is
+:class:`~repro.ir.diagnostics.ReproError`; each subclass carries a stable
+machine-readable ``code`` and an optional source ``location``, so a
+service wrapping the pipeline needs exactly one ``except ReproError``
+and can always produce a structured response (:meth:`ReproError.to_dict`).
+
+Taxonomy (codes in parentheses)::
+
+    ReproError (REPRO-ERROR)
+    ├── IRError (REPRO-IR)
+    │   └── VerificationError (REPRO-IR-VERIFY)
+    ├── ParseError (REPRO-PARSE)
+    │   └── RegexSyntaxError (REPRO-SYNTAX)
+    │       └── UnsupportedRegexError (REPRO-UNSUPPORTED)
+    ├── LoweringError (REPRO-LOWERING)
+    ├── CodegenError (REPRO-CODEGEN)
+    ├── InputEncodingError (REPRO-INPUT-ENCODING)
+    ├── ConfigurationError (REPRO-ARCH-CONFIG)      [repro.arch.config]
+    ├── SimulationError (REPRO-SIM)                 [repro.arch.system]
+    └── BudgetExceeded (REPRO-BUDGET)
+        ├── PatternNestingError (REPRO-BUDGET-NESTING)   [+RegexSyntaxError]
+        ├── PatternLengthBudgetError (REPRO-BUDGET-PATTERN-LENGTH)
+        ├── ExpansionBudgetError (REPRO-BUDGET-EXPANSION)
+        ├── ProgramSizeBudgetError (REPRO-BUDGET-PROGRAM-SIZE)
+        ├── PassBudgetError (REPRO-BUDGET-PASS-TIME)
+        ├── VMStepBudgetError (REPRO-BUDGET-VM-STEPS)
+        ├── SimulationCycleBudgetError (REPRO-BUDGET-SIM-CYCLES) [+SimulationError]
+        ├── ThreadBudgetError (REPRO-BUDGET-SIM-THREADS)         [+SimulationError]
+        └── EquivalenceCheckExceeded (REPRO-BUDGET-EQUIV-STATES)
+
+The two simulator budget errors live in :mod:`repro.arch.system` (they
+also subclass ``SimulationError``); everything else is importable from
+here.  This module deliberately imports nothing from :mod:`repro.arch`
+or :mod:`repro.vm` so those layers can import it freely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..frontend.errors import (
+    PatternNestingError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+)
+from ..ir.diagnostics import (
+    BudgetExceeded,
+    CodegenError,
+    IRError,
+    Location,
+    LoweringError,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
+
+
+class InputEncodingError(ReproError):
+    """Input text contains a character the byte-oriented ISA cannot see.
+
+    The architecture matches single bytes; textual input is therefore
+    encoded as latin-1.  Characters above U+00FF used to surface as a
+    raw ``UnicodeEncodeError`` from deep inside the VM or the chunker —
+    now they raise this typed error naming the character and offset.
+    """
+
+    code = "REPRO-INPUT-ENCODING"
+
+    def __init__(self, character: str, position: int, what: str = "input"):
+        self.character = character
+        self.position = position
+        self.location = Location(column=position, source=f"<{what}>")
+        super().__init__(
+            f"{what} contains {character!r} (U+{ord(character):04X}) at "
+            f"offset {position}; the byte-oriented ISA only handles "
+            "characters up to U+00FF — pre-encode the text to bytes with "
+            "an explicit encoding of your choice"
+        )
+
+
+class PatternLengthBudgetError(BudgetExceeded):
+    """The pattern text itself is longer than the budget allows."""
+
+    code = "REPRO-BUDGET-PATTERN-LENGTH"
+
+    def __init__(self, length: int, limit: int):
+        super().__init__(
+            f"pattern of {length} characters exceeds the "
+            f"{limit}-character budget",
+            limit=limit,
+            spent=length,
+        )
+
+
+class ExpansionBudgetError(BudgetExceeded):
+    """Counted repetitions would expand past the budget.
+
+    Quantifiers like ``{m,n}`` are expanded into ``n`` copies of their
+    operand during lowering (the ISA has no counters), so nested counted
+    repetitions multiply.  The guard estimates the expansion on the AST
+    and rejects pathological patterns *before* burning the CPU time.
+    """
+
+    code = "REPRO-BUDGET-EXPANSION"
+
+    def __init__(self, estimate: int, limit: int, pattern: str):
+        self.pattern = pattern
+        super().__init__(
+            f"counted repetitions of pattern {_clip(pattern)!r} would "
+            f"expand to ~{estimate} instructions, over the {limit} budget",
+            limit=limit,
+            spent=estimate,
+        )
+
+
+class ProgramSizeBudgetError(BudgetExceeded):
+    """The compiled program is larger than the configured budget.
+
+    Recoverable: graceful degradation retries with optimization passes
+    disabled before giving up (some transforms trade size for speed).
+    """
+
+    code = "REPRO-BUDGET-PROGRAM-SIZE"
+    recoverable = True
+
+    def __init__(self, size: int, limit: int, pattern: str):
+        self.pattern = pattern
+        super().__init__(
+            f"compiled program of {size} instructions for pattern "
+            f"{_clip(pattern)!r} exceeds the {limit}-instruction budget",
+            limit=limit,
+            spent=size,
+        )
+
+
+class PassBudgetError(BudgetExceeded):
+    """The optimization passes overran their time budget.
+
+    Recoverable by construction: dropping the optional passes removes
+    the cost entirely, so graceful degradation retries without them —
+    the compiler's equivalent of falling back to ``-O0``.
+    """
+
+    code = "REPRO-BUDGET-PASS-TIME"
+    recoverable = True
+
+    def __init__(self, seconds: float, limit: float, stage: str):
+        self.stage = stage
+        super().__init__(
+            f"optimization passes ({stage}) took {seconds:.4f}s, over "
+            f"the {limit:.4f}s budget",
+            limit=limit,
+            spent=seconds,
+        )
+
+
+class VMStepBudgetError(BudgetExceeded):
+    """The golden-model VM exceeded its instruction-step budget."""
+
+    code = "REPRO-BUDGET-VM-STEPS"
+
+    def __init__(self, steps: int, limit: int, pattern: str = ""):
+        self.pattern = pattern
+        suffix = f" (pattern {_clip(pattern)!r})" if pattern else ""
+        super().__init__(
+            f"VM executed {steps} steps, over the {limit}-step "
+            f"budget{suffix}",
+            limit=limit,
+            spent=steps,
+        )
+
+
+def _clip(text: str, limit: int = 60) -> str:
+    """Clip long patterns so error messages stay loggable."""
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def format_error(error: ReproError) -> str:
+    """One-line, grep-friendly rendering: ``error[CODE] at LOC: msg``."""
+    location = ""
+    message = str(error).split("\n", 1)[0]
+    if error.location is not None:
+        rendered = str(error.location)
+        # Syntax errors already lead with their location; don't say it twice.
+        if not message.startswith(rendered):
+            location = f" at {rendered}"
+    return f"error[{error.code}]{location}: {message}"
+
+
+__all__ = [
+    "BudgetExceeded",
+    "CodegenError",
+    "ExpansionBudgetError",
+    "IRError",
+    "InputEncodingError",
+    "Location",
+    "LoweringError",
+    "ParseError",
+    "PassBudgetError",
+    "PatternLengthBudgetError",
+    "PatternNestingError",
+    "ProgramSizeBudgetError",
+    "RegexSyntaxError",
+    "ReproError",
+    "UnsupportedRegexError",
+    "VMStepBudgetError",
+    "VerificationError",
+    "format_error",
+]

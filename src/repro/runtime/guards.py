@@ -1,0 +1,69 @@
+"""Static pattern-complexity guards run between parsing and lowering.
+
+The one source of super-linear blow-up the grammar admits is counted
+repetition: the ISA has no counters, so ``a{m,n}`` lowers to ``n``
+copies of its operand, and nesting multiplies — ``(a{50}){50}`` is 2 500
+copies, ``((a{50}){50}){50}`` is 125 000.  :func:`estimate_expansion`
+bounds that cost on the AST in linear time (big ints, no overflow), so
+the compiler can reject a pathological pattern *before* spending minutes
+materializing it.
+
+The estimate deliberately mirrors the lowering's copy counts (bounded
+quantifiers emit ``max`` copies, ``{m,}`` emits ``m`` plus a loop) and
+adds one instruction per alternation branch for the split chain; it is
+a close lower bound of the final code size, not an exact prediction.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast_nodes as ast
+from .budget import Budget
+
+
+def estimate_expansion(pattern: ast.Pattern) -> int:
+    """Estimated instruction count after counted-repetition expansion."""
+    # The pattern was parsed under the nesting-depth guard, so this
+    # structural recursion is stack-safe by construction.
+    return _alternation(pattern.root) + 2  # entry split + acceptance
+
+
+def _alternation(node: ast.Alternation) -> int:
+    cost = len(node.branches) - 1  # split chain
+    for branch in node.branches:
+        cost += _concatenation(branch)
+    return cost
+
+
+def _concatenation(node: ast.Concatenation) -> int:
+    return sum(_piece(piece) for piece in node.pieces)
+
+
+def _piece(piece: ast.Piece) -> int:
+    base = _atom(piece.atom)
+    if piece.max == ast.UNBOUNDED:
+        copies = max(piece.min, 1)
+        overhead = 1  # the trailing loop split
+    else:
+        copies = max(piece.max, 1)
+        overhead = max(piece.max - piece.min, 0)  # optional-copy splits
+    return base * copies + overhead
+
+
+def _atom(atom: ast.Atom) -> int:
+    if isinstance(atom, ast.SubRegex):
+        return _alternation(atom.body)
+    if isinstance(atom, ast.CharClass):
+        # One MATCH/NOT_MATCH per member plus the join/any instruction.
+        return len(atom.members) + 1
+    return 1
+
+
+def check_pattern_budget(pattern: ast.Pattern, budget: Budget) -> None:
+    """Raise :class:`~repro.runtime.errors.ExpansionBudgetError` when the
+    pattern's estimated expansion exceeds ``budget.max_expansion``."""
+    if budget.max_expansion is None:
+        return
+    budget.check_expansion(estimate_expansion(pattern), pattern.text)
+
+
+__all__ = ["check_pattern_budget", "estimate_expansion"]

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
+from ..ir.diagnostics import BudgetExceeded
 from ..isa.instructions import Opcode
 from ..isa.program import Program
 
@@ -46,12 +47,22 @@ _MATCH_ANY = int(Opcode.MATCH_ANY)
 _NOT_MATCH = int(Opcode.NOT_MATCH)
 
 
-class EquivalenceCheckExceeded(Exception):
-    """The product walk hit the configured state budget."""
+class EquivalenceCheckExceeded(BudgetExceeded):
+    """The product walk hit the configured state budget.
+
+    Part of the :class:`~repro.ir.diagnostics.BudgetExceeded` taxonomy:
+    the check is *decidable* but the product automaton can be large, so
+    services bound it and treat this as "undecided", never as a hang.
+    """
+
+    code = "REPRO-BUDGET-EQUIV-STATES"
 
     def __init__(self, limit: int):
-        self.limit = limit
-        super().__init__(f"equivalence check exceeded {limit} product states")
+        super().__init__(
+            f"equivalence check exceeded {limit} product states",
+            limit=limit,
+            spent=limit,
+        )
 
 
 @dataclass(frozen=True)
@@ -132,8 +143,15 @@ class _Acceptor:
 
 
 def _alphabet(left: _Acceptor, right: _Acceptor) -> List[Optional[int]]:
-    """Distinguishable characters: every named char + one 'other'."""
-    named = sorted(left.match_chars | right.match_chars)
+    """Distinguishable characters: every named char + one 'other'.
+
+    Operands are 13-bit but inputs are bytes, so a ``MATCH c`` with
+    ``c > 255`` (possible in hand-built or corrupted programs) can never
+    fire — such characters are excluded rather than crashing the walk.
+    """
+    named = sorted(
+        char for char in left.match_chars | right.match_chars if char < 256
+    )
     for candidate in range(256):
         if candidate not in named:
             return named + [candidate]

@@ -26,6 +26,8 @@ from typing import List, Optional, Set, Union
 
 from ..isa.instructions import Opcode
 from ..isa.program import Program
+from ..runtime.encoding import as_input_bytes
+from ..runtime.errors import VMStepBudgetError
 
 
 @dataclass
@@ -52,9 +54,12 @@ class MatchResult:
 
 
 def _as_bytes(text: Union[str, bytes]) -> bytes:
-    if isinstance(text, str):
-        return text.encode("latin-1")
-    return bytes(text)
+    """Normalize input to bytes.
+
+    Raises a typed :class:`~repro.runtime.errors.InputEncodingError` for
+    non-latin-1 text instead of leaking a raw ``UnicodeEncodeError``.
+    """
+    return as_input_bytes(text, what="input text")
 
 
 class ThompsonVM:
@@ -67,17 +72,33 @@ class ThompsonVM:
         self._opcodes = [int(instruction.opcode) for instruction in program]
         self._operands = [instruction.operand for instruction in program]
 
-    def run(self, text: Union[str, bytes]) -> MatchResult:
-        """Execute the program over ``text``; stops at the first match."""
-        return self._run(_as_bytes(text), None)
+    def run(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ) -> MatchResult:
+        """Execute the program over ``text``; stops at the first match.
 
-    def run_with_stats(self, text: Union[str, bytes]):
+        ``max_steps`` bounds the executed instruction count (checked per
+        input position, so the overhead on the hot loop is negligible);
+        exceeding it raises a typed
+        :class:`~repro.runtime.errors.VMStepBudgetError` instead of
+        burning CPU on a pathological pattern × input combination.
+        """
+        return self._run(_as_bytes(text), None, max_steps)
+
+    def run_with_stats(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ):
         """Like :meth:`run` but also returns :class:`VMStatistics`."""
         stats = VMStatistics()
-        result = self._run(_as_bytes(text), stats)
+        result = self._run(_as_bytes(text), stats, max_steps)
         return result, stats
 
-    def _run(self, data: bytes, stats: Optional[VMStatistics]) -> MatchResult:
+    def _run(
+        self,
+        data: bytes,
+        stats: Optional[VMStatistics],
+        max_steps: Optional[int] = None,
+    ) -> MatchResult:
         opcodes = self._opcodes
         operands = self._operands
         length = len(data)
@@ -93,6 +114,7 @@ class ThompsonVM:
         frontier: List[int] = [0]
         if stats is not None:
             stats.threads_spawned += 1
+        executed = 0
 
         for position in range(length + 1):
             if not frontier:
@@ -145,6 +167,15 @@ class ThompsonVM:
                 stats.positions_processed += 1
                 stats.frontier_sizes.append(len(next_frontier))
                 stats.max_frontier = max(stats.max_frontier, len(next_frontier))
+            if max_steps is not None:
+                # Per-position accounting keeps the inner loop free of
+                # budget branches; |visited| is exactly the number of
+                # distinct instructions executed at this position.
+                executed += len(visited)
+                if executed > max_steps:
+                    raise VMStepBudgetError(
+                        executed, max_steps, self.program.source_pattern
+                    )
             frontier = next_frontier
         return MatchResult(False, None)
 

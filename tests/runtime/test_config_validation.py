@@ -1,0 +1,84 @@
+"""Typed validation of architecture configuration and chunking args."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import (
+    ArchConfig,
+    ConfigurationError,
+    MAX_ENGINES,
+    MAX_TOTAL_CORES,
+)
+from repro.arch.simulator import split_chunks
+from repro.ir.diagnostics import ReproError
+
+
+def test_configuration_error_is_typed():
+    assert issubclass(ConfigurationError, ReproError)
+    assert ConfigurationError.code == "REPRO-ARCH-CONFIG"
+
+
+@pytest.mark.parametrize("chunk_bytes", [0, -1, -500])
+def test_split_chunks_rejects_non_positive_chunk_size(chunk_bytes):
+    with pytest.raises(ConfigurationError):
+        split_chunks(b"abcdef", chunk_bytes)
+
+
+def test_split_chunks_normal_operation():
+    assert split_chunks(b"abcdef", 4) == [b"abcd", b"ef"]
+    assert split_chunks(b"", 4) == [b""]
+
+
+@pytest.mark.parametrize("cores,engines", [(0, 1), (1, 0), (-1, 1)])
+def test_non_positive_cores_or_engines(cores, engines):
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=cores, num_engines=engines)
+
+
+def test_engine_count_cap():
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=1, num_engines=MAX_ENGINES + 1)
+
+
+def test_total_core_cap():
+    # 8 cores/engine (new organization, CC_ID=3) times too many engines.
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=8, num_engines=MAX_TOTAL_CORES // 8 + 1)
+
+
+def test_core_count_must_match_an_organization():
+    """An engine has 1 core (old) or 2^CC_ID cores (new) — nothing else."""
+    with pytest.raises(ConfigurationError):
+        ArchConfig(cores_per_engine=3, num_engines=1, cc_id_bits=3)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"icache_lines": 0},
+        {"icache_line_words": 0},
+        {"icache_ways": 0},
+        {"icache_lines": 16, "icache_ways": 3},
+        {"memory_latency": -1},
+        {"transfer_latency": -2},
+        {"pipeline_latency": -1},
+        {"max_threads_per_position": 0},
+    ],
+    ids=lambda d: ",".join(f"{k}={v}" for k, v in d.items()),
+)
+def test_bad_microarchitectural_parameters(overrides):
+    with pytest.raises(ConfigurationError):
+        ArchConfig(**overrides)
+
+
+def test_dataclasses_replace_is_revalidated():
+    config = ArchConfig.new(8)
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(config, memory_latency=-1)
+
+
+def test_paper_configurations_still_construct():
+    assert ArchConfig.old(9).name
+    assert ArchConfig.new(16).name
+    assert ArchConfig.new(8, 2).total_cores == 16

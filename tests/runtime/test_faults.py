@@ -1,0 +1,218 @@
+"""Fault injection: every injected fault is detected or provably benign.
+
+The safety property under test (docs/robustness.md): corrupting
+instruction memory, dropping FIFO entries, or forcing cache misses never
+produces a silently wrong verdict — some layer (program validation, the
+equivalence decision procedure, the golden-model cross-check, or the
+cycle watchdog) accounts for each fault, or the fault is proved benign.
+"""
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.system import CiceroSystem
+from repro.compiler import NewCompiler
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.runtime.faults import (
+    AlwaysMissCache,
+    CampaignReport,
+    DETECTORS,
+    DroppingFifo,
+    FaultPlan,
+    FifoDropFault,
+    InstructionFault,
+    classify_cache_fault,
+    classify_fifo_fault,
+    classify_instruction_fault,
+    corrupt_program,
+    install_cache_fault,
+    install_fifo_fault,
+    instruction_fault_sites,
+    run_fifo_campaign,
+    run_instruction_campaign,
+)
+
+FAULT_CORPUS = ["a(b|c)d*e", "th(is|at)", "a[bc]+d", "x?y{2,3}z"]
+
+
+@pytest.fixture(scope="module", params=FAULT_CORPUS, ids=repr)
+def program(request):
+    return NewCompiler().compile(request.param).program
+
+
+# ----------------------------------------------------------------------
+# Mechanics
+# ----------------------------------------------------------------------
+def test_corrupt_program_changes_exactly_one_word():
+    original = NewCompiler().compile("ab").program
+    fault = InstructionFault(0, opcode=Opcode.MATCH_ANY, operand=0)
+    corrupted = corrupt_program(original, fault)
+    differing = [
+        address
+        for address, (left, right) in enumerate(
+            zip(original.instructions, corrupted.instructions)
+        )
+        if left != right
+    ]
+    assert differing == [0]
+    # The original program is untouched.
+    assert original[0] != corrupted[0]
+
+
+def test_fault_sites_cover_every_address():
+    program = NewCompiler().compile("a(b|c)d").program
+    addresses = {fault.address for fault in instruction_fault_sites(program)}
+    assert addresses == set(range(len(program)))
+
+
+def test_dropping_fifo_loses_exactly_the_planned_push():
+    plan = FaultPlan([2])
+    fifo = DroppingFifo(plan)
+    fifo.push(10, 0, 0)
+    fifo.push(20, 0, 0)  # dropped
+    fifo.push(30, 0, 0)
+    assert plan.dropped == 1
+    assert [entry[0] for entry in fifo.entries] == [10, 30]
+
+
+def test_always_miss_cache_never_hits():
+    cache = AlwaysMissCache(16, 8, 2)
+    cache.fill(0)
+    assert cache.lookup(0) is False
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Instruction-memory corruption campaigns
+# ----------------------------------------------------------------------
+def test_instruction_campaign_accounts_for_every_fault(program):
+    report = run_instruction_campaign(program)
+    assert report.injected > 0
+    assert report.all_accounted()
+    histogram = report.by_detector()
+    assert set(histogram) <= set(DETECTORS) | {"benign"}
+
+
+def test_validation_catches_out_of_range_jump():
+    program = NewCompiler().compile("ab").program
+    fault = InstructionFault(0, opcode=Opcode.JMP, operand=8000)
+    outcome = classify_instruction_fault(program, fault)
+    assert outcome.detected_by == "validation"
+
+
+def test_equivalence_catches_a_changed_match_character():
+    program = NewCompiler().compile("ab").program
+    address = next(
+        index for index, instruction in enumerate(program)
+        if instruction.opcode is Opcode.MATCH
+    )
+    fault = InstructionFault(address, operand=ord("z"))
+    outcome = classify_instruction_fault(program, fault)
+    assert outcome.detected_by == "equivalence"
+    assert "counterexample" in outcome.detail
+
+
+def test_benign_faults_are_language_equivalent():
+    """A corruption in an unreachable instruction must classify benign."""
+    instructions = [
+        Instruction(Opcode.MATCH, ord("a")),
+        Instruction(Opcode.JMP, 3),
+        Instruction(Opcode.MATCH, ord("x")),  # unreachable
+        Instruction(Opcode.ACCEPT),
+    ]
+    program = Program(list(instructions), source_pattern="a", compiler="hand")
+    outcome = classify_instruction_fault(
+        program, InstructionFault(2, operand=ord("y"))
+    )
+    assert outcome.benign
+
+
+def test_equivalence_checker_survives_13bit_operands():
+    """Corrupted operands above the byte range must not crash the
+    decision procedure (they are simply unmatchable)."""
+    program = NewCompiler().compile("ab").program
+    address = next(
+        index for index, instruction in enumerate(program)
+        if instruction.opcode is Opcode.MATCH
+    )
+    outcome = classify_instruction_fault(
+        program, InstructionFault(address, operand=0x1F00)
+    )
+    assert outcome.detected_by == "equivalence"
+
+
+# ----------------------------------------------------------------------
+# FIFO drops
+# ----------------------------------------------------------------------
+def test_fifo_campaign_accounts_for_every_drop(program):
+    text = "abde"
+    report = run_fifo_campaign(program, text, range(1, 11))
+    assert report.injected == 10
+    assert report.all_accounted()
+
+
+def test_dropping_the_initial_thread_trips_the_watchdog():
+    program = NewCompiler().compile("a(b|c)d*e").program
+    outcome = classify_fifo_fault(
+        program, "abde", FifoDropFault((1,)), max_cycles=50_000
+    )
+    assert outcome.detected_by == "watchdog"
+
+
+def test_drop_on_non_matching_input_always_detected():
+    """Without a match to terminate early, a lost thread leaves the
+    live-thread accounting permanently ahead and the watchdog fires."""
+    program = NewCompiler().compile("a(b|c)d*e").program
+    report = run_fifo_campaign(
+        program, "abdx", range(1, 8), max_cycles=50_000
+    )
+    assert all(
+        outcome.detected_by == "watchdog" or outcome.benign
+        for outcome in report.outcomes
+    )
+    assert any(outcome.detected_by == "watchdog" for outcome in report.outcomes)
+
+
+def test_fifo_fault_multi_engine(program):
+    report = run_fifo_campaign(
+        program, "abde", range(1, 6), config=ArchConfig.new(4, 2)
+    )
+    assert report.all_accounted()
+
+
+def test_install_fifo_fault_replaces_every_fifo():
+    program = NewCompiler().compile("ab").program
+    system = CiceroSystem(program, ArchConfig.new(4))
+    install_fifo_fault(system, FifoDropFault((1,)))
+    for engine in system._engines:
+        assert all(isinstance(fifo, DroppingFifo) for fifo in engine.fifos)
+
+
+# ----------------------------------------------------------------------
+# Forced cache misses
+# ----------------------------------------------------------------------
+def test_forced_cache_misses_are_benign(program):
+    outcome = classify_cache_fault(program, "abde")
+    assert outcome.benign
+    assert "timing-only" in outcome.detail
+
+
+def test_forced_cache_misses_only_slow_the_run_down():
+    program = NewCompiler().compile("a[bc]+d").program
+    config = ArchConfig.new(8)
+    clean = CiceroSystem(program, config).run("xabcbcd")
+    system = CiceroSystem(program, config)
+    install_cache_fault(system)
+    faulty = system.run("xabcbcd")
+    assert faulty.matched == clean.matched
+    assert faulty.cycles >= clean.cycles
+    assert faulty.stats.cache_hits == 0
+
+
+def test_campaign_report_bookkeeping():
+    report = CampaignReport()
+    assert report.injected == 0
+    assert report.all_accounted()
+    assert report.by_detector() == {}

@@ -1,0 +1,69 @@
+"""Typed input-encoding errors: no raw UnicodeEncodeError escapes."""
+
+import pytest
+
+from repro.arch.simulator import CiceroSimulator, split_chunks
+from repro.compiler import NewCompiler
+from repro.multimatch.compiler import compile_multipattern
+from repro.multimatch.vm import MultiMatchVM
+from repro.runtime.encoding import as_input_bytes
+from repro.runtime.errors import InputEncodingError
+from repro.vm.thompson import ThompsonVM
+
+
+def test_bytes_pass_through_unchanged():
+    assert as_input_bytes(b"\x00\xffabc") == b"\x00\xffabc"
+    assert as_input_bytes(bytearray(b"xy")) == b"xy"
+    assert as_input_bytes(memoryview(b"xy")) == b"xy"
+
+
+def test_latin1_text_round_trips():
+    assert as_input_bytes("héllo\xff") == "héllo\xff".encode("latin-1")
+
+
+def test_non_latin1_raises_typed_error_with_position():
+    with pytest.raises(InputEncodingError) as excinfo:
+        as_input_bytes("ab☃cd")
+    error = excinfo.value
+    assert error.character == "☃"
+    assert error.position == 2
+    assert error.code == "REPRO-INPUT-ENCODING"
+    assert "U+2603" in str(error)
+
+
+def test_error_is_never_a_bare_unicode_error():
+    with pytest.raises(InputEncodingError):
+        try:
+            as_input_bytes("€")
+        except UnicodeEncodeError:  # pragma: no cover
+            pytest.fail("raw UnicodeEncodeError leaked")
+
+
+def test_vm_rejects_unencodable_text():
+    program = NewCompiler().compile("ab").program
+    with pytest.raises(InputEncodingError):
+        ThompsonVM(program).run("a☃b")
+
+
+def test_multimatch_vm_rejects_unencodable_text():
+    bundle = compile_multipattern(["ab", "cd"])
+    with pytest.raises(InputEncodingError):
+        MultiMatchVM(bundle).run("a☃b")
+
+
+def test_split_chunks_rejects_unencodable_text():
+    with pytest.raises(InputEncodingError) as excinfo:
+        split_chunks("x" * 10 + "☃")
+    assert excinfo.value.position == 10
+
+
+def test_simulator_rejects_unencodable_text():
+    program = NewCompiler().compile("ab").program
+    with pytest.raises(InputEncodingError):
+        CiceroSimulator().run(program, "日本語")
+
+
+def test_location_names_the_input_kind():
+    with pytest.raises(InputEncodingError) as excinfo:
+        split_chunks("☃")
+    assert excinfo.value.location.source == "<input stream>"

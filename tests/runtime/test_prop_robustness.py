@@ -1,0 +1,130 @@
+"""Property: the hardened pipeline never leaks an untyped failure.
+
+For arbitrary generated patterns and inputs (plus adversarial corpora),
+every entry point either succeeds within budget or raises a
+``ReproError`` subclass — never a bare ``RecursionError``,
+``UnicodeEncodeError``, or an unbounded hang.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.compiler import CompileOptions, NewCompiler
+from repro.ir.diagnostics import ReproError
+from repro.oldcompiler.compiler import OldCompiler
+from repro.runtime.budget import Budget
+from repro.runtime.faults import (
+    InstructionFault,
+    classify_instruction_fault,
+)
+from repro.vm.thompson import ThompsonVM
+from strategies import inputs, regex_patterns
+
+#: A tight-but-functional budget: compilation must finish instantly or
+#: trip a typed error; the VM gets a bounded step count.
+TIGHT = Budget(
+    max_pattern_length=500,
+    max_nesting_depth=25,
+    max_expansion=5_000,
+    max_program_length=2_000,
+    max_vm_steps=200_000,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=regex_patterns())
+def test_every_generated_pattern_compiles_or_raises_typed(pattern):
+    for compiler in ("new", "old"):
+        try:
+            result = api.compile_pattern(pattern, compiler=compiler, budget=TIGHT)
+            assert len(result.program) > 0
+        except ReproError:
+            pass  # a typed rejection is a valid outcome
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=regex_patterns(), text=inputs())
+def test_match_never_leaks_untyped_errors(pattern, text):
+    try:
+        api.match(pattern, text, budget=TIGHT)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=regex_patterns(max_depth=1), text=inputs(max_size=12))
+def test_simulate_never_leaks_untyped_errors(pattern, text):
+    try:
+        api.simulate(pattern, text, budget=TIGHT)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=regex_patterns(max_depth=1),
+    text=st.text(max_size=12),  # full unicode: exercises encoding guard
+)
+def test_arbitrary_unicode_input_is_typed(pattern, text):
+    try:
+        result = ThompsonVM(NewCompiler().compile(pattern).program).run(
+            text, max_steps=TIGHT.max_vm_steps
+        )
+        assert result is not None
+    except ReproError:
+        pass
+    except UnicodeEncodeError:  # pragma: no cover
+        pytest.fail("raw UnicodeEncodeError leaked through the VM")
+
+
+@settings(max_examples=30, deadline=None)
+@given(depth=st.integers(min_value=1, max_value=8000))
+def test_any_nesting_depth_is_either_fine_or_typed(depth):
+    pattern = "(" * depth + "a" + ")" * depth
+    try:
+        NewCompiler(CompileOptions(budget=TIGHT)).compile(pattern)
+        assert depth <= TIGHT.max_nesting_depth
+    except ReproError:
+        assert depth > TIGHT.max_nesting_depth
+    except RecursionError:  # pragma: no cover
+        pytest.fail("raw RecursionError leaked through the parser")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pattern=regex_patterns(max_depth=1),
+    address_seed=st.integers(min_value=0),
+    operand=st.integers(min_value=0, max_value=(1 << 13) - 1),
+    opcode_seed=st.integers(min_value=0, max_value=6),
+)
+def test_random_instruction_corruption_is_always_accounted(
+    pattern, address_seed, operand, opcode_seed
+):
+    """The fault-injection safety property, fuzzed: any single-word
+    corruption of any compiled program is detected or benign."""
+    program = NewCompiler().compile(pattern).program
+    fault = InstructionFault(
+        address_seed % len(program), opcode=opcode_seed, operand=operand
+    )
+    outcome = classify_instruction_fault(program, fault, max_states=20_000)
+    assert outcome.detected or outcome.benign
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=regex_patterns(max_depth=1))
+def test_old_and_new_budgeted_compilers_agree_on_acceptance(pattern):
+    """Budget enforcement must not change what a pattern compiles to:
+    if both toolchains accept it, both programs are produced."""
+    try:
+        new_program = NewCompiler(CompileOptions(budget=TIGHT)).compile(pattern)
+    except ReproError:
+        new_program = None
+    try:
+        old_program = OldCompiler(budget=TIGHT).compile(pattern)
+    except ReproError:
+        old_program = None
+    if new_program is not None and old_program is not None:
+        assert len(new_program.program) > 0
+        assert len(old_program.program) > 0

@@ -1,0 +1,140 @@
+"""The structured error taxonomy: one root, stable codes, serializable."""
+
+import pytest
+
+from repro.arch.config import ConfigurationError
+from repro.arch.system import (
+    SimulationCycleBudgetError,
+    SimulationError,
+    ThreadBudgetError,
+)
+from repro.frontend.errors import (
+    PatternNestingError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+)
+from repro.ir.diagnostics import (
+    BudgetExceeded,
+    CodegenError,
+    IRError,
+    Location,
+    LoweringError,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
+from repro.runtime.errors import (
+    ExpansionBudgetError,
+    InputEncodingError,
+    PassBudgetError,
+    PatternLengthBudgetError,
+    ProgramSizeBudgetError,
+    VMStepBudgetError,
+    format_error,
+)
+from repro.verify.equivalence import EquivalenceCheckExceeded
+
+ALL_ERROR_TYPES = [
+    IRError,
+    VerificationError,
+    ParseError,
+    RegexSyntaxError,
+    UnsupportedRegexError,
+    LoweringError,
+    CodegenError,
+    ConfigurationError,
+    SimulationError,
+    BudgetExceeded,
+    PatternNestingError,
+    PatternLengthBudgetError,
+    ExpansionBudgetError,
+    ProgramSizeBudgetError,
+    PassBudgetError,
+    VMStepBudgetError,
+    SimulationCycleBudgetError,
+    ThreadBudgetError,
+    EquivalenceCheckExceeded,
+    InputEncodingError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERROR_TYPES)
+def test_every_error_is_a_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERROR_TYPES)
+def test_every_error_has_a_stable_code(error_type):
+    assert error_type.code.startswith("REPRO-")
+    assert error_type.code != "REPRO-ERROR"
+
+
+def test_codes_are_unique_per_concrete_type():
+    codes = [t.code for t in ALL_ERROR_TYPES]
+    assert len(codes) == len(set(codes))
+
+
+def test_budget_errors_carry_limit_and_spent():
+    error = VMStepBudgetError(120, 100, "a*b")
+    assert error.limit == 100
+    assert error.spent == 120
+    assert isinstance(error, BudgetExceeded)
+
+
+def test_nesting_error_is_both_budget_and_syntax_error():
+    """Old callers catching RegexSyntaxError and new callers catching
+    BudgetExceeded both see the depth rejection."""
+    error = PatternNestingError("((((", 3, 2)
+    assert isinstance(error, BudgetExceeded)
+    assert isinstance(error, RegexSyntaxError)
+    assert error.code == "REPRO-BUDGET-NESTING"
+
+
+def test_simulator_budget_errors_are_both_simulation_and_budget():
+    error = SimulationCycleBudgetError("stuck", limit=10, spent=11)
+    assert isinstance(error, SimulationError)
+    assert isinstance(error, BudgetExceeded)
+    error = ThreadBudgetError("blow-up", limit=5, spent=6)
+    assert isinstance(error, SimulationError)
+    assert isinstance(error, BudgetExceeded)
+
+
+def test_recoverable_flags():
+    """Only the errors graceful degradation can fix are recoverable."""
+    assert ProgramSizeBudgetError.recoverable
+    assert PassBudgetError.recoverable
+    assert not BudgetExceeded.recoverable
+    assert not PatternNestingError.recoverable
+    assert not ExpansionBudgetError.recoverable
+    assert not VMStepBudgetError.recoverable
+
+
+def test_to_dict_is_machine_readable():
+    error = InputEncodingError("☃", 7, what="input chunk")
+    payload = error.to_dict()
+    assert payload["code"] == "REPRO-INPUT-ENCODING"
+    assert "U+2603" in payload["message"]
+    assert payload["location"]["column"] == 7
+
+
+def test_to_dict_without_location():
+    payload = PassBudgetError(1.5, 1.0, "regex-transforms").to_dict()
+    assert payload["code"] == "REPRO-BUDGET-PASS-TIME"
+    assert payload["location"] is None
+
+
+def test_format_error_renders_code_and_location():
+    rendered = format_error(InputEncodingError("é", 2, what="input"))
+    assert rendered.startswith("error[REPRO-INPUT-ENCODING] at <input>:2:")
+
+
+def test_format_error_does_not_repeat_syntax_location():
+    error = RegexSyntaxError("unbalanced '('", "(((", 2)
+    rendered = format_error(error)
+    assert rendered.count("<pattern>:2") == 1
+
+
+def test_syntax_error_location_survives():
+    error = RegexSyntaxError("boom", "ab(", 2)
+    assert isinstance(error.location, Location)
+    assert error.location.column == 2
