@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Throughput regression harness for :mod:`repro.engine`.
+
+Measures three serving-oriented workloads and writes ``BENCH_engine.json``
+so future PRs have a perf trajectory:
+
+* **repeated-pattern** — the same small pattern set requested over and
+  over (the cache's home turf): engine requests/sec vs compile-per-call
+  baseline, plus the cache hit rate.
+* **corpus-scan** — one pattern over a chunked corpus: engine chars/sec
+  (compile once, fast VM) vs the pre-engine behaviour (recompile per
+  chunk, reference VM).
+* **vm-fast-path** — the precomputed-dispatch VM vs the reference
+  interpreter on identical programs and inputs.
+
+Absolute throughputs are machine-dependent; the *speedup ratios* are
+not, so the regression gate (``--baseline`` + ``--max-regression``)
+compares ratios only.  Run ``--quick`` in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick \
+        --baseline benchmarks/baselines/BENCH_engine_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.backends import compile_with_backend
+from repro.compiler import NewCompiler
+from repro.engine import Engine
+from repro.vm.thompson import ThompsonVM
+
+#: Ratio metrics the regression gate compares (machine-independent).
+GATED_METRICS = (
+    ("repeated_pattern", "speedup"),
+    ("corpus_scan", "speedup"),
+    ("vm_fast_path", "speedup"),
+)
+
+PATTERNS = [
+    "th(is|at|ose)",
+    "a(b|c)d*e",
+    "x[ab]{2,4}y",
+    "(ab|ba)+c",
+    "colou?r",
+    "[a-f]+[0-9][a-f]+",
+]
+
+
+def _mk_corpus(chars: int) -> bytes:
+    # Deterministic, non-trivially matchable filler.
+    unit = b"the quick brown fox jumps over the lazy dog 0123456789 "
+    body = (unit * (chars // len(unit) + 1))[:chars]
+    return body[: chars // 2] + b"xaabby" + body[chars // 2 :]
+
+
+def bench_repeated_patterns(repeats: int) -> Dict:
+    """Cache-hit workload: every pattern requested ``repeats`` times."""
+    text = "say that again"
+    requests = [(pattern, text) for _ in range(repeats) for pattern in PATTERNS]
+
+    started = time.perf_counter()
+    for pattern, probe in requests:
+        compile_with_backend(pattern, "cicero").matches(probe)
+    baseline_s = time.perf_counter() - started
+
+    engine = Engine(backend="cicero")
+    started = time.perf_counter()
+    for pattern, probe in requests:
+        engine.match(pattern, probe)
+    engine_s = time.perf_counter() - started
+
+    stats = engine.cache_stats()
+    total = len(requests)
+    return {
+        "requests": total,
+        "unique_patterns": len(PATTERNS),
+        "baseline_s": baseline_s,
+        "engine_s": engine_s,
+        "baseline_patterns_per_sec": total / baseline_s,
+        "engine_patterns_per_sec": total / engine_s,
+        "speedup": baseline_s / engine_s,
+        "cache": stats.to_dict(),
+    }
+
+
+def bench_corpus_scan(corpus_chars: int, chunk_bytes: int = 500) -> Dict:
+    """One pattern over a chunked corpus, engine vs pre-engine flow."""
+    pattern = "a(a|b)*by"
+    corpus = _mk_corpus(corpus_chars)
+    chunks = [
+        corpus[i : i + chunk_bytes] for i in range(0, len(corpus), chunk_bytes)
+    ]
+
+    # The pre-engine serving flow: each chunk request recompiled the
+    # pattern and ran the reference interpreter (api.match semantics).
+    started = time.perf_counter()
+    baseline_verdicts = [
+        ThompsonVM(NewCompiler().compile(pattern).program).run_reference(chunk)
+        .matched
+        for chunk in chunks
+    ]
+    baseline_s = time.perf_counter() - started
+
+    engine = Engine(backend="cicero")
+    started = time.perf_counter()
+    result = engine.scan_corpus(pattern, corpus, chunk_bytes=chunk_bytes)
+    engine_s = time.perf_counter() - started
+
+    assert result.chunk_matches == baseline_verdicts, (
+        "engine and baseline disagree on corpus verdicts"
+    )
+    return {
+        "corpus_chars": len(corpus),
+        "chunks": len(chunks),
+        "chunk_bytes": chunk_bytes,
+        "matched_chunks": result.matched_chunks,
+        "baseline_s": baseline_s,
+        "engine_s": engine_s,
+        "baseline_chars_per_sec": len(corpus) / baseline_s,
+        "engine_chars_per_sec": len(corpus) / engine_s,
+        "speedup": baseline_s / engine_s,
+    }
+
+
+def bench_vm_fast_path(text_chars: int, rounds: int) -> Dict:
+    """Precomputed-dispatch VM vs the reference interpreter."""
+    pattern = "(a|ab|b)*c(d|e)f{2,4}"
+    program = NewCompiler().compile(pattern).program
+    vm = ThompsonVM(program)
+    text = (b"ab" * (text_chars // 2))[: text_chars - 4] + b"cdff"
+    assert vm.run(text).matched == vm.run_reference(text).matched
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        vm.run(text)
+    fast_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        vm.run_reference(text)
+    reference_s = time.perf_counter() - started
+
+    return {
+        "pattern": pattern,
+        "text_chars": text_chars,
+        "rounds": rounds,
+        "reference_s": reference_s,
+        "fast_s": fast_s,
+        "reference_chars_per_sec": text_chars * rounds / reference_s,
+        "fast_chars_per_sec": text_chars * rounds / fast_s,
+        "speedup": reference_s / fast_s,
+    }
+
+
+def run_suite(quick: bool = False) -> Dict:
+    scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100)
+    if quick:
+        scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40)
+    return {
+        "schema": 1,
+        "quick": quick,
+        "repeated_pattern": bench_repeated_patterns(scale["repeats"]),
+        "corpus_scan": bench_corpus_scan(scale["corpus_chars"]),
+        "vm_fast_path": bench_vm_fast_path(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
+    }
+
+
+def check_regression(
+    current: Dict, baseline: Dict, max_regression: float
+) -> List[str]:
+    """Gated-ratio comparison; returns human-readable failures."""
+    failures = []
+    for section, metric in GATED_METRICS:
+        reference = baseline.get(section, {}).get(metric)
+        if reference is None:
+            continue
+        measured = current[section][metric]
+        floor = reference * (1.0 - max_regression)
+        if measured < floor:
+            failures.append(
+                f"{section}.{metric}: {measured:.2f}x is below the floor "
+                f"{floor:.2f}x (baseline {reference:.2f}x "
+                f"- {max_regression:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads (seconds, not minutes)")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="where to write the results JSON")
+    parser.add_argument("--baseline",
+                        help="baseline JSON to gate speedup ratios against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional ratio drop vs the "
+                        "baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    repeated = results["repeated_pattern"]
+    corpus = results["corpus_scan"]
+    vm = results["vm_fast_path"]
+    print(f"wrote {args.out}")
+    print(
+        f"repeated-pattern : {repeated['engine_patterns_per_sec']:,.0f} "
+        f"req/s ({repeated['speedup']:.1f}x, cache hit rate "
+        f"{repeated['cache']['hit_rate']:.0%})"
+    )
+    print(
+        f"corpus-scan      : {corpus['engine_chars_per_sec']:,.0f} "
+        f"chars/s ({corpus['speedup']:.1f}x)"
+    )
+    print(
+        f"vm-fast-path     : {vm['fast_chars_per_sec']:,.0f} "
+        f"chars/s ({vm['speedup']:.1f}x)"
+    )
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_regression(results, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate ok (vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Engine throughput acceptance bench (PR-3 tentpole).
+
+Asserts the serving-layer speedups the engine exists to deliver —
+``>= 5x`` for repeated-pattern workloads (cache hits skip the
+frontend → dialects → codegen pipeline) and ``>= 2x`` for
+single-pattern corpus scans (compile once + fast VM vs the pre-engine
+recompile-per-chunk flow) — and records the measurements in
+``BENCH_engine.json`` at the repository root.
+
+Like every file in ``benchmarks/``, this is outside the tier-1
+``testpaths`` and runs explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_throughput.py -q
+"""
+
+import json
+import os
+
+from bench_engine import run_suite
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+#: The ISSUE-3 acceptance floors.
+MIN_REPEATED_SPEEDUP = 5.0
+MIN_CORPUS_SPEEDUP = 2.0
+
+
+def test_engine_throughput_floors():
+    results = run_suite(quick=False)
+    with open(OUTPUT, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    repeated = results["repeated_pattern"]
+    corpus = results["corpus_scan"]
+    fast_path = results["vm_fast_path"]
+
+    # Cache effectiveness: most requests must be hits, and hits must
+    # make the workload several times faster than compile-per-call.
+    assert repeated["cache"]["hit_rate"] > 0.5
+    assert repeated["speedup"] >= MIN_REPEATED_SPEEDUP, (
+        f"repeated-pattern speedup {repeated['speedup']:.1f}x "
+        f"below the {MIN_REPEATED_SPEEDUP}x floor"
+    )
+    assert corpus["speedup"] >= MIN_CORPUS_SPEEDUP, (
+        f"corpus-scan speedup {corpus['speedup']:.1f}x "
+        f"below the {MIN_CORPUS_SPEEDUP}x floor"
+    )
+    # The fast path must never be slower than the reference VM.
+    assert fast_path["speedup"] >= 1.0

@@ -22,6 +22,9 @@ The package layers, bottom-up:
 * :mod:`repro.evaluation` — the §6 experiment drivers.
 * :mod:`repro.runtime` — the hardening layer: resource budgets, the
   unified error taxonomy, graceful degradation and fault injection.
+* :mod:`repro.engine` — the high-throughput serving layer: a
+  compiled-pattern LRU cache, batch matching, and parallel corpus
+  sharding over worker processes.
 * :mod:`repro.api` — the two-call façade (compile, match, simulate).
 
 Every rejection anywhere in the stack is a
@@ -31,7 +34,16 @@ Every rejection anywhere in the stack is a
 
 __version__ = "1.0.0"
 
-from .api import compile_pattern, match, run_program_functionally, simulate
+from .api import (
+    compile_pattern,
+    default_engine,
+    match,
+    match_many,
+    run_program_functionally,
+    scan_corpus,
+    simulate,
+)
+from .engine import Engine, PatternCache
 from .arch.config import ArchConfig
 from .arch.simulator import CiceroSimulator
 from .compiler import (
@@ -55,8 +67,10 @@ __all__ = [
     "CompilationResult",
     "CompileOptions",
     "DEFAULT_BUDGET",
+    "Engine",
     "NewCompiler",
     "OldCompiler",
+    "PatternCache",
     "Program",
     "ReproError",
     "ThompsonVM",
@@ -64,9 +78,12 @@ __all__ = [
     "compile_pattern",
     "compile_regex",
     "compile_regex_old",
+    "default_engine",
     "format_error",
     "match",
+    "match_many",
     "run_program",
+    "scan_corpus",
     "run_program_functionally",
     "simulate",
 ]

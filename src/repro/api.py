@@ -29,10 +29,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Union
 
+from typing import List, Sequence
+
 from .arch.config import ArchConfig
-from .arch.simulator import CiceroSimulator
+from .arch.simulator import CiceroSimulator, DEFAULT_CHUNK_BYTES
 from .arch.system import SimulationResult
 from .compiler import CompilationResult, CompileOptions, NewCompiler
+from .engine import CorpusScanResult, Engine
 from .isa.program import Program
 from .oldcompiler.compiler import OldCompilationResult, OldCompiler
 from .runtime.budget import Budget, DEFAULT_BUDGET
@@ -90,6 +93,46 @@ def match(
     effective = budget if budget is not None else DEFAULT_BUDGET
     program = compile_pattern(pattern, compiler=compiler, budget=budget).program
     return ThompsonVM(program).run(text, max_steps=effective.max_vm_steps)
+
+
+#: Shared engine behind the module-level batch helpers — one process-wide
+#: compiled-pattern cache, so repeated patterns skip compilation across
+#: every :func:`match_many`/:func:`scan_corpus` call.
+_default_engine: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide :class:`~repro.engine.Engine` (lazily created)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine
+
+
+def match_many(
+    pattern: str,
+    texts: Sequence[Union[str, bytes]],
+    jobs: Optional[int] = None,
+) -> List[bool]:
+    """Batch :func:`match` through the shared cached engine.
+
+    ``jobs > 1`` shards the texts over a ``multiprocessing`` pool
+    (``0`` = all cores); the pattern compiles at most once per process
+    lifetime thanks to the engine's LRU cache.
+    """
+    return default_engine().match_many(pattern, texts, jobs=jobs)
+
+
+def scan_corpus(
+    pattern: str,
+    data: Union[str, bytes],
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    jobs: Optional[int] = None,
+) -> CorpusScanResult:
+    """Scan a large input in §6-style chunks through the shared engine."""
+    return default_engine().scan_corpus(
+        pattern, data, chunk_bytes=chunk_bytes, jobs=jobs
+    )
 
 
 def run_program_functionally(

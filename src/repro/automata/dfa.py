@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
+from ..runtime.encoding import as_input_bytes
 from .nfa import NFA
 
 
@@ -72,7 +73,7 @@ class DFA:
         return len(self.transitions)
 
     def matches(self, text: Union[str, bytes]) -> bool:
-        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        data = as_input_bytes(text, what="input text")
         state = self.start
         if state in self.accepting:
             return True

@@ -29,6 +29,7 @@ from ..dialects.regex.ops import (
 )
 from ..ir.diagnostics import LoweringError
 from ..ir.operation import Operation
+from ..runtime.encoding import as_input_bytes
 
 FULL_MASK = (1 << 256) - 1
 
@@ -90,7 +91,7 @@ class NFA:
     def matches(self, text: Union[str, bytes]) -> bool:
         """Does the NFA accept (with the anchoring semantics baked into
         its construction — see :func:`nfa_from_regex_module`)?"""
-        data = text.encode("latin-1") if isinstance(text, str) else bytes(text)
+        data = as_input_bytes(text, what="input text")
         current = self.epsilon_closure(frozenset({self.start}))
         if current & self.accepting:
             return True

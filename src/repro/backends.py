@@ -7,6 +7,16 @@ module is that seam: every back-end consumes the same parsed/optimized
 high-level representation and returns a matcher with a uniform
 ``matches(text) -> bool`` interface.
 
+The front half of the flow (parse → ``regex`` dialect → §3.2
+transforms) runs **once per pattern**, no matter how many back-ends are
+built from it: :func:`compile_backends` fans a single optimized module
+out to every requested back-end, and :func:`compile_with_backend` is
+the single-back-end convenience over it.
+
+Every matcher accepts ``str | bytes`` uniformly and raises the typed
+:class:`~repro.runtime.errors.InputEncodingError` for text outside
+latin-1, regardless of back-end.
+
 Available back-ends:
 
 ========== ==============================================================
@@ -27,18 +37,27 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from .arch.config import ArchConfig
 from .arch.system import CiceroSystem
 from .automata.dfa import determinize, minimize
 from .automata.nfa import nfa_from_regex_module
-from .compiler import CompileOptions, NewCompiler
+from .compiler import CompileOptions
+from .dialects.cicero.codegen import generate_program
+from .dialects.cicero.lowering import lower_to_cicero
+from .dialects.cicero.transforms.dce import DeadCodeEliminationPass
+from .dialects.cicero.transforms.jump_simplification import JumpSimplificationPass
 from .dialects.regex.from_ast import pattern_to_regex_dialect
 from .dialects.regex.transforms.pipeline import regex_optimization_passes
 from .frontend.parser import parse_regex
 from .ir.pass_manager import PassManager
+from .isa.program import Program
+from .runtime.budget import DEFAULT_BUDGET
+from .runtime.guards import check_pattern_budget
 from .vm.thompson import ThompsonVM
+
+BACKEND_COMPILER_NAME = "new-mlir-backend"
 
 
 class Matcher:
@@ -91,8 +110,17 @@ class DFAMatcher(Matcher):
 
 
 def _optimized_regex_module(pattern: str, options: CompileOptions):
-    """The shared front half: parse → regex dialect → §3.2 transforms."""
-    module = pattern_to_regex_dialect(parse_regex(pattern))
+    """The shared front half: parse → regex dialect → §3.2 transforms.
+
+    Budget checks mirror :class:`~repro.compiler.NewCompiler`: pattern
+    length and counted-repetition expansion are rejected before any
+    lowering spends time on them.
+    """
+    budget = options.budget if options.budget is not None else DEFAULT_BUDGET
+    budget.check_pattern_length(pattern)
+    ast = parse_regex(pattern, max_depth=budget.max_nesting_depth)
+    check_pattern_budget(ast, budget)
+    module = pattern_to_regex_dialect(ast)
     pipeline = PassManager(verify_each=False)
     effective = options.effective()
     for transform in regex_optimization_passes(
@@ -105,6 +133,82 @@ def _optimized_regex_module(pattern: str, options: CompileOptions):
     return module
 
 
+def program_from_regex_module(
+    module, pattern: str, options: CompileOptions
+) -> Program:
+    """The Cicero back half: lowering → §5 transforms → codegen.
+
+    Consumes an already parsed/optimized ``regex``-dialect module, so
+    building the Cicero program next to an NFA/DFA from the same module
+    never reparses the pattern.
+    """
+    effective = options.effective()
+    budget = options.budget if options.budget is not None else DEFAULT_BUDGET
+    cicero_module = lower_to_cicero(module)
+    lowlevel = PassManager(verify_each=False)
+    if effective.jump_simplification:
+        lowlevel.add(JumpSimplificationPass())
+    if effective.dead_code_elimination:
+        lowlevel.add(DeadCodeEliminationPass())
+    lowlevel.run(cicero_module)
+    program = generate_program(
+        cicero_module.body.operations[0],
+        source_pattern=pattern,
+        compiler=BACKEND_COMPILER_NAME,
+    )
+    budget.check_program_size(len(program), pattern)
+    return program
+
+
+def compile_backends(
+    pattern: str,
+    backends: Sequence[str],
+    options: Optional[CompileOptions] = None,
+    config: Optional[ArchConfig] = None,
+    max_dfa_states: Optional[int] = 50_000,
+) -> Dict[str, Matcher]:
+    """Build several back-ends from **one** parsed/optimized module.
+
+    The frontend and the §3.2 high-level transforms run exactly once;
+    each requested back-end then finishes from the shared module (the
+    two Cicero flavours additionally share one compiled program, and
+    ``dfa`` determinizes the same NFA ``nfa`` would execute).
+    """
+    options = options if options is not None else CompileOptions()
+    unknown = [name for name in backends if name not in BACKENDS]
+    if unknown:
+        raise ValueError(
+            f"unknown backend {unknown[0]!r}; available: {sorted(BACKENDS)}"
+        )
+    module = _optimized_regex_module(pattern, options)
+    matchers: Dict[str, Matcher] = {}
+    program: Optional[Program] = None
+    nfa = None
+    for backend in backends:
+        if backend in ("cicero", "cicero-sim"):
+            if program is None:
+                program = program_from_regex_module(module, pattern, options)
+            if backend == "cicero":
+                matchers[backend] = CiceroMatcher(ThompsonVM(program))
+            else:
+                matchers[backend] = CiceroSimMatcher(
+                    CiceroSystem(
+                        program,
+                        config if config is not None else ArchConfig.new(16),
+                    )
+                )
+        else:
+            if nfa is None:
+                nfa = nfa_from_regex_module(module)
+            if backend == "nfa":
+                matchers[backend] = NFAMatcher(nfa)
+            else:  # dfa
+                matchers[backend] = DFAMatcher(
+                    minimize(determinize(nfa, max_states=max_dfa_states))
+                )
+    return matchers
+
+
 def compile_with_backend(
     pattern: str,
     backend: str = "cicero",
@@ -113,23 +217,13 @@ def compile_with_backend(
     max_dfa_states: Optional[int] = 50_000,
 ) -> Matcher:
     """Compile through the shared high-level flow, finish per back-end."""
-    options = options if options is not None else CompileOptions()
-    if backend in ("cicero", "cicero-sim"):
-        program = NewCompiler(options).compile(pattern).program
-        if backend == "cicero":
-            return CiceroMatcher(ThompsonVM(program))
-        return CiceroSimMatcher(
-            CiceroSystem(program, config if config is not None else ArchConfig.new(16))
-        )
-    module = _optimized_regex_module(pattern, options)
-    nfa = nfa_from_regex_module(module)
-    if backend == "nfa":
-        return NFAMatcher(nfa)
-    if backend == "dfa":
-        return DFAMatcher(minimize(determinize(nfa, max_states=max_dfa_states)))
-    raise ValueError(
-        f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
-    )
+    return compile_backends(
+        pattern,
+        [backend],
+        options=options,
+        config=config,
+        max_dfa_states=max_dfa_states,
+    )[backend]
 
 
 BACKENDS: Dict[str, str] = {

@@ -17,6 +17,7 @@ defaults correspond to the "w/ optimizations" configuration of §6.1.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
@@ -71,6 +72,29 @@ class CompileOptions:
             jump_simplification=False,
             dead_code_elimination=False,
         )
+
+    def cache_key(self) -> tuple:
+        """A stable, hashable identity for compiled-pattern caches.
+
+        Equal options (after folding the ``optimize`` master switch via
+        :meth:`effective`) yield equal keys, so a cache treats
+        ``CompileOptions(optimize=False)`` and an all-flags-off instance
+        as the same configuration.  The nested budget contributes its
+        own :meth:`~repro.runtime.budget.Budget.cache_key`.
+        """
+        effective = self.effective()
+        parts = []
+        for options_field in dataclasses.fields(effective):
+            # ``optimize`` only acts through the per-pass flags, which
+            # ``effective()`` has already folded; keying on it would
+            # split identical configurations across cache entries.
+            if options_field.name == "optimize":
+                continue
+            value = getattr(effective, options_field.name)
+            if isinstance(value, Budget):
+                value = value.cache_key()
+            parts.append((options_field.name, value))
+        return tuple(parts)
 
     @classmethod
     def none(cls) -> "CompileOptions":

@@ -1,0 +1,33 @@
+"""High-throughput matching engine: cache, fast VMs, corpus sharding.
+
+The serving-oriented layer the ROADMAP's north star asks for, built on
+three reusable pieces:
+
+* :mod:`repro.engine.cache` — a thread-safe LRU
+  :class:`~repro.engine.cache.PatternCache` keyed by the complete
+  compilation identity, with hit/miss/eviction counters;
+* :mod:`repro.engine.parallel` — corpus sharding over a
+  ``multiprocessing`` pool where workers rebuild matchers from pickled
+  programs (never from the pattern, so compilation runs once);
+* :mod:`repro.engine.core` — :class:`~repro.engine.core.Engine`, the
+  front door tying both to the multi-backend compilation flow.
+
+See ``docs/performance.md`` for cache semantics, the sharding model,
+and how to read ``BENCH_engine.json``.
+"""
+
+from .cache import CacheStats, PatternCache, matcher_cache_key
+from .core import DEFAULT_CACHE_SIZE, CorpusScanResult, Engine, resolve_jobs
+from .parallel import WorkerPayload, parallel_matches
+
+__all__ = [
+    "CacheStats",
+    "CorpusScanResult",
+    "DEFAULT_CACHE_SIZE",
+    "Engine",
+    "PatternCache",
+    "WorkerPayload",
+    "matcher_cache_key",
+    "parallel_matches",
+    "resolve_jobs",
+]

@@ -1,0 +1,149 @@
+"""Thread-safe LRU cache for compiled patterns.
+
+Compilation is the expensive half of serving a match request — the
+frontend → dialects → codegen pipeline costs milliseconds while a cache
+probe costs microseconds — and real traffic repeats patterns heavily.
+The cache is keyed by the *complete* compilation identity
+``(pattern, backend, CompileOptions, Budget)`` (see
+:func:`matcher_cache_key`), so two callers with different optimization
+flags or budgets never share an artifact.
+
+MLIR's own thesis (reusable compilation infrastructure behind stable
+interfaces) is the design here: any matcher-producing builder can sit
+behind :meth:`PatternCache.get_or_build`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from ..arch.config import ConfigurationError
+from ..compiler import CompileOptions
+from ..runtime.budget import Budget, DEFAULT_BUDGET
+
+
+def matcher_cache_key(
+    pattern: str,
+    backend: str,
+    options: Optional[CompileOptions],
+    budget: Optional[Budget],
+) -> tuple:
+    """The full identity of one compiled matcher.
+
+    ``None`` options/budget normalize to the defaults so explicit and
+    implicit defaults hit the same entry.
+    """
+    effective_options = options if options is not None else CompileOptions()
+    effective_budget = budget if budget is not None else DEFAULT_BUDGET
+    return (
+        pattern,
+        backend,
+        effective_options.cache_key(),
+        effective_budget.cache_key(),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; snapshot with :meth:`PatternCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PatternCache:
+    """Bounded LRU mapping cache keys to built artifacts.
+
+    Safe for concurrent use: lookups, inserts and evictions run under
+    one lock.  The *builder* runs **outside** the lock, so a slow
+    compilation never blocks other threads' cache hits; two threads
+    missing on the same key concurrently may both build, and the first
+    insert wins (the duplicate artifact is discarded — matchers are
+    value objects, so this is benign).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], Any]
+    ) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+        artifact = builder()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Lost the build race; keep the incumbent so every
+                # caller observes one artifact per key.
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = artifact
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return artifact
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; they are monotonic)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+__all__ = ["CacheStats", "PatternCache", "matcher_cache_key"]

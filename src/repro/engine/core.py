@@ -1,0 +1,248 @@
+"""The high-throughput matching engine.
+
+:class:`Engine` is the serving layer over the compilers, VMs and
+back-ends: one object owning a compiled-pattern LRU cache and a
+fan-out policy, exposing three calls —
+
+* :meth:`Engine.match` — one pattern, one text (cache-accelerated);
+* :meth:`Engine.match_many` — one pattern, many texts, optionally
+  sharded over a ``multiprocessing`` pool;
+* :meth:`Engine.scan_corpus` — one pattern over a large input stream,
+  chunked with the paper's §6 methodology
+  (:func:`~repro.arch.simulator.split_chunks`) and sharded like
+  :meth:`match_many`.
+
+Budgets thread through everywhere: compilation honors the budget's
+compile-side limits (via the cache key, so differently-budgeted callers
+never share artifacts), VM execution honors ``max_vm_steps`` both
+in-process and inside workers, and ``max_parallel_jobs`` caps the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Union
+
+from ..arch.config import ArchConfig, ConfigurationError
+from ..arch.simulator import DEFAULT_CHUNK_BYTES, split_chunks
+from ..backends import (
+    BACKENDS,
+    CiceroMatcher,
+    CiceroSimMatcher,
+    DFAMatcher,
+    Matcher,
+    NFAMatcher,
+    compile_with_backend,
+)
+from ..compiler import CompileOptions
+from ..runtime.budget import Budget, DEFAULT_BUDGET
+from ..runtime.encoding import as_input_bytes
+from .cache import CacheStats, PatternCache
+from .parallel import WorkerPayload, build_match_fn, parallel_matches
+
+DEFAULT_CACHE_SIZE = 256
+
+
+def resolve_jobs(jobs: Optional[int], budget: Budget) -> int:
+    """Turn a user-facing job count into an effective worker count.
+
+    ``None``/``1`` mean in-process; ``0`` means "all cores"; anything
+    else is taken literally — then the budget's ``max_parallel_jobs``
+    caps the result.
+    """
+    if jobs is not None and jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    effective = budget.effective_jobs(jobs)
+    return effective if effective is not None else 1
+
+
+@dataclass
+class CorpusScanResult:
+    """Outcome of one :meth:`Engine.scan_corpus` call."""
+
+    matched: bool
+    chunk_matches: List[bool] = field(default_factory=list)
+    bytes_scanned: int = 0
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
+    @property
+    def chunks(self) -> int:
+        return len(self.chunk_matches)
+
+    @property
+    def matched_chunks(self) -> int:
+        return sum(self.chunk_matches)
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+class Engine:
+    """Cached, budget-aware, optionally parallel matching front door."""
+
+    def __init__(
+        self,
+        backend: str = "cicero",
+        options: Optional[CompileOptions] = None,
+        budget: Optional[Budget] = None,
+        config: Optional[ArchConfig] = None,
+        max_dfa_states: Optional[int] = 50_000,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        jobs: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+            )
+        self.backend = backend
+        self.options = options if options is not None else CompileOptions()
+        self.budget = budget if budget is not None else DEFAULT_BUDGET
+        self.config = config
+        self.max_dfa_states = max_dfa_states
+        self.jobs = jobs
+        self._cache = PatternCache(cache_size)
+        # The options/budget halves of every cache key are fixed for the
+        # engine's lifetime; computing them once keeps the per-request
+        # cache-hit cost at a tuple construction plus a dict probe.
+        self._options_key = self.options.cache_key()
+        self._budget_key = self.budget.cache_key()
+
+    # ------------------------------------------------------------------
+    # Compilation (cached)
+    # ------------------------------------------------------------------
+    def matcher(self, pattern: str, backend: Optional[str] = None) -> Matcher:
+        """The compiled matcher for ``pattern`` — cached across calls."""
+        return self._entry(pattern, backend).matcher
+
+    def _entry(
+        self, pattern: str, backend: Optional[str] = None
+    ) -> "_CacheEntry":
+        backend = backend if backend is not None else self.backend
+        key = (pattern, backend, self._options_key, self._budget_key)
+        return self._cache.get_or_build(
+            key, lambda: self._build_entry(pattern, backend)
+        )
+
+    def _build_entry(self, pattern: str, backend: str) -> "_CacheEntry":
+        options = self.options
+        if options.budget is None:
+            options = replace(options, budget=self.budget)
+        matcher = compile_with_backend(
+            pattern,
+            backend,
+            options=options,
+            config=self.config,
+            max_dfa_states=self.max_dfa_states,
+        )
+        payload = self._payload(matcher)
+        return _CacheEntry(matcher, payload, build_match_fn(payload))
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, pattern: str, text: Union[str, bytes]) -> bool:
+        """One text through the cached matcher (budgeted VM steps)."""
+        data = text if isinstance(text, bytes) else as_input_bytes(
+            text, what="input text"
+        )
+        return self._entry(pattern).match_fn(data)
+
+    def match_many(
+        self,
+        pattern: str,
+        texts: Sequence[Union[str, bytes]],
+        jobs: Optional[int] = None,
+    ) -> List[bool]:
+        """Every text's verdict, in input order.
+
+        With ``jobs > 1`` the texts are sharded over a worker pool; the
+        pattern is compiled **once** in the calling process and workers
+        rebuild their matcher from the pickled program, so compilation
+        cost does not multiply with the pool size.
+        """
+        normalized = [as_input_bytes(text, what="input text") for text in texts]
+        if not normalized:
+            return []
+        effective_jobs = resolve_jobs(
+            jobs if jobs is not None else self.jobs, self.budget
+        )
+        entry = self._entry(pattern)
+        if effective_jobs <= 1:
+            match_fn = entry.match_fn
+            return [match_fn(data) for data in normalized]
+        return parallel_matches(entry.payload, normalized, effective_jobs)
+
+    def scan_corpus(
+        self,
+        pattern: str,
+        data: Union[str, bytes],
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        jobs: Optional[int] = None,
+    ) -> CorpusScanResult:
+        """Scan a large input stream chunk-by-chunk (the §6 protocol).
+
+        Chunking bounds per-shard memory and mirrors the hardware's
+        windowed execution; chunks are matched independently (a match
+        spanning a chunk boundary is not detected — pick ``chunk_bytes``
+        above the longest expected match, exactly as the paper sizes
+        its 500-byte chunks).
+        """
+        chunks = split_chunks(data, chunk_bytes)
+        verdicts = self.match_many(pattern, chunks, jobs=jobs)
+        return CorpusScanResult(
+            matched=any(verdicts),
+            chunk_matches=verdicts,
+            bytes_scanned=sum(len(chunk) for chunk in chunks),
+            chunk_bytes=chunk_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _payload(self, matcher: Matcher) -> WorkerPayload:
+        max_vm_steps = self.budget.max_vm_steps
+        if isinstance(matcher, CiceroMatcher):
+            return WorkerPayload("cicero", matcher.vm.program, max_vm_steps)
+        if isinstance(matcher, CiceroSimMatcher):
+            return WorkerPayload(
+                "cicero-sim",
+                matcher.system.program,
+                max_vm_steps,
+                matcher.system.config,
+            )
+        if isinstance(matcher, NFAMatcher):
+            return WorkerPayload("nfa", matcher.nfa, max_vm_steps)
+        if isinstance(matcher, DFAMatcher):
+            return WorkerPayload("dfa", matcher.dfa, max_vm_steps)
+        raise ValueError(f"cannot shard matcher {matcher!r}")
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """What one cache slot holds: matcher + its ready-to-call pieces.
+
+    ``match_fn`` is built once at insert time so a cache hit costs no
+    closure construction; ``payload`` is the picklable shard unit
+    :func:`~repro.engine.parallel.parallel_matches` ships to workers.
+    """
+
+    matcher: Matcher
+    payload: WorkerPayload
+    match_fn: object
+
+
+__all__ = [
+    "CorpusScanResult",
+    "DEFAULT_CACHE_SIZE",
+    "Engine",
+    "resolve_jobs",
+]

@@ -1,0 +1,105 @@
+"""Corpus sharding across a ``multiprocessing`` pool.
+
+The paper's hardware scales by replicating enumeration cores over input
+chunks; the software analogue is sharding a corpus over worker
+processes.  Workers never receive live matcher objects — they receive a
+:class:`WorkerPayload` holding the *compiled artifact* (the Cicero
+:class:`~repro.isa.program.Program`, an NFA, or a DFA table — all
+plain picklable dataclasses) plus the budget limits to honor, and
+rebuild the matcher once per worker in the pool initializer.  Each text
+then costs one pickled ``bytes`` in and one ``bool`` out.
+
+Parent-side input normalization happens *before* the fan-out, so typed
+:class:`~repro.runtime.errors.InputEncodingError` rejections surface in
+the calling process, never as opaque worker crashes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..arch.config import ArchConfig
+from ..arch.system import CiceroSystem
+from ..isa.program import Program
+from ..vm.thompson import ThompsonVM
+
+#: Below this many shardable items a pool costs more than it saves.
+MIN_PARALLEL_ITEMS = 2
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker needs to rebuild one matcher.
+
+    ``artifact`` is the backend-specific compiled object; only the
+    Cicero flavours carry a :class:`Program` (``nfa``/``dfa`` ship their
+    automata directly).  ``max_vm_steps`` is the
+    :class:`~repro.runtime.budget.Budget` limit the rebuilt VM enforces
+    per text.
+    """
+
+    backend: str
+    artifact: object
+    max_vm_steps: Optional[int] = None
+    config: Optional[ArchConfig] = None
+
+
+def build_match_fn(payload: WorkerPayload) -> Callable[[bytes], bool]:
+    """Rebuild the matcher a payload describes; returns ``bytes → bool``."""
+    backend = payload.backend
+    if backend == "cicero":
+        vm = ThompsonVM(payload.artifact)
+        max_steps = payload.max_vm_steps
+        return lambda data: bool(vm.run(data, max_steps=max_steps))
+    if backend == "cicero-sim":
+        config = payload.config if payload.config is not None else ArchConfig.new(16)
+        system = CiceroSystem(payload.artifact, config)
+        return lambda data: system.run(data).matched
+    if backend in ("nfa", "dfa"):
+        automaton = payload.artifact
+        return lambda data: automaton.matches(data)
+    raise ValueError(f"unknown backend {backend!r} in worker payload")
+
+
+# Populated per worker process by the pool initializer.
+_WORKER_MATCH_FN: Optional[Callable[[bytes], bool]] = None
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    global _WORKER_MATCH_FN
+    _WORKER_MATCH_FN = build_match_fn(payload)
+
+
+def _match_one(data: bytes) -> bool:
+    assert _WORKER_MATCH_FN is not None, "worker used before initialization"
+    return _WORKER_MATCH_FN(data)
+
+
+def parallel_matches(
+    payload: WorkerPayload, texts: Sequence[bytes], jobs: int
+) -> List[bool]:
+    """Match every text, sharded over ``jobs`` worker processes.
+
+    Falls back to in-process execution when the shard count cannot pay
+    for a pool (fewer items than :data:`MIN_PARALLEL_ITEMS` or a single
+    job).  Results keep the input order.
+    """
+    jobs = min(jobs, len(texts))
+    if jobs <= 1 or len(texts) < MIN_PARALLEL_ITEMS:
+        match_fn = build_match_fn(payload)
+        return [match_fn(data) for data in texts]
+    chunksize = max(1, len(texts) // (jobs * 4))
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        return pool.map(_match_one, texts, chunksize=chunksize)
+
+
+__all__ = [
+    "MIN_PARALLEL_ITEMS",
+    "WorkerPayload",
+    "build_match_fn",
+    "parallel_matches",
+]

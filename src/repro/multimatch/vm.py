@@ -37,7 +37,14 @@ class MultiMatchResult:
 
 
 class MultiMatchVM:
-    """Breadth-first executor collecting every matching identifier."""
+    """Breadth-first executor collecting every matching identifier.
+
+    Mirrors :class:`~repro.vm.thompson.ThompsonVM`'s two paths: the
+    default :meth:`run` dispatches over precomputed ε-closure successor
+    tables (``SPLIT``/``JMP`` chains folded away at program load) while
+    :meth:`run_reference` keeps the original interpreter as the golden
+    model the fast path is property-tested against.
+    """
 
     def __init__(self, multi_program: MultiProgram):
         self.multi_program = multi_program
@@ -45,10 +52,102 @@ class MultiMatchVM:
         self._opcodes = [int(instruction.opcode) for instruction in program]
         self._operands = [instruction.operand for instruction in program]
         self._all_ids = frozenset(multi_program.patterns)
+        self._build_dispatch_tables()
+
+    def _closure_of(self, root: int) -> tuple:
+        opcodes, operands = self._opcodes, self._operands
+        split, jmp = int(Opcode.SPLIT), int(Opcode.JMP)
+        seen: Set[int] = set()
+        work: List[int] = []
+        stack = [root]
+        while stack:
+            pc = stack.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            opcode = opcodes[pc]
+            if opcode == split:
+                stack.append(pc + 1)
+                stack.append(operands[pc])
+            elif opcode == jmp:
+                stack.append(operands[pc])
+            else:
+                work.append(pc)
+        return tuple(work)
+
+    def _build_dispatch_tables(self) -> None:
+        opcodes = self._opcodes
+        consumers = (int(Opcode.MATCH), int(Opcode.MATCH_ANY), int(Opcode.NOT_MATCH))
+        self._successors = [None] * len(opcodes)
+        for pc, opcode in enumerate(opcodes):
+            if opcode in consumers:
+                self._successors[pc] = self._closure_of(pc + 1)
+        self._entry = self._closure_of(0)
 
     def run(
         self, text: Union[str, bytes], max_steps: Optional[int] = None
     ) -> MultiMatchResult:
+        data = text if isinstance(text, bytes) else as_input_bytes(
+            text, what="input text"
+        )
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        matched: Set[int] = set()
+        all_ids = self._all_ids
+        frontier: List[int] = list(self._entry)
+        executed = 0
+        for position in range(length + 1):
+            if not frontier or matched == all_ids:
+                break
+            has_char = position < length
+            char = data[position] if has_char else -1
+            visited: Set[int] = set()
+            next_roots: Set[int] = set()
+            worklist = frontier
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == NOT_MATCH:
+                    if has_char and char != operands[pc]:
+                        worklist.extend(successors[pc])
+                elif opcode == MATCH_ANY:
+                    if has_char:
+                        next_roots.add(pc)
+                elif opcode == ACCEPT_PARTIAL:
+                    matched.add(operands[pc])
+                elif opcode == ACCEPT:
+                    if not has_char:
+                        matched.add(operands[pc])
+                else:  # MATCH
+                    if has_char and char == operands[pc]:
+                        next_roots.add(pc)
+            if max_steps is not None:
+                executed += len(visited)
+                if executed > max_steps:
+                    raise VMStepBudgetError(executed, max_steps)
+            frontier = []
+            for root in next_roots:
+                frontier.extend(successors[root])
+        return MultiMatchResult(
+            matched_ids=frozenset(matched),
+            patterns=dict(self.multi_program.patterns),
+        )
+
+    def run_reference(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ) -> MultiMatchResult:
+        """The pre-optimization interpreter (golden reference)."""
         data = as_input_bytes(text, what="input text")
         executed = 0
         opcodes = self._opcodes

@@ -58,6 +58,9 @@ class Budget:
     max_sim_cycles: Optional[int] = None
     #: Maximum product states of one equivalence check.
     max_equivalence_states: Optional[int] = 200_000
+    #: Maximum worker processes one batch/corpus call may fan out to
+    #: (:mod:`repro.engine`); ``None`` leaves sizing to the caller.
+    max_parallel_jobs: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -72,6 +75,29 @@ class Budget:
     def replace(self, **overrides) -> "Budget":
         """A copy with some limits overridden."""
         return dataclasses.replace(self, **overrides)
+
+    def cache_key(self) -> tuple:
+        """A stable, hashable identity for compiled-artifact caches.
+
+        Two budgets with equal limits produce equal keys regardless of
+        how they were constructed; the field *names* are part of the key
+        so keys never collide across dataclass revisions.  (The class is
+        frozen, so ``hash(budget)`` also works — ``cache_key`` exists
+        for callers that persist or compare keys across processes.)
+        """
+        return tuple(
+            (field.name, getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        )
+
+    def effective_jobs(self, requested: Optional[int]) -> Optional[int]:
+        """Clamp a requested worker count to ``max_parallel_jobs``."""
+        limit = self.max_parallel_jobs
+        if limit is None:
+            return requested
+        if requested is None:
+            return limit
+        return min(requested, limit)
 
     # ------------------------------------------------------------------
     # Guard helpers — each raises the matching typed error.

@@ -63,7 +63,21 @@ def _as_bytes(text: Union[str, bytes]) -> bytes:
 
 
 class ThompsonVM:
-    """Breadth-first executor over one program."""
+    """Breadth-first executor over one program.
+
+    Two execution paths share the instruction arrays:
+
+    * :meth:`run` — the **fast path**.  At program load the ε-closure of
+      every entry point (``SPLIT``/``JMP`` chains folded down to their
+      *work* instructions) is precomputed once, so the per-position loop
+      touches only instructions that inspect the input; live threads are
+      deduplicated per position, bounding the work at
+      O(program × text).  ``bytes`` input skips encoding entirely.
+    * :meth:`run_reference` / :meth:`run_with_stats` — the original
+      instruction-at-a-time interpreter, kept verbatim as the golden
+      reference the fast path is property-tested against (and as the
+      only path that can attribute per-instruction statistics).
+    """
 
     def __init__(self, program: Program):
         self.program = program
@@ -71,6 +85,52 @@ class ThompsonVM:
         # attribute lookups on Instruction objects.
         self._opcodes = [int(instruction.opcode) for instruction in program]
         self._operands = [instruction.operand for instruction in program]
+        self._build_dispatch_tables()
+
+    # ------------------------------------------------------------------
+    # Load-time precomputation (the fast path's dispatch tables)
+    # ------------------------------------------------------------------
+    def _closure_of(self, root: int) -> tuple:
+        """Work instructions reachable from ``root`` via ε-moves only.
+
+        ``SPLIT`` and ``JMP`` are input-independent, so the set of
+        match/accept/``NOT_MATCH`` instructions they lead to is a static
+        property of the program; cycles (ε-loops) terminate through the
+        visited set exactly as the interpreter's per-position dedup does.
+        """
+        opcodes, operands = self._opcodes, self._operands
+        split, jmp = int(Opcode.SPLIT), int(Opcode.JMP)
+        seen: Set[int] = set()
+        work: List[int] = []
+        stack = [root]
+        while stack:
+            pc = stack.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            opcode = opcodes[pc]
+            if opcode == split:
+                stack.append(pc + 1)
+                stack.append(operands[pc])
+            elif opcode == jmp:
+                stack.append(operands[pc])
+            else:
+                work.append(pc)
+        return tuple(work)
+
+    def _build_dispatch_tables(self) -> None:
+        # ``_successors[pc]`` is the precomputed ε-closure of ``pc + 1``
+        # for every instruction that can continue there (matches and
+        # NOT_MATCH); ``_entry`` is the closure of address 0.  Program
+        # validation guarantees those instructions never sit at the last
+        # address, so ``pc + 1`` always exists.
+        opcodes = self._opcodes
+        consumers = (int(Opcode.MATCH), int(Opcode.MATCH_ANY), int(Opcode.NOT_MATCH))
+        self._successors: List[Optional[tuple]] = [None] * len(opcodes)
+        for pc, opcode in enumerate(opcodes):
+            if opcode in consumers:
+                self._successors[pc] = self._closure_of(pc + 1)
+        self._entry: tuple = self._closure_of(0)
 
     def run(
         self, text: Union[str, bytes], max_steps: Optional[int] = None
@@ -83,7 +143,70 @@ class ThompsonVM:
         :class:`~repro.runtime.errors.VMStepBudgetError` instead of
         burning CPU on a pathological pattern × input combination.
         """
+        data = text if isinstance(text, bytes) else _as_bytes(text)
+        return self._run_fast(data, max_steps)
+
+    def run_reference(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ) -> MatchResult:
+        """The pre-optimization interpreter (golden reference)."""
         return self._run(_as_bytes(text), None, max_steps)
+
+    def _run_fast(
+        self, data: bytes, max_steps: Optional[int] = None
+    ) -> MatchResult:
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        frontier: List[int] = list(self._entry)
+        executed = 0
+        for position in range(length + 1):
+            if not frontier:
+                break
+            has_char = position < length
+            char = data[position] if has_char else -1
+            visited: Set[int] = set()
+            next_roots: Set[int] = set()
+            worklist = frontier
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == NOT_MATCH:
+                    # ε conditioned on the current character: fold the
+                    # successor closure into this position's worklist.
+                    if has_char and char != operands[pc]:
+                        worklist.extend(successors[pc])
+                elif opcode == MATCH_ANY:
+                    if has_char:
+                        next_roots.add(pc)
+                elif opcode == ACCEPT_PARTIAL:
+                    return MatchResult(True, position)
+                elif opcode == ACCEPT:
+                    if not has_char:
+                        return MatchResult(True, position)
+                else:  # MATCH
+                    if has_char and char == operands[pc]:
+                        next_roots.add(pc)
+            if max_steps is not None:
+                executed += len(visited)
+                if executed > max_steps:
+                    raise VMStepBudgetError(
+                        executed, max_steps, self.program.source_pattern
+                    )
+            frontier = []
+            for root in next_roots:
+                frontier.extend(successors[root])
+        return MatchResult(False, None)
 
     def run_with_stats(
         self, text: Union[str, bytes], max_steps: Optional[int] = None

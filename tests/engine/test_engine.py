@@ -1,0 +1,120 @@
+"""The Engine front door: caching, batching, sharding, budgets."""
+
+import pytest
+
+import repro
+from repro.arch.config import ConfigurationError
+from repro.backends import BACKENDS
+from repro.engine import Engine
+from repro.engine.core import resolve_jobs
+from repro.runtime.budget import Budget, DEFAULT_BUDGET
+from repro.runtime.errors import InputEncodingError, VMStepBudgetError
+
+
+class TestMatch:
+    def test_verdicts_across_backends(self):
+        for backend in BACKENDS:
+            engine = Engine(backend=backend)
+            assert engine.match("th(is|at)", "say that"), backend
+            assert not engine.match("th(is|at)", "nothing"), backend
+
+    def test_repeat_requests_hit_the_cache(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.match("a(b|c)d", "xabd")
+        stats = engine.cache_stats()
+        assert stats.misses == 1 and stats.hits == 4
+        assert stats.hit_rate == pytest.approx(0.8)
+
+    def test_distinct_patterns_distinct_entries(self):
+        engine = Engine(cache_size=2)
+        engine.match("ab", "ab")
+        engine.match("cd", "cd")
+        engine.match("ef", "ef")  # evicts "ab"
+        assert engine.cache_stats().evictions == 1
+
+    def test_bytes_and_str_agree(self):
+        engine = Engine()
+        assert engine.match("ab+c", "xabbc") == engine.match("ab+c", b"xabbc")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Engine(backend="hyperscan")
+
+    def test_vm_step_budget_enforced(self):
+        tight = DEFAULT_BUDGET.replace(max_vm_steps=10)
+        engine = Engine(budget=tight)
+        with pytest.raises(VMStepBudgetError):
+            engine.match("(a|aa)*b", "a" * 200 + "c")
+
+
+class TestMatchMany:
+    def test_order_preserved_serial(self):
+        engine = Engine()
+        texts = ["abd", "zzz", b"acd", "", "xxabd"]
+        assert engine.match_many("a(b|c)d", texts) == [
+            True, False, True, False, True,
+        ]
+
+    def test_parallel_agrees_with_serial(self):
+        engine = Engine()
+        texts = [("ab" * i + "cd") for i in range(30)]
+        serial = engine.match_many("(ab)+cd", texts, jobs=1)
+        parallel = engine.match_many("(ab)+cd", texts, jobs=2)
+        assert parallel == serial
+
+    def test_parallel_across_backends(self):
+        for backend in ("cicero", "nfa", "dfa"):
+            engine = Engine(backend=backend)
+            assert engine.match_many("ab", ["ab", "xy", b"zab"], jobs=2) == [
+                True, False, True,
+            ], backend
+
+    def test_empty_batch(self):
+        assert Engine().match_many("ab", []) == []
+
+    def test_encoding_error_raised_in_parent(self):
+        engine = Engine()
+        with pytest.raises(InputEncodingError):
+            engine.match_many("ab", ["ok", "bad €"], jobs=2)
+
+    def test_budget_caps_jobs(self):
+        assert resolve_jobs(8, Budget(max_parallel_jobs=2)) == 2
+        assert resolve_jobs(None, Budget(max_parallel_jobs=3)) == 3
+        assert resolve_jobs(None, Budget()) == 1
+        assert resolve_jobs(0, Budget()) >= 1
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1, Budget())
+
+
+class TestScanCorpus:
+    def test_chunked_scan_finds_needle(self):
+        engine = Engine()
+        corpus = b"x" * 1200 + b"needle" + b"y" * 900
+        result = engine.scan_corpus("needle", corpus, chunk_bytes=200)
+        assert result.matched and bool(result)
+        assert result.chunks == 11 and result.matched_chunks == 1
+        assert result.bytes_scanned == len(corpus)
+
+    def test_parallel_scan_agrees(self):
+        engine = Engine()
+        corpus = (b"ab" * 50 + b"cq") * 40
+        serial = engine.scan_corpus("(ab)+c", corpus, chunk_bytes=64, jobs=1)
+        parallel = engine.scan_corpus("(ab)+c", corpus, chunk_bytes=64, jobs=2)
+        assert serial.chunk_matches == parallel.chunk_matches
+
+    def test_no_match(self):
+        result = Engine().scan_corpus("zzz", b"abcd" * 100)
+        assert not result.matched and result.matched_chunks == 0
+
+
+class TestApiFacade:
+    def test_module_level_helpers_share_one_cache(self):
+        before = repro.default_engine().cache_stats().lookups
+        assert repro.match_many("qq+r", ["qqr", "no"]) == [True, False]
+        assert repro.scan_corpus("qq+r", b"xxqqqryy", chunk_bytes=8).matched
+        after = repro.default_engine().cache_stats()
+        assert after.lookups >= before + 2
+
+    def test_engine_exported_at_package_root(self):
+        assert repro.Engine is Engine

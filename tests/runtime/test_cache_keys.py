@@ -1,0 +1,69 @@
+"""Hashability and stable cache keys for CompileOptions and Budget.
+
+Both classes key the engine's compiled-pattern LRU cache, so they must
+be frozen, hashable, equality-consistent, and expose a ``cache_key()``
+stable across equal instances (satellite of ISSUE 3).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.runtime.budget import Budget, DEFAULT_BUDGET
+
+
+class TestBudgetKey:
+    def test_frozen_and_hashable(self):
+        budget = Budget()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            budget.max_vm_steps = 1
+        assert hash(budget) == hash(Budget())
+        assert budget == Budget()
+
+    def test_cache_key_stability(self):
+        assert Budget().cache_key() == DEFAULT_BUDGET.cache_key()
+        assert Budget(max_vm_steps=1).cache_key() != Budget().cache_key()
+        # Field names are part of the key: no positional collisions.
+        names = [name for name, _value in Budget().cache_key()]
+        assert names == [f.name for f in dataclasses.fields(Budget)]
+
+    def test_key_usable_as_dict_key(self):
+        table = {Budget().cache_key(): "default",
+                 Budget.unlimited().cache_key(): "unlimited"}
+        assert table[DEFAULT_BUDGET.cache_key()] == "default"
+
+    def test_replace_changes_key(self):
+        assert (DEFAULT_BUDGET.replace(max_parallel_jobs=4).cache_key()
+                != DEFAULT_BUDGET.cache_key())
+
+
+class TestCompileOptionsKey:
+    def test_frozen_and_hashable(self):
+        options = CompileOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.optimize = False
+        assert hash(options) == hash(CompileOptions())
+
+    def test_master_switch_folds_into_key(self):
+        # optimize=False and all-flags-off are the same configuration.
+        explicit = CompileOptions(
+            optimize=True,
+            simplify_subregex=False,
+            factorize_alternations=False,
+            boundary_quantifier=False,
+            jump_simplification=False,
+            dead_code_elimination=False,
+        )
+        assert (CompileOptions(optimize=False).cache_key()
+                == explicit.cache_key())
+
+    def test_flag_changes_change_key(self):
+        base = CompileOptions().cache_key()
+        assert CompileOptions(factorize_alternations=False).cache_key() != base
+        assert CompileOptions(budget=Budget(max_vm_steps=5)).cache_key() != base
+
+    def test_nested_budget_contributes_its_key(self):
+        with_budget = CompileOptions(budget=Budget())
+        key = dict(with_budget.cache_key())
+        assert key["budget"] == Budget().cache_key()

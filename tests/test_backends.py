@@ -69,3 +69,68 @@ class TestCrossBackendAgreement:
         for _ in range(10):
             text = "".join(rng.choice("abcd") for _ in range(rng.randint(0, 12)))
             assert reference.matches(text) == simulated.matches(text), text
+
+
+class TestSharedFrontHalf:
+    """compile_backends parses/optimizes once and fans out (ISSUE 3)."""
+
+    def test_multi_backend_from_one_parse(self, monkeypatch):
+        import repro.backends as backends_module
+
+        calls = []
+        original = backends_module.parse_regex
+
+        def counting_parse(pattern, **kwargs):
+            calls.append(pattern)
+            return original(pattern, **kwargs)
+
+        monkeypatch.setattr(backends_module, "parse_regex", counting_parse)
+        matchers = backends_module.compile_backends(
+            "th(is|at)", ["cicero", "cicero-sim", "nfa", "dfa"]
+        )
+        assert calls == ["th(is|at)"]  # exactly one frontend pass
+        assert set(matchers) == {"cicero", "cicero-sim", "nfa", "dfa"}
+        for backend, matcher in matchers.items():
+            assert matcher.matches("say that"), backend
+            assert not matcher.matches("nope"), backend
+
+    def test_cicero_flavours_share_one_program(self):
+        from repro.backends import compile_backends
+
+        matchers = compile_backends("a(b|c)+d", ["cicero", "cicero-sim"])
+        assert matchers["cicero"].vm.program is matchers["cicero-sim"].system.program
+
+    def test_unknown_backend_in_batch(self):
+        from repro.backends import compile_backends
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile_backends("ab", ["cicero", "hyperscan"])
+
+
+class TestBytesConsistency:
+    """Every backend accepts bytes and rejects non-latin-1 text with the
+    typed InputEncodingError (ISSUE 3 satellite)."""
+
+    def test_bytes_accepted_everywhere(self):
+        for backend in BACKENDS:
+            matcher = compile_with_backend("th(is|at)", backend)
+            assert matcher.matches(b"say that"), backend
+            assert not matcher.matches(b"nothing"), backend
+            assert matcher.matches(bytearray(b"say this")), backend
+            assert matcher.matches(memoryview(b"say this")), backend
+
+    def test_str_and_bytes_agree(self):
+        for backend in BACKENDS:
+            matcher = compile_with_backend("a[bc]+d", backend)
+            for text in ("abcd", "xx", "", "acbd!"):
+                assert matcher.matches(text) == matcher.matches(
+                    text.encode("latin-1")
+                ), (backend, text)
+
+    def test_non_latin1_raises_typed_error(self):
+        from repro.runtime.errors import InputEncodingError
+
+        for backend in BACKENDS:
+            matcher = compile_with_backend("ab", backend)
+            with pytest.raises(InputEncodingError):
+                matcher.matches("caf€")  # € is outside latin-1
