@@ -12,6 +12,10 @@ so future PRs have a perf trajectory:
   chunk, reference VM).
 * **vm-fast-path** — the precomputed-dispatch VM vs the reference
   interpreter on identical programs and inputs.
+* **supervisor-overhead** — the fault-tolerant scan supervisor
+  (per-shard futures, timeout/crash bookkeeping) vs the bare
+  ``pool.map`` sharding on the same payload and chunks; the ratio is
+  the price of fault tolerance on a healthy run and must stay near 1.
 
 Absolute throughputs are machine-dependent; the *speedup ratios* are
 not, so the regression gate (``--baseline`` + ``--max-regression``)
@@ -33,7 +37,9 @@ from typing import Dict, List
 
 from repro.backends import compile_with_backend
 from repro.compiler import NewCompiler
-from repro.engine import Engine
+from repro.engine import Engine, supervised_matches
+from repro.engine.parallel import WorkerPayload, parallel_matches
+from repro.runtime.budget import DEFAULT_BUDGET
 from repro.vm.thompson import ThompsonVM
 
 #: Ratio metrics the regression gate compares (machine-independent).
@@ -41,6 +47,7 @@ GATED_METRICS = (
     ("repeated_pattern", "speedup"),
     ("corpus_scan", "speedup"),
     ("vm_fast_path", "speedup"),
+    ("supervisor_overhead", "speedup"),
 )
 
 PATTERNS = [
@@ -159,10 +166,61 @@ def bench_vm_fast_path(text_chars: int, rounds: int) -> Dict:
     }
 
 
+def bench_supervisor_overhead(
+    corpus_chars: int, chunk_bytes: int = 500, jobs: int = 2, rounds: int = 2
+) -> Dict:
+    """Supervised per-shard futures vs bare ``pool.map`` on a healthy run.
+
+    Both paths spawn a fresh pool and rebuild matchers from the same
+    pickled payload, so the measured gap is exactly the supervision
+    machinery (dispatch windowing, timeout/crash polling, outcome
+    folding).  Best-of-``rounds`` on each side damps pool-spawn jitter.
+    """
+    pattern = "a(a|b)*by"
+    corpus = _mk_corpus(corpus_chars)
+    chunks = [
+        corpus[i : i + chunk_bytes] for i in range(0, len(corpus), chunk_bytes)
+    ]
+    payload = WorkerPayload(
+        "cicero",
+        NewCompiler().compile(pattern).program,
+        DEFAULT_BUDGET.max_vm_steps,
+    )
+
+    poolmap_s = supervisor_s = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        poolmap_verdicts = parallel_matches(payload, chunks, jobs=jobs)
+        poolmap_s = min(poolmap_s, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        result = supervised_matches(payload, chunks, jobs=jobs)
+        supervisor_s = min(supervisor_s, time.perf_counter() - started)
+
+    assert result.verdicts == poolmap_verdicts, (
+        "supervised and pool.map verdicts disagree"
+    )
+    assert result.failed == 0, "healthy bench run must not fail shards"
+    return {
+        "chunks": len(chunks),
+        "chunk_bytes": chunk_bytes,
+        "jobs": jobs,
+        "poolmap_s": poolmap_s,
+        "supervisor_s": supervisor_s,
+        "poolmap_chars_per_sec": len(corpus) / poolmap_s,
+        "supervisor_chars_per_sec": len(corpus) / supervisor_s,
+        # >= 1.0 means supervision is free; the gate tolerates modest
+        # overhead, the acceptance bar is within 10% of pool.map.
+        "speedup": poolmap_s / supervisor_s,
+    }
+
+
 def run_suite(quick: bool = False) -> Dict:
-    scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100)
+    scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100,
+                 sup_chars=100_000)
     if quick:
-        scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40)
+        scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40,
+                     sup_chars=40_000)
     return {
         "schema": 1,
         "quick": quick,
@@ -171,6 +229,7 @@ def run_suite(quick: bool = False) -> Dict:
         "vm_fast_path": bench_vm_fast_path(
             scale["vm_chars"], scale["vm_rounds"]
         ),
+        "supervisor_overhead": bench_supervisor_overhead(scale["sup_chars"]),
     }
 
 
@@ -228,6 +287,11 @@ def main(argv=None) -> int:
     print(
         f"vm-fast-path     : {vm['fast_chars_per_sec']:,.0f} "
         f"chars/s ({vm['speedup']:.1f}x)"
+    )
+    supervisor = results["supervisor_overhead"]
+    print(
+        f"supervisor       : {supervisor['supervisor_chars_per_sec']:,.0f} "
+        f"chars/s ({supervisor['speedup']:.2f}x of pool.map)"
     )
 
     if args.baseline:

@@ -43,7 +43,13 @@ from .api import (
     scan_corpus,
     simulate,
 )
-from .engine import Engine, PatternCache
+from .engine import (
+    Engine,
+    PatternCache,
+    RetryPolicy,
+    ScanReport,
+    SupervisorPolicy,
+)
 from .arch.config import ArchConfig
 from .arch.simulator import CiceroSimulator
 from .compiler import (
@@ -71,6 +77,9 @@ __all__ = [
     "NewCompiler",
     "OldCompiler",
     "PatternCache",
+    "RetryPolicy",
+    "ScanReport",
+    "SupervisorPolicy",
     "Program",
     "ReproError",
     "ThompsonVM",

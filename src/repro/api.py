@@ -35,7 +35,7 @@ from .arch.config import ArchConfig
 from .arch.simulator import CiceroSimulator, DEFAULT_CHUNK_BYTES
 from .arch.system import SimulationResult
 from .compiler import CompilationResult, CompileOptions, NewCompiler
-from .engine import CorpusScanResult, Engine
+from .engine import CorpusScanResult, Engine, ScanReport
 from .isa.program import Program
 from .oldcompiler.compiler import OldCompilationResult, OldCompiler
 from .runtime.budget import Budget, DEFAULT_BUDGET
@@ -111,16 +111,19 @@ def default_engine() -> Engine:
 
 def match_many(
     pattern: str,
-    texts: Sequence[Union[str, bytes]],
+    texts: Sequence[Union[str, bytes, bytearray, memoryview]],
     jobs: Optional[int] = None,
-) -> List[bool]:
+    strict: bool = True,
+) -> Union[List[bool], ScanReport]:
     """Batch :func:`match` through the shared cached engine.
 
-    ``jobs > 1`` shards the texts over a ``multiprocessing`` pool
-    (``0`` = all cores); the pattern compiles at most once per process
-    lifetime thanks to the engine's LRU cache.
+    ``jobs > 1`` shards the texts over a supervised ``multiprocessing``
+    pool (``0`` = all cores); the pattern compiles at most once per
+    process lifetime thanks to the engine's LRU cache.  ``strict=False``
+    returns a :class:`~repro.engine.ScanReport` with per-item outcomes
+    instead of raising on the first shard failure.
     """
-    return default_engine().match_many(pattern, texts, jobs=jobs)
+    return default_engine().match_many(pattern, texts, jobs=jobs, strict=strict)
 
 
 def scan_corpus(
@@ -128,10 +131,17 @@ def scan_corpus(
     data: Union[str, bytes],
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     jobs: Optional[int] = None,
-) -> CorpusScanResult:
-    """Scan a large input in §6-style chunks through the shared engine."""
+    strict: bool = True,
+) -> Union[CorpusScanResult, ScanReport]:
+    """Scan a large input in §6-style chunks through the shared engine.
+
+    ``strict=False`` degrades gracefully: failed chunks settle with
+    typed per-chunk outcomes inside the returned
+    :class:`~repro.engine.ScanReport` while every healthy chunk keeps
+    its verdict.
+    """
     return default_engine().scan_corpus(
-        pattern, data, chunk_bytes=chunk_bytes, jobs=jobs
+        pattern, data, chunk_bytes=chunk_bytes, jobs=jobs, strict=strict
     )
 
 

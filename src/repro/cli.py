@@ -149,14 +149,27 @@ def _scan(args) -> int:
     """Scan files (or literal text) with the throughput engine."""
     import time
 
-    from .engine import DEFAULT_CACHE_SIZE, Engine
+    from .engine import DEFAULT_CACHE_SIZE, Engine, RetryPolicy, SupervisorPolicy
+    from .runtime.budget import DEFAULT_BUDGET
 
+    budget = DEFAULT_BUDGET
+    if args.timeout is not None or args.wall_timeout is not None:
+        budget = budget.replace(
+            max_task_seconds=args.timeout,
+            max_wall_seconds=args.wall_timeout,
+        )
+    supervisor = None
+    if args.retries is not None:
+        supervisor = SupervisorPolicy(retry=RetryPolicy(max_retries=args.retries))
     engine = Engine(
         backend=args.backend,
+        budget=budget,
         cache_size=DEFAULT_CACHE_SIZE
         if args.cache_size is None
         else args.cache_size,
         jobs=args.jobs,
+        mp_context=args.mp_context,
+        supervisor=supervisor,
     )
     if args.file:
         with open(args.file, "rb") as handle:
@@ -166,15 +179,34 @@ def _scan(args) -> int:
 
     started = time.perf_counter()
     matched_any = False
+    degraded = False
     for pattern in args.patterns:
         result = engine.scan_corpus(
-            pattern, data, chunk_bytes=args.chunk_bytes, jobs=args.jobs
+            pattern,
+            data,
+            chunk_bytes=args.chunk_bytes,
+            jobs=args.jobs,
+            strict=not args.partial,
         )
         matched_any = matched_any or result.matched
-        print(
+        line = (
             f"{pattern!r}: matched={result.matched} "
             f"({result.matched_chunks}/{result.chunks} chunks)"
         )
+        if args.partial and result.failed_chunks:
+            degraded = True
+            line += (
+                f" [{result.failed_chunks} failed, "
+                f"{result.quarantined} quarantined, "
+                f"{result.retries} retries]"
+            )
+            for outcome in result.errors():
+                print(
+                    f"  chunk {outcome.index}: {outcome.status} "
+                    f"[{outcome.error.code}] {outcome.error}",
+                    file=sys.stderr,
+                )
+        print(line)
     elapsed = time.perf_counter() - started
     scanned = len(data) * len(args.patterns)
     stats = engine.cache_stats()
@@ -188,6 +220,9 @@ def _scan(args) -> int:
         f"cache: {stats.hits} hits, {stats.misses} misses, "
         f"{stats.evictions} evictions (hit rate {stats.hit_rate:.0%})"
     )
+    if degraded:
+        print("warning: some chunks had no verdict (partial scan)",
+              file=sys.stderr)
     return 0 if matched_any else 1
 
 
@@ -356,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
     scan_parser.add_argument("--chunk-bytes", type=int, default=500,
                              help="chunk size for the corpus split "
                              "(default 500, the paper's §6 value)")
+    scan_parser.add_argument("--timeout", type=float, default=None,
+                             help="per-chunk timeout in seconds for "
+                             "parallel scans (hung workers are reclaimed "
+                             "by respawning the pool)")
+    scan_parser.add_argument("--wall-timeout", type=float, default=None,
+                             help="overall deadline in seconds for one "
+                             "parallel scan")
+    scan_parser.add_argument("--retries", type=int, default=None,
+                             help="retries per failed chunk before "
+                             "quarantine (default 2)")
+    scan_parser.add_argument("--partial", action="store_true",
+                             help="report per-chunk outcomes instead of "
+                             "failing the whole scan on the first "
+                             "chunk error")
+    scan_parser.add_argument("--mp-context", default=None,
+                             choices=("fork", "forkserver", "spawn"),
+                             help="multiprocessing start method for "
+                             "worker pools (default: forkserver where "
+                             "available, else spawn)")
     scan_parser.set_defaults(handler=_scan)
 
     bench_parser = sub.add_parser("bench", help="quick benchmark sweep")

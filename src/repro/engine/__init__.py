@@ -1,7 +1,7 @@
-"""High-throughput matching engine: cache, fast VMs, corpus sharding.
+"""High-throughput matching engine: cache, fast VMs, supervised sharding.
 
 The serving-oriented layer the ROADMAP's north star asks for, built on
-three reusable pieces:
+four reusable pieces:
 
 * :mod:`repro.engine.cache` — a thread-safe LRU
   :class:`~repro.engine.cache.PatternCache` keyed by the complete
@@ -9,16 +9,38 @@ three reusable pieces:
 * :mod:`repro.engine.parallel` — corpus sharding over a
   ``multiprocessing`` pool where workers rebuild matchers from pickled
   programs (never from the pattern, so compilation runs once);
+* :mod:`repro.engine.supervisor` — the fault-tolerant scan supervisor:
+  per-shard futures with timeouts, crash recovery, retries with backoff,
+  quarantine, and a circuit breaker (see ``docs/robustness.md``);
 * :mod:`repro.engine.core` — :class:`~repro.engine.core.Engine`, the
-  front door tying both to the multi-backend compilation flow.
+  front door tying them to the multi-backend compilation flow, with the
+  ``strict``/partial switch returning
+  :class:`~repro.engine.core.ScanReport` for degraded runs.
 
 See ``docs/performance.md`` for cache semantics, the sharding model,
 and how to read ``BENCH_engine.json``.
 """
 
 from .cache import CacheStats, PatternCache, matcher_cache_key
-from .core import DEFAULT_CACHE_SIZE, CorpusScanResult, Engine, resolve_jobs
-from .parallel import WorkerPayload, parallel_matches
+from .core import (
+    DEFAULT_CACHE_SIZE,
+    CorpusScanResult,
+    Engine,
+    ScanReport,
+    resolve_jobs,
+)
+from .parallel import (
+    WorkerPayload,
+    parallel_matches,
+    resolve_mp_context,
+)
+from .supervisor import (
+    RetryPolicy,
+    ShardOutcome,
+    SupervisorPolicy,
+    SupervisorResult,
+    supervised_matches,
+)
 
 __all__ = [
     "CacheStats",
@@ -26,8 +48,15 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "Engine",
     "PatternCache",
+    "RetryPolicy",
+    "ScanReport",
+    "ShardOutcome",
+    "SupervisorPolicy",
+    "SupervisorResult",
     "WorkerPayload",
     "matcher_cache_key",
     "parallel_matches",
     "resolve_jobs",
+    "resolve_mp_context",
+    "supervised_matches",
 ]

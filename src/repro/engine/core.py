@@ -15,7 +15,17 @@ fan-out policy, exposing three calls —
 Budgets thread through everywhere: compilation honors the budget's
 compile-side limits (via the cache key, so differently-budgeted callers
 never share artifacts), VM execution honors ``max_vm_steps`` both
-in-process and inside workers, and ``max_parallel_jobs`` caps the pool.
+in-process and inside workers, ``max_parallel_jobs`` caps the pool, and
+``max_task_seconds`` / ``max_wall_seconds`` bound the supervised
+parallel scan.
+
+Parallel runs go through the **fault-tolerant scan supervisor**
+(:mod:`repro.engine.supervisor`): per-shard futures with timeouts,
+crash recovery, retries and quarantine.  The ``strict`` switch on
+:meth:`Engine.match_many` / :meth:`Engine.scan_corpus` chooses between
+re-raising the first typed per-shard error (strict, the historical
+behavior) and returning a :class:`ScanReport` carrying every shard's
+individual outcome (partial mode).
 """
 
 from __future__ import annotations
@@ -38,10 +48,21 @@ from ..backends import (
 from ..compiler import CompileOptions
 from ..runtime.budget import Budget, DEFAULT_BUDGET
 from ..runtime.encoding import as_input_bytes
+from ..runtime.faults import ProcessFaultPlan
 from .cache import CacheStats, PatternCache
-from .parallel import WorkerPayload, build_match_fn, parallel_matches
+from .parallel import WorkerPayload, build_match_fn, resolve_mp_context
+from .supervisor import (
+    DEFAULT_POLICY,
+    ShardOutcome,
+    SupervisorPolicy,
+    run_in_process,
+    supervised_matches,
+)
 
 DEFAULT_CACHE_SIZE = 256
+
+#: Input types every matching entry point normalizes to ``bytes``.
+TextLike = Union[str, bytes, bytearray, memoryview]
 
 
 def resolve_jobs(jobs: Optional[int], budget: Budget) -> int:
@@ -64,7 +85,7 @@ class CorpusScanResult:
     """Outcome of one :meth:`Engine.scan_corpus` call."""
 
     matched: bool
-    chunk_matches: List[bool] = field(default_factory=list)
+    chunk_matches: List[Optional[bool]] = field(default_factory=list)
     bytes_scanned: int = 0
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
 
@@ -74,10 +95,48 @@ class CorpusScanResult:
 
     @property
     def matched_chunks(self) -> int:
-        return sum(self.chunk_matches)
+        return sum(1 for match in self.chunk_matches if match)
 
     def __bool__(self) -> bool:
         return self.matched
+
+
+@dataclass
+class ScanReport(CorpusScanResult):
+    """A :class:`CorpusScanResult` that survives shard failures.
+
+    Partial mode (``strict=False``) returns one of these instead of
+    raising: every shard settles in exactly one :class:`ShardOutcome`
+    (``ok | error | timeout | quarantined``), ``chunk_matches`` holds
+    ``None`` at failed indices, and the supervision accounting (retry
+    count, pool respawns, elapsed wall time, circuit-breaker state) is
+    attached for observability.
+    """
+
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    retries: int = 0
+    respawns: int = 0
+    elapsed: float = 0.0
+    breaker_tripped: bool = False
+
+    @property
+    def failed_chunks(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(
+            1 for outcome in self.outcomes if outcome.status == "quarantined"
+        )
+
+    @property
+    def complete(self) -> bool:
+        """Did every shard produce a verdict?"""
+        return self.failed_chunks == 0
+
+    def errors(self) -> List[ShardOutcome]:
+        """The failed outcomes, in shard order."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
 
 
 class Engine:
@@ -92,6 +151,8 @@ class Engine:
         max_dfa_states: Optional[int] = 50_000,
         cache_size: int = DEFAULT_CACHE_SIZE,
         jobs: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        supervisor: Optional[SupervisorPolicy] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -103,6 +164,14 @@ class Engine:
         self.config = config
         self.max_dfa_states = max_dfa_states
         self.jobs = jobs
+        # Validate eagerly: a typo'd start method should fail at
+        # construction, not inside the first parallel scan.
+        resolve_mp_context(mp_context)
+        self.mp_context = mp_context
+        policy = supervisor if supervisor is not None else DEFAULT_POLICY
+        if policy.mp_context != mp_context and mp_context is not None:
+            policy = replace(policy, mp_context=mp_context)
+        self.supervisor = policy
         self._cache = PatternCache(cache_size)
         # The options/budget halves of every cache key are fixed for the
         # engine's lifetime; computing them once keeps the per-request
@@ -149,37 +218,43 @@ class Engine:
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
-    def match(self, pattern: str, text: Union[str, bytes]) -> bool:
+    def match(self, pattern: str, text: TextLike) -> bool:
         """One text through the cached matcher (budgeted VM steps)."""
-        data = text if isinstance(text, bytes) else as_input_bytes(
-            text, what="input text"
-        )
+        data = as_input_bytes(text, what="input text")
         return self._entry(pattern).match_fn(data)
 
     def match_many(
         self,
         pattern: str,
-        texts: Sequence[Union[str, bytes]],
+        texts: Sequence[TextLike],
         jobs: Optional[int] = None,
-    ) -> List[bool]:
+        strict: bool = True,
+        fault_plan: Optional[ProcessFaultPlan] = None,
+    ) -> Union[List[bool], ScanReport]:
         """Every text's verdict, in input order.
 
-        With ``jobs > 1`` the texts are sharded over a worker pool; the
-        pattern is compiled **once** in the calling process and workers
-        rebuild their matcher from the pickled program, so compilation
-        cost does not multiply with the pool size.
+        With ``jobs > 1`` the texts are sharded over a supervised worker
+        pool; the pattern is compiled **once** in the calling process
+        and workers rebuild their matcher from the pickled program, so
+        compilation cost does not multiply with the pool size.
+
+        ``strict=True`` (default) returns a plain verdict list and
+        re-raises the first typed per-shard error.  ``strict=False``
+        returns a :class:`ScanReport`: healthy shards keep their
+        verdicts, failed shards carry a typed
+        :class:`~repro.engine.supervisor.ShardOutcome` instead of
+        poisoning the batch.  ``fault_plan`` is the fault-injection test
+        hook (:class:`~repro.runtime.faults.ProcessFaultPlan`).
         """
-        normalized = [as_input_bytes(text, what="input text") for text in texts]
-        if not normalized:
-            return []
-        effective_jobs = resolve_jobs(
-            jobs if jobs is not None else self.jobs, self.budget
+        report = self._scan(pattern, texts, jobs, fault_plan)
+        if not strict:
+            return report
+        failure = next(
+            (outcome for outcome in report.outcomes if not outcome.ok), None
         )
-        entry = self._entry(pattern)
-        if effective_jobs <= 1:
-            match_fn = entry.match_fn
-            return [match_fn(data) for data in normalized]
-        return parallel_matches(entry.payload, normalized, effective_jobs)
+        if failure is not None:
+            raise failure.error
+        return [bool(verdict) for verdict in report.chunk_matches]
 
     def scan_corpus(
         self,
@@ -187,7 +262,9 @@ class Engine:
         data: Union[str, bytes],
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         jobs: Optional[int] = None,
-    ) -> CorpusScanResult:
+        strict: bool = True,
+        fault_plan: Optional[ProcessFaultPlan] = None,
+    ) -> Union[CorpusScanResult, ScanReport]:
         """Scan a large input stream chunk-by-chunk (the §6 protocol).
 
         Chunking bounds per-shard memory and mirrors the hardware's
@@ -195,19 +272,72 @@ class Engine:
         spanning a chunk boundary is not detected — pick ``chunk_bytes``
         above the longest expected match, exactly as the paper sizes
         its 500-byte chunks).
+
+        ``strict``/``fault_plan`` behave as on :meth:`match_many`;
+        partial mode returns the full :class:`ScanReport` so a scan with
+        a few quarantined chunks still reports every healthy verdict.
         """
         chunks = split_chunks(data, chunk_bytes)
-        verdicts = self.match_many(pattern, chunks, jobs=jobs)
+        report = self._scan(pattern, chunks, jobs, fault_plan)
+        report.chunk_bytes = chunk_bytes
+        if not strict:
+            return report
+        failure = next(
+            (outcome for outcome in report.outcomes if not outcome.ok), None
+        )
+        if failure is not None:
+            raise failure.error
         return CorpusScanResult(
-            matched=any(verdicts),
-            chunk_matches=verdicts,
-            bytes_scanned=sum(len(chunk) for chunk in chunks),
+            matched=report.matched,
+            chunk_matches=[bool(v) for v in report.chunk_matches],
+            bytes_scanned=report.bytes_scanned,
             chunk_bytes=chunk_bytes,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _scan(
+        self,
+        pattern: str,
+        texts: Sequence[TextLike],
+        jobs: Optional[int],
+        fault_plan: Optional[ProcessFaultPlan],
+    ) -> ScanReport:
+        """Normalize, fan out (supervised), fold into a report."""
+        normalized = [as_input_bytes(text, what="input text") for text in texts]
+        if not normalized:
+            return ScanReport(matched=False, chunk_bytes=0)
+        effective_jobs = resolve_jobs(
+            jobs if jobs is not None else self.jobs, self.budget
+        )
+        entry = self._entry(pattern)
+        if effective_jobs <= 1 and fault_plan is None:
+            result = run_in_process(entry.match_fn, normalized)
+        else:
+            result = supervised_matches(
+                entry.payload,
+                normalized,
+                max(2, effective_jobs) if fault_plan is not None else effective_jobs,
+                task_timeout=self.budget.max_task_seconds,
+                wall_timeout=self.budget.max_wall_seconds,
+                policy=self.supervisor,
+                fault_plan=fault_plan,
+            )
+        return ScanReport(
+            matched=any(
+                outcome.ok and outcome.verdict for outcome in result.outcomes
+            ),
+            chunk_matches=result.verdicts,
+            bytes_scanned=sum(len(data) for data in normalized),
+            chunk_bytes=0,
+            outcomes=result.outcomes,
+            retries=result.retries,
+            respawns=result.respawns,
+            elapsed=result.elapsed,
+            breaker_tripped=result.breaker_tripped,
+        )
+
     def _payload(self, matcher: Matcher) -> WorkerPayload:
         max_vm_steps = self.budget.max_vm_steps
         if isinstance(matcher, CiceroMatcher):
@@ -244,5 +374,6 @@ __all__ = [
     "CorpusScanResult",
     "DEFAULT_CACHE_SIZE",
     "Engine",
+    "ScanReport",
     "resolve_jobs",
 ]

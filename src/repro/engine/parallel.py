@@ -12,6 +12,18 @@ then costs one pickled ``bytes`` in and one ``bool`` out.
 Parent-side input normalization happens *before* the fan-out, so typed
 :class:`~repro.runtime.errors.InputEncodingError` rejections surface in
 the calling process, never as opaque worker crashes.
+
+Pools always come from an **explicit** ``multiprocessing`` start method
+(:func:`resolve_mp_context`): the platform default on Linux is ``fork``,
+which deadlocks when the parent holds locks in other threads (the
+engine's cache lock, a serving framework's executor...).  We default to
+``forkserver`` where available and ``spawn`` elsewhere, and let callers
+override via ``Engine(mp_context=...)``.
+
+This module is the *unsupervised* fast path (one ``pool.map``, all-or-
+nothing).  The fault-tolerant path — per-shard futures, timeouts,
+retries, quarantine — lives in :mod:`repro.engine.supervisor` and
+reuses the payload/initializer machinery defined here.
 """
 
 from __future__ import annotations
@@ -20,13 +32,34 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from ..arch.config import ArchConfig
+from ..arch.config import ArchConfig, ConfigurationError
 from ..arch.system import CiceroSystem
 from ..isa.program import Program
+from ..runtime.errors import WorkerStateError
 from ..vm.thompson import ThompsonVM
 
 #: Below this many shardable items a pool costs more than it saves.
 MIN_PARALLEL_ITEMS = 2
+
+
+def resolve_mp_context(method: Optional[str] = None):
+    """An explicit ``multiprocessing`` context, never the platform default.
+
+    ``None`` picks ``forkserver`` when the platform offers it (one clean
+    server process forked early, immune to fork-after-thread deadlocks)
+    and ``spawn`` otherwise (always safe, portable to macOS/Windows).
+    An unknown method name raises a typed
+    :class:`~repro.arch.config.ConfigurationError`.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        method = "forkserver" if "forkserver" in available else "spawn"
+    if method not in available:
+        raise ConfigurationError(
+            f"unknown multiprocessing start method {method!r}; "
+            f"this platform offers {sorted(available)}"
+        )
+    return multiprocessing.get_context(method)
 
 
 @dataclass(frozen=True)
@@ -73,12 +106,18 @@ def _init_worker(payload: WorkerPayload) -> None:
 
 
 def _match_one(data: bytes) -> bool:
-    assert _WORKER_MATCH_FN is not None, "worker used before initialization"
+    if _WORKER_MATCH_FN is None:
+        raise WorkerStateError(
+            "pool worker used before its initializer installed a matcher"
+        )
     return _WORKER_MATCH_FN(data)
 
 
 def parallel_matches(
-    payload: WorkerPayload, texts: Sequence[bytes], jobs: int
+    payload: WorkerPayload,
+    texts: Sequence[bytes],
+    jobs: int,
+    mp_context: Optional[str] = None,
 ) -> List[bool]:
     """Match every text, sharded over ``jobs`` worker processes.
 
@@ -91,7 +130,8 @@ def parallel_matches(
         match_fn = build_match_fn(payload)
         return [match_fn(data) for data in texts]
     chunksize = max(1, len(texts) // (jobs * 4))
-    with multiprocessing.Pool(
+    context = resolve_mp_context(mp_context)
+    with context.Pool(
         processes=jobs, initializer=_init_worker, initargs=(payload,)
     ) as pool:
         return pool.map(_match_one, texts, chunksize=chunksize)
@@ -102,4 +142,5 @@ __all__ = [
     "WorkerPayload",
     "build_match_fn",
     "parallel_matches",
+    "resolve_mp_context",
 ]

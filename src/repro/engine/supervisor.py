@@ -1,0 +1,599 @@
+"""The fault-tolerant scan supervisor.
+
+:mod:`repro.engine.parallel` shards a corpus over one ``pool.map`` —
+fast, but all-or-nothing: one hung text, one budget trip inside a
+worker, or one OOM-killed process destroys the verdicts of every other
+shard.  The paper's hardware is explicitly fault-aware at this
+granularity (engine-level load balancing tolerates imbalanced FIFOs,
+§5); this module is the software analogue, giving each shard the same
+isolation:
+
+* shards are dispatched as **individual futures** over an explicit
+  ``multiprocessing`` context (:func:`~repro.engine.parallel.resolve_mp_context`),
+  never a bare ``pool.map``;
+* a **per-task timeout** (``Budget.max_task_seconds``) and an **overall
+  deadline** (``Budget.max_wall_seconds``) bound every wait — a hung
+  worker is reclaimed by terminating and respawning the pool;
+* **dead workers are detected** (``os._exit``, OOM kill) by watching the
+  pool's process table; in-flight shards are re-dispatched, and when
+  several were in flight the supervisor *probes* them one at a time so
+  a single poisonous input cannot take innocent shards down with it;
+* failed shards are **retried** with capped exponential backoff plus
+  deterministic jitter, then **quarantined** with a typed per-shard
+  error instead of aborting the run;
+* a **circuit breaker** stops dispatching when the settled-failure
+  ratio crosses a threshold — systemic failures fail fast.
+
+Every shard ends in exactly one :class:`ShardOutcome` with status
+``ok | error | timeout | quarantined``; the safety property (proven by
+the process-fault-injection suite) is that an injected worker fault is
+either retried to success, quarantined with a typed error, or converted
+to a typed timeout — **never a hang, never a silently dropped verdict**.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.errors import (
+    CircuitBreakerOpenError,
+    ReproError,
+    ShardFailedError,
+    ShardQuarantinedError,
+    TaskTimeoutError,
+    WallClockBudgetError,
+    WorkerCrashError,
+    WorkerStateError,
+)
+from ..runtime.faults import ProcessFaultPlan
+from .parallel import WorkerPayload, build_match_fn, resolve_mp_context
+
+#: The four ways a shard can settle.
+OUTCOME_STATUSES = ("ok", "error", "timeout", "quarantined")
+
+
+# ----------------------------------------------------------------------
+# Policies and results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed shards are retried before quarantine.
+
+    A shard gets ``1 + max_retries`` tries; the delay before retry
+    ``n`` is ``min(backoff_cap, backoff_base * 2**(n-1))`` stretched by
+    up to ``jitter`` (uniformly random but seeded, so runs are
+    reproducible).  Timeouts are terminal by default — retrying a
+    deterministic hang burns ``max_task_seconds`` of wall clock per
+    attempt — opt in with ``retry_timeouts``.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    retry_timeouts: bool = False
+    seed: int = 0
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        base = min(
+            self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1))
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Everything the supervisor needs beyond the budget's limits."""
+
+    retry: RetryPolicy = RetryPolicy()
+    #: Settled-failure ratio that trips the circuit breaker;
+    #: ``None`` disables the breaker.
+    failure_threshold: Optional[float] = 0.5
+    #: Settled shards required before the breaker may trip (a 1/1
+    #: failure is not a systemic signal).
+    breaker_min_samples: int = 5
+    #: Supervisor fallback poll granularity.  Shard completions wake the
+    #: supervisor immediately (via result callbacks); this interval only
+    #: bounds the detection lag for hangs, crashes and deadlines.
+    poll_seconds: float = 0.005
+    #: Explicit ``multiprocessing`` start method (``None`` = forkserver
+    #: where available, else spawn — never the platform default).
+    mp_context: Optional[str] = None
+
+
+DEFAULT_POLICY = SupervisorPolicy()
+
+
+@dataclass
+class ShardOutcome:
+    """How one shard settled: its verdict, or a typed error."""
+
+    index: int
+    status: str
+    verdict: Optional[bool] = None
+    error: Optional[ReproError] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "status": self.status,
+            "verdict": self.verdict,
+            "error": None if self.error is None else self.error.to_dict(),
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SupervisorResult:
+    """Aggregate of one supervised run: per-shard outcomes + accounting."""
+
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    retries: int = 0
+    respawns: int = 0
+    elapsed: float = 0.0
+    breaker_tripped: bool = False
+
+    @property
+    def verdicts(self) -> List[Optional[bool]]:
+        return [outcome.verdict for outcome in self.outcomes]
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(
+            1 for outcome in self.outcomes if outcome.status == "quarantined"
+        )
+
+    def first_failure(self) -> Optional[ShardOutcome]:
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                return outcome
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# (match_fn, fault_plan), installed per worker by the pool initializer.
+_SUPERVISED_STATE: Optional[Tuple[Optional[Callable], object]] = None
+
+
+def _init_supervised_worker(
+    payload: WorkerPayload, fault_plan: Optional[ProcessFaultPlan]
+) -> None:
+    global _SUPERVISED_STATE
+    try:
+        match_fn: Optional[Callable] = build_match_fn(payload)
+    except Exception:
+        # A failing initializer would make the pool retry it forever;
+        # leave the state poisoned and let every task report it instead.
+        match_fn = None
+    _SUPERVISED_STATE = (match_fn, fault_plan)
+
+
+def _run_shard(task: Tuple[int, bytes]) -> Tuple[int, str, object]:
+    """One shard, executed in a worker.  Always *returns* a tagged tuple
+    — worker-side exceptions are converted to picklable typed errors, so
+    the only ways a future can fail to resolve are a dead process or a
+    hang, both of which the supervisor detects from outside."""
+    index, data = task
+    state = _SUPERVISED_STATE
+    if state is None or state[0] is None:
+        return (
+            index,
+            "error",
+            WorkerStateError(
+                "supervised worker used before its initializer installed "
+                "a matcher"
+            ),
+        )
+    match_fn, fault_plan = state
+    try:
+        if fault_plan is not None:
+            fault_plan.fire(index)
+        return (index, "ok", bool(match_fn(data)))
+    except ReproError as error:
+        return (index, "error", error)
+    except Exception as error:  # plain bugs become typed shard failures
+        return (
+            index,
+            "error",
+            ShardFailedError(index, type(error).__name__, str(error)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    result: object  # multiprocessing.pool.AsyncResult
+    dispatched_at: float
+
+
+def _live_pids(pool) -> set:
+    workers = getattr(pool, "_pool", None) or []
+    return {proc.pid for proc in workers if proc.is_alive()}
+
+
+class _Supervisor:
+    """One supervised run over one payload and one item list."""
+
+    def __init__(
+        self,
+        payload: WorkerPayload,
+        items: Sequence[bytes],
+        jobs: int,
+        task_timeout: Optional[float],
+        wall_timeout: Optional[float],
+        policy: SupervisorPolicy,
+        fault_plan: Optional[ProcessFaultPlan],
+    ):
+        self.payload = payload
+        self.items = items
+        self.jobs = max(1, min(jobs, len(items)))
+        self.task_timeout = task_timeout
+        self.wall_timeout = wall_timeout
+        self.policy = policy
+        self.fault_plan = fault_plan
+
+        self.context = resolve_mp_context(policy.mp_context)
+        self.rng = random.Random(policy.retry.seed)
+        self.outcomes: List[Optional[ShardOutcome]] = [None] * len(items)
+        self.dispatches: Dict[int, int] = {}
+        self.strikes: Dict[int, int] = {}
+        self.ready: deque = deque(range(len(items)))
+        self.delayed: List[Tuple[float, int]] = []
+        self.pending: Dict[int, _InFlight] = {}
+        #: Indices being re-probed one at a time after a pool crash.
+        self.probing: set = set()
+        self.known_pids: set = set()
+        self.retries = 0
+        self.respawns = 0
+        self.settled_failures = 0
+        self.settled_total = 0
+        self.breaker_tripped = False
+        self.pool = None
+        #: Set by result callbacks the moment any shard completes, so
+        #: the loop blocks on this instead of a fixed-interval sleep —
+        #: supervision latency is event-driven, not poll-bound.
+        self.wake = threading.Event()
+
+    # -- pool lifecycle -------------------------------------------------
+    def _spawn_pool(self) -> None:
+        self.pool = self.context.Pool(
+            processes=self.jobs,
+            initializer=_init_supervised_worker,
+            initargs=(self.payload, self.fault_plan),
+        )
+        self.known_pids = _live_pids(self.pool)
+
+    def _respawn_pool(self) -> None:
+        self.respawns += 1
+        self.pool.terminate()
+        self.pool.join()
+        self._spawn_pool()
+
+    # -- settlement -----------------------------------------------------
+    def _settle(self, index: int, outcome: ShardOutcome) -> None:
+        if self.outcomes[index] is not None:
+            return
+        self.outcomes[index] = outcome
+        self.probing.discard(index)
+        self.settled_total += 1
+        if not outcome.ok:
+            self.settled_failures += 1
+
+    def _fail(
+        self, index: int, error: ReproError, *, timeout: bool = False
+    ) -> None:
+        """One definitive failed attempt on ``index``: retry or settle."""
+        self.strikes[index] = self.strikes.get(index, 0) + 1
+        retry = self.policy.retry
+        retryable = retry.retry_timeouts if timeout else True
+        if retryable and self.strikes[index] <= retry.max_retries:
+            self.retries += 1
+            delay = retry.backoff_seconds(self.strikes[index], self.rng)
+            self.delayed.append((time.monotonic() + delay, index))
+            return
+        attempts = self.dispatches.get(index, 1)
+        if timeout:
+            self._settle(
+                index,
+                ShardOutcome(index, "timeout", error=error, attempts=attempts),
+            )
+        else:
+            self._settle(
+                index,
+                ShardOutcome(
+                    index,
+                    "quarantined",
+                    error=ShardQuarantinedError(index, attempts, error),
+                    attempts=attempts,
+                ),
+            )
+
+    def _settle_remaining(self, make_error) -> None:
+        for index in range(len(self.items)):
+            if self.outcomes[index] is None:
+                error = make_error(index)
+                status = (
+                    "timeout"
+                    if isinstance(error, WallClockBudgetError)
+                    else "error"
+                )
+                self._settle(
+                    index,
+                    ShardOutcome(
+                        index,
+                        status,
+                        error=error,
+                        attempts=self.dispatches.get(index, 0),
+                    ),
+                )
+
+    # -- loop phases ----------------------------------------------------
+    def _collect_finished(self) -> bool:
+        progressed = False
+        for index, flight in list(self.pending.items()):
+            if not flight.result.ready():
+                continue
+            del self.pending[index]
+            progressed = True
+            try:
+                _, tag, value = flight.result.get()
+            except Exception as error:  # result transport failed
+                self._fail(
+                    index,
+                    ShardFailedError(index, type(error).__name__, str(error)),
+                )
+                continue
+            if tag == "ok":
+                self._settle(
+                    index,
+                    ShardOutcome(
+                        index,
+                        "ok",
+                        verdict=value,
+                        attempts=self.dispatches.get(index, 1),
+                    ),
+                )
+            else:
+                self._fail(index, value)
+        return progressed
+
+    def _check_crashes(self) -> bool:
+        live = _live_pids(self.pool)
+        died = self.known_pids - live
+        self.known_pids = self.known_pids | live
+        if not died or not self.pending:
+            if died:
+                # Workers died with nothing in flight (e.g. during
+                # initializer); refresh the baseline and move on.
+                self.known_pids = live
+            return False
+        in_flight = sorted(self.pending)
+        self._respawn_pool()
+        self.pending.clear()
+        if len(in_flight) == 1:
+            # Exactly one suspect: it is definitively the crasher.
+            self._fail(in_flight[0], WorkerCrashError(in_flight[0]))
+        else:
+            # Ambiguous: probe the suspects one at a time so the poison
+            # shard cannot strike out innocent neighbours.
+            self.probing.update(in_flight)
+            for index in reversed(in_flight):
+                self.ready.appendleft(index)
+        return True
+
+    def _check_task_timeouts(self, now: float) -> bool:
+        if self.task_timeout is None or not self.pending:
+            return False
+        expired = [
+            (index, flight)
+            for index, flight in self.pending.items()
+            if now - flight.dispatched_at > self.task_timeout
+        ]
+        if not expired:
+            return False
+        # A hung worker cannot be interrupted in place: reclaim the whole
+        # pool, then requeue the innocent in-flight shards uncounted.
+        innocents = [
+            index
+            for index in sorted(self.pending)
+            if index not in {index for index, _ in expired}
+        ]
+        self._respawn_pool()
+        self.pending.clear()
+        for index, flight in expired:
+            self._fail(
+                index,
+                TaskTimeoutError(
+                    index, now - flight.dispatched_at, self.task_timeout
+                ),
+                timeout=True,
+            )
+        for index in reversed(innocents):
+            self.ready.appendleft(index)
+        return True
+
+    def _promote_delayed(self, now: float) -> None:
+        due = [entry for entry in self.delayed if entry[0] <= now]
+        if due:
+            self.delayed = [entry for entry in self.delayed if entry[0] > now]
+            for _, index in sorted(due):
+                self.ready.append(index)
+
+    def _dispatch(self, now: float) -> bool:
+        # While probing crash suspects the window narrows to one shard,
+        # so a repeat crash unambiguously identifies the poison input.
+        window = 1 if self.probing else self.jobs * 2
+        progressed = False
+        while self.ready and len(self.pending) < window:
+            if self.probing:
+                # Probe suspects before fresh work.
+                index = None
+                for candidate in self.ready:
+                    if candidate in self.probing:
+                        index = candidate
+                        break
+                if index is None:
+                    index = self.ready[0]
+                self.ready.remove(index)
+            else:
+                index = self.ready.popleft()
+            if self.outcomes[index] is not None:
+                continue
+            self.dispatches[index] = self.dispatches.get(index, 0) + 1
+            self.pending[index] = _InFlight(
+                self.pool.apply_async(
+                    _run_shard,
+                    ((index, self.items[index]),),
+                    callback=self._on_result,
+                    error_callback=self._on_result,
+                ),
+                now,
+            )
+            progressed = True
+        return progressed
+
+    def _on_result(self, _result) -> None:
+        # Runs on the pool's result-handler thread; Event.set is the
+        # only safe thing to do here.  Stale callbacks from a pool that
+        # was respawned since are harmless — one spurious wake-up.
+        self.wake.set()
+
+    def _breaker_should_trip(self) -> bool:
+        threshold = self.policy.failure_threshold
+        if threshold is None or self.breaker_tripped:
+            return False
+        if self.settled_total < self.policy.breaker_min_samples:
+            return False
+        return self.settled_failures / self.settled_total > threshold
+
+    # -- main -----------------------------------------------------------
+    def run(self) -> SupervisorResult:
+        started = time.monotonic()
+        deadline = (
+            started + self.wall_timeout
+            if self.wall_timeout is not None
+            else None
+        )
+        self._spawn_pool()
+        try:
+            while any(outcome is None for outcome in self.outcomes):
+                now = time.monotonic()
+                if deadline is not None and now > deadline:
+                    elapsed = now - started
+                    self._settle_remaining(
+                        lambda index: WallClockBudgetError(
+                            index, elapsed, self.wall_timeout
+                        )
+                    )
+                    break
+                progressed = self._collect_finished()
+                progressed |= self._check_crashes()
+                progressed |= self._check_task_timeouts(time.monotonic())
+                if self._breaker_should_trip():
+                    self.breaker_tripped = True
+                    failures, settled = self.settled_failures, self.settled_total
+                    self._settle_remaining(
+                        lambda index: CircuitBreakerOpenError(
+                            failures, settled, self.policy.failure_threshold
+                        )
+                    )
+                    break
+                self._promote_delayed(time.monotonic())
+                progressed |= self._dispatch(time.monotonic())
+                if not progressed:
+                    # Wake immediately on any shard completion; the
+                    # timeout keeps hang/crash/deadline detection live.
+                    self.wake.wait(self.policy.poll_seconds)
+                    self.wake.clear()
+        finally:
+            # terminate (not close): hung or sleeping workers must die
+            # with the run, never outlive it.
+            self.pool.terminate()
+            self.pool.join()
+        return SupervisorResult(
+            outcomes=list(self.outcomes),
+            retries=self.retries,
+            respawns=self.respawns,
+            elapsed=time.monotonic() - started,
+            breaker_tripped=self.breaker_tripped,
+        )
+
+
+def supervised_matches(
+    payload: WorkerPayload,
+    items: Sequence[bytes],
+    jobs: int,
+    task_timeout: Optional[float] = None,
+    wall_timeout: Optional[float] = None,
+    policy: SupervisorPolicy = DEFAULT_POLICY,
+    fault_plan: Optional[ProcessFaultPlan] = None,
+) -> SupervisorResult:
+    """Match every item under supervision; every item gets an outcome.
+
+    The fault-tolerant counterpart of
+    :func:`~repro.engine.parallel.parallel_matches`: same payload, same
+    worker-side matcher rebuild, but per-shard futures with timeouts,
+    crash recovery, retries, quarantine and a circuit breaker.
+    ``fault_plan`` is the test hook injecting worker-process faults
+    (:class:`~repro.runtime.faults.ProcessFaultPlan`).
+    """
+    if not items:
+        return SupervisorResult()
+    supervisor = _Supervisor(
+        payload, items, jobs, task_timeout, wall_timeout, policy, fault_plan
+    )
+    return supervisor.run()
+
+
+def run_in_process(
+    match_fn: Callable[[bytes], bool],
+    items: Sequence[bytes],
+) -> SupervisorResult:
+    """The in-process analogue of :func:`supervised_matches`.
+
+    Used when the shard count cannot pay for a pool; takes the
+    ready-built ``match_fn`` (the engine's cache entry holds one) so the
+    serial fast path stays free of matcher-rebuild cost.  Worker-process
+    failure modes (crashes, hangs) do not exist here, so the outcome
+    taxonomy collapses to ``ok`` | ``error`` — but typed per-item errors
+    are still isolated instead of aborting the batch.
+    """
+    result = SupervisorResult()
+    for index, data in enumerate(items):
+        try:
+            result.outcomes.append(
+                ShardOutcome(index, "ok", verdict=bool(match_fn(data)))
+            )
+        except ReproError as error:
+            result.outcomes.append(ShardOutcome(index, "error", error=error))
+    return result
+
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "OUTCOME_STATUSES",
+    "RetryPolicy",
+    "ShardOutcome",
+    "SupervisorPolicy",
+    "SupervisorResult",
+    "run_in_process",
+    "supervised_matches",
+]

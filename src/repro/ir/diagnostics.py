@@ -29,6 +29,17 @@ class ReproError(Exception):
     #: Source location of the offending construct, when known.
     location: Optional["Location"] = None
 
+    def __reduce__(self):
+        # Subclasses take rich positional arguments (limits, patterns,
+        # offsets) and bake them into one message, so the default
+        # exception reduction — ``cls(*self.args)`` — cannot rebuild
+        # them.  Supervisor workers ship these errors across the process
+        # boundary, so reconstruct from the instance state instead.
+        return (
+            _rebuild_error,
+            (self.__class__, self.args, self.__dict__.copy()),
+        )
+
     def to_dict(self) -> dict:
         """Serializable view of the error (for APIs, logs, the CLI)."""
         location = None
@@ -38,6 +49,15 @@ class ReproError(Exception):
                 "column": self.location.column,
             }
         return {"code": self.code, "message": str(self), "location": location}
+
+
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: restore a :class:`ReproError` without rerunning
+    its ``__init__`` (whose signature varies per subclass)."""
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
 
 
 class IRError(ReproError):

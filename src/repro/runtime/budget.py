@@ -61,6 +61,16 @@ class Budget:
     #: Maximum worker processes one batch/corpus call may fan out to
     #: (:mod:`repro.engine`); ``None`` leaves sizing to the caller.
     max_parallel_jobs: Optional[int] = None
+    #: Wall-clock budget (seconds) for *one shard* inside a supervised
+    #: parallel scan; a shard running longer trips
+    #: :class:`~repro.runtime.errors.TaskTimeoutError` and the worker
+    #: pool is respawned (a hung worker cannot be interrupted in place).
+    #: ``None`` disables the per-task watchdog.
+    max_task_seconds: Optional[float] = None
+    #: Wall-clock budget (seconds) for a *whole* supervised scan; shards
+    #: unfinished at the deadline settle with
+    #: :class:`~repro.runtime.errors.WallClockBudgetError`.
+    max_wall_seconds: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Constructors

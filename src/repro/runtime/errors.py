@@ -19,6 +19,11 @@ Taxonomy (codes in parentheses)::
     ├── InputEncodingError (REPRO-INPUT-ENCODING)
     ├── ConfigurationError (REPRO-ARCH-CONFIG)      [repro.arch.config]
     ├── SimulationError (REPRO-SIM)                 [repro.arch.system]
+    ├── WorkerStateError (REPRO-WORKER-STATE)
+    ├── WorkerCrashError (REPRO-WORKER-CRASH)
+    ├── ShardFailedError (REPRO-SHARD-FAILED)
+    ├── ShardQuarantinedError (REPRO-SHARD-QUARANTINED)
+    ├── CircuitBreakerOpenError (REPRO-CIRCUIT-OPEN)
     └── BudgetExceeded (REPRO-BUDGET)
         ├── PatternNestingError (REPRO-BUDGET-NESTING)   [+RegexSyntaxError]
         ├── PatternLengthBudgetError (REPRO-BUDGET-PATTERN-LENGTH)
@@ -26,9 +31,17 @@ Taxonomy (codes in parentheses)::
         ├── ProgramSizeBudgetError (REPRO-BUDGET-PROGRAM-SIZE)
         ├── PassBudgetError (REPRO-BUDGET-PASS-TIME)
         ├── VMStepBudgetError (REPRO-BUDGET-VM-STEPS)
+        ├── TaskTimeoutError (REPRO-BUDGET-TASK-TIMEOUT)
+        ├── WallClockBudgetError (REPRO-BUDGET-WALL-TIME)
         ├── SimulationCycleBudgetError (REPRO-BUDGET-SIM-CYCLES) [+SimulationError]
         ├── ThreadBudgetError (REPRO-BUDGET-SIM-THREADS)         [+SimulationError]
         └── EquivalenceCheckExceeded (REPRO-BUDGET-EQUIV-STATES)
+
+The ``Worker*``/``Shard*``/``CircuitBreaker*`` errors belong to the
+fault-tolerant scan supervisor (:mod:`repro.engine.supervisor`); they are
+defined here because they are part of the one-taxonomy contract and cross
+the process boundary (every :class:`ReproError` pickles losslessly — see
+``ReproError.__reduce__``).
 
 The two simulator budget errors live in :mod:`repro.arch.system` (they
 also subclass ``SimulationError``); everything else is importable from
@@ -172,6 +185,134 @@ class VMStepBudgetError(BudgetExceeded):
         )
 
 
+class TaskTimeoutError(BudgetExceeded):
+    """One supervised shard ran past ``Budget.max_task_seconds``.
+
+    The supervisor cannot interrupt a hung worker in place, so the pool
+    is respawned and the shard is either retried (when the retry policy
+    allows) or settled with this error — the run as a whole continues.
+    """
+
+    code = "REPRO-BUDGET-TASK-TIMEOUT"
+
+    def __init__(self, index: int, seconds: float, limit: float):
+        self.index = index
+        super().__init__(
+            f"shard {index} exceeded the {limit:g}s per-task budget "
+            f"(running for {seconds:.3f}s); worker pool respawned",
+            limit=limit,
+            spent=seconds,
+        )
+
+
+class WallClockBudgetError(BudgetExceeded):
+    """The whole supervised scan ran past ``Budget.max_wall_seconds``.
+
+    Every shard still unfinished at the deadline settles with this error;
+    completed shards keep their verdicts (partial mode) or the first
+    unfinished index raises it (strict mode).
+    """
+
+    code = "REPRO-BUDGET-WALL-TIME"
+
+    def __init__(self, index: int, elapsed: float, limit: float):
+        self.index = index
+        super().__init__(
+            f"shard {index} unfinished when the scan hit the {limit:g}s "
+            f"overall deadline (elapsed {elapsed:.3f}s)",
+            limit=limit,
+            spent=elapsed,
+        )
+
+
+class WorkerStateError(ReproError):
+    """A pool worker was used before its initializer ran (or after it
+    failed) — an internal invariant violation, never a user error."""
+
+    code = "REPRO-WORKER-STATE"
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (``os._exit``, OOM kill, segfault) while a
+    shard was in flight.  The supervisor respawns the pool and re-probes
+    the in-flight shards serially to isolate the poisonous one."""
+
+    code = "REPRO-WORKER-CRASH"
+
+    def __init__(self, index: int, detail: str = ""):
+        self.index = index
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"worker process died while matching shard {index}{suffix}"
+        )
+
+
+class ShardFailedError(ReproError):
+    """A worker raised a non-:class:`ReproError` exception on one shard.
+
+    The original exception type and message are preserved as fields (the
+    exception object itself may not pickle, so it never crosses the
+    process boundary raw).
+    """
+
+    code = "REPRO-SHARD-FAILED"
+
+    def __init__(self, index: int, cause_type: str, cause_message: str):
+        self.index = index
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        super().__init__(
+            f"shard {index} failed in worker: {cause_type}: {cause_message}"
+        )
+
+
+class ShardQuarantinedError(ReproError):
+    """A shard failed every allowed attempt and was quarantined.
+
+    Poison-input isolation: the shard's verdict is abandoned with this
+    typed error instead of aborting the scan; ``last_error`` carries the
+    final attempt's typed failure.
+    """
+
+    code = "REPRO-SHARD-QUARANTINED"
+
+    def __init__(self, index: int, attempts: int, last_error: ReproError):
+        self.index = index
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"shard {index} quarantined after {attempts} failed attempts; "
+            f"last error [{last_error.code}]: {last_error}"
+        )
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["last_error"] = self.last_error.to_dict()
+        return payload
+
+
+class CircuitBreakerOpenError(ReproError):
+    """Too many shards failed; the supervisor stopped dispatching.
+
+    Raised for (or attached to) every shard left unprocessed when the
+    failure ratio crossed the configured threshold — a systemic failure
+    (bad artifact, dying pool host) should fail fast, not burn the full
+    corpus worth of retries.
+    """
+
+    code = "REPRO-CIRCUIT-OPEN"
+
+    def __init__(self, failures: int, settled: int, threshold: float):
+        self.failures = failures
+        self.settled = settled
+        self.threshold = threshold
+        super().__init__(
+            f"circuit breaker open: {failures}/{settled} settled shards "
+            f"failed (threshold {threshold:.0%}); remaining shards not "
+            "dispatched"
+        )
+
+
 def _clip(text: str, limit: int = 60) -> str:
     """Clip long patterns so error messages stay loggable."""
     return text if len(text) <= limit else text[: limit - 1] + "…"
@@ -191,6 +332,7 @@ def format_error(error: ReproError) -> str:
 
 __all__ = [
     "BudgetExceeded",
+    "CircuitBreakerOpenError",
     "CodegenError",
     "ExpansionBudgetError",
     "IRError",
@@ -204,8 +346,14 @@ __all__ = [
     "ProgramSizeBudgetError",
     "RegexSyntaxError",
     "ReproError",
+    "ShardFailedError",
+    "ShardQuarantinedError",
+    "TaskTimeoutError",
     "UnsupportedRegexError",
     "VMStepBudgetError",
     "VerificationError",
+    "WallClockBudgetError",
+    "WorkerCrashError",
+    "WorkerStateError",
     "format_error",
 ]

@@ -24,12 +24,19 @@ from repro.ir.diagnostics import (
     VerificationError,
 )
 from repro.runtime.errors import (
+    CircuitBreakerOpenError,
     ExpansionBudgetError,
     InputEncodingError,
     PassBudgetError,
     PatternLengthBudgetError,
     ProgramSizeBudgetError,
+    ShardFailedError,
+    ShardQuarantinedError,
+    TaskTimeoutError,
     VMStepBudgetError,
+    WallClockBudgetError,
+    WorkerCrashError,
+    WorkerStateError,
     format_error,
 )
 from repro.verify.equivalence import EquivalenceCheckExceeded
@@ -55,6 +62,13 @@ ALL_ERROR_TYPES = [
     ThreadBudgetError,
     EquivalenceCheckExceeded,
     InputEncodingError,
+    TaskTimeoutError,
+    WallClockBudgetError,
+    WorkerStateError,
+    WorkerCrashError,
+    ShardFailedError,
+    ShardQuarantinedError,
+    CircuitBreakerOpenError,
 ]
 
 
@@ -132,6 +146,25 @@ def test_format_error_does_not_repeat_syntax_location():
     error = RegexSyntaxError("unbalanced '('", "(((", 2)
     rendered = format_error(error)
     assert rendered.count("<pattern>:2") == 1
+
+
+def test_supervisor_timeouts_are_budget_errors():
+    """Per-task and wall-clock trips join the BudgetExceeded family, so
+    one ``except BudgetExceeded`` covers compile, VM and scan limits."""
+    task = TaskTimeoutError(3, 1.73, 1.5)
+    wall = WallClockBudgetError(2, 5.01, 4.0)
+    assert isinstance(task, BudgetExceeded) and task.limit == 1.5
+    assert isinstance(wall, BudgetExceeded) and wall.spent == 5.01
+    assert task.index == 3 and wall.index == 2
+
+
+def test_quarantine_error_nests_the_last_failure():
+    inner = VMStepBudgetError(120, 100, "a*b")
+    error = ShardQuarantinedError(7, 3, inner)
+    payload = error.to_dict()
+    assert payload["code"] == "REPRO-SHARD-QUARANTINED"
+    assert payload["last_error"]["code"] == "REPRO-BUDGET-VM-STEPS"
+    assert error.attempts == 3 and error.last_error is inner
 
 
 def test_syntax_error_location_survives():
