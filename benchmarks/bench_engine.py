@@ -16,6 +16,10 @@ so future PRs have a perf trajectory:
   (per-shard futures, timeout/crash bookkeeping) vs the bare
   ``pool.map`` sharding on the same payload and chunks; the ratio is
   the price of fault tolerance on a healthy run and must stay near 1.
+* **observability-overhead** — the VM hot loop with disabled telemetry
+  instruments explicitly supplied vs the bare call; the observability
+  layer's no-op fast path must cost ≤ ``OVERHEAD_CEILING`` (a hard
+  gate, independent of any baseline).
 
 Absolute throughputs are machine-dependent; the *speedup ratios* are
 not, so the regression gate (``--baseline`` + ``--max-regression``)
@@ -48,7 +52,12 @@ GATED_METRICS = (
     ("corpus_scan", "speedup"),
     ("vm_fast_path", "speedup"),
     ("supervisor_overhead", "speedup"),
+    ("observability_overhead", "speedup"),
 )
+
+#: Hard ceiling on the disabled-telemetry overhead fraction: the no-op
+#: tracer/metrics path may cost at most this much over the bare VM call.
+OVERHEAD_CEILING = 0.05
 
 PATTERNS = [
     "th(is|at|ose)",
@@ -215,6 +224,51 @@ def bench_supervisor_overhead(
     }
 
 
+def bench_observability_overhead(
+    text_chars: int, rounds: int, repeats: int = 5
+) -> Dict:
+    """Disabled-telemetry dispatch vs the bare VM call (must be ~free).
+
+    Passing :data:`NULL_TRACER`/:data:`NULL_METRICS` exercises the
+    instrumentation dispatch in :meth:`ThompsonVM.run` while keeping the
+    hot loop on its uninstrumented copy — exactly what every caller that
+    plumbs optional telemetry pays when nothing records.  The two sides
+    are timed in interleaved batches (best-of-``repeats`` each) so
+    scheduler noise and thermal drift hit both equally; the suite gates
+    the overhead fraction at :data:`OVERHEAD_CEILING`.
+    """
+    from repro.observability import NULL_METRICS, NULL_TRACER
+
+    pattern = "(a|ab|b)*c(d|e)f{2,4}"
+    program = NewCompiler().compile(pattern).program
+    vm = ThompsonVM(program)
+    text = (b"ab" * (text_chars // 2))[: text_chars - 4] + b"cdff"
+
+    for _ in range(rounds):  # warm caches and the bytecode specializer
+        vm.run(text)
+        vm.run(text, tracer=NULL_TRACER, metrics=NULL_METRICS)
+    plain_s = disabled_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            vm.run(text)
+        plain_s = min(plain_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            vm.run(text, tracer=NULL_TRACER, metrics=NULL_METRICS)
+        disabled_s = min(disabled_s, time.perf_counter() - started)
+    return {
+        "pattern": pattern,
+        "text_chars": text_chars,
+        "rounds": rounds,
+        "repeats": repeats,
+        "plain_s": plain_s,
+        "disabled_s": disabled_s,
+        "overhead_frac": disabled_s / plain_s - 1.0,
+        "speedup": plain_s / disabled_s,
+    }
+
+
 def run_suite(quick: bool = False) -> Dict:
     scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100,
                  sup_chars=100_000)
@@ -230,6 +284,9 @@ def run_suite(quick: bool = False) -> Dict:
             scale["vm_chars"], scale["vm_rounds"]
         ),
         "supervisor_overhead": bench_supervisor_overhead(scale["sup_chars"]),
+        "observability_overhead": bench_observability_overhead(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
     }
 
 
@@ -293,6 +350,20 @@ def main(argv=None) -> int:
         f"supervisor       : {supervisor['supervisor_chars_per_sec']:,.0f} "
         f"chars/s ({supervisor['speedup']:.2f}x of pool.map)"
     )
+    observability = results["observability_overhead"]
+    print(
+        f"observability    : disabled-tracer overhead "
+        f"{observability['overhead_frac']:+.1%} "
+        f"(ceiling +{OVERHEAD_CEILING:.0%})"
+    )
+    if observability["overhead_frac"] > OVERHEAD_CEILING:
+        print(
+            "REGRESSION: observability_overhead.overhead_frac "
+            f"{observability['overhead_frac']:+.1%} exceeds the hard "
+            f"+{OVERHEAD_CEILING:.0%} ceiling",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.baseline:
         with open(args.baseline) as handle:

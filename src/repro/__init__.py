@@ -25,6 +25,9 @@ The package layers, bottom-up:
 * :mod:`repro.engine` — the high-throughput serving layer: a
   compiled-pattern LRU cache, batch matching, and parallel corpus
   sharding over worker processes.
+* :mod:`repro.observability` — zero-dependency tracing + metrics
+  threaded through every layer above (pass/VM/engine/simulator
+  profiling, Prometheus-style exposition, JSON-lines span export).
 * :mod:`repro.api` — the two-call façade (compile, match, simulate).
 
 Every rejection anywhere in the stack is a
@@ -60,6 +63,13 @@ from .compiler import (
 )
 from .ir.diagnostics import BudgetExceeded, ReproError
 from .isa.program import Program
+from . import observability
+from .observability import (
+    MetricsRegistry,
+    TraceReport,
+    Tracer,
+    recording,
+)
 from .oldcompiler.compiler import OldCompiler, compile_regex_old
 from .runtime.budget import Budget, DEFAULT_BUDGET
 from .runtime.errors import format_error
@@ -74,6 +84,7 @@ __all__ = [
     "CompileOptions",
     "DEFAULT_BUDGET",
     "Engine",
+    "MetricsRegistry",
     "NewCompiler",
     "OldCompiler",
     "PatternCache",
@@ -83,6 +94,8 @@ __all__ = [
     "Program",
     "ReproError",
     "ThompsonVM",
+    "TraceReport",
+    "Tracer",
     "__version__",
     "compile_pattern",
     "compile_regex",
@@ -91,6 +104,8 @@ __all__ = [
     "format_error",
     "match",
     "match_many",
+    "observability",
+    "recording",
     "run_program",
     "scan_corpus",
     "run_program_functionally",

@@ -50,6 +50,7 @@ def compile_pattern(
     options: Optional[CompileOptions] = None,
     budget: Optional[Budget] = None,
     degrade: bool = True,
+    trace: bool = False,
 ) -> Union[CompilationResult, OldCompilationResult]:
     """Compile ``pattern`` with either toolchain.
 
@@ -64,12 +65,19 @@ def compile_pattern(
     with optimization passes progressively disabled — check
     ``result.dropped_passes`` to see whether quality was lost — before
     surfacing the :class:`~repro.ir.diagnostics.BudgetExceeded`.
+
+    ``trace`` (new pipeline only) records the compilation's span tree —
+    frontend → every pass (with op-count and ``D_offset`` deltas) →
+    codegen — surfaced as ``result.trace``
+    (a :class:`~repro.observability.TraceReport`).
     """
     if compiler == "new":
         if options is None:
             options = CompileOptions(optimize=optimize)
         if budget is not None:
             options = replace(options, budget=budget)
+        if trace and not options.trace:
+            options = replace(options, trace=True)
         if degrade:
             return compile_with_degradation(pattern, options)
         return NewCompiler(options).compile(pattern)

@@ -91,10 +91,27 @@ class StreamResult:
 
 
 class CiceroSimulator:
-    """Run compiled programs on one architecture configuration."""
+    """Run compiled programs on one architecture configuration.
 
-    def __init__(self, config: Optional[ArchConfig] = None):
+    ``tracer``/``metrics`` hook the simulator into the observability
+    layer: each :meth:`run` records an ``arch.run`` span with the
+    simulated cycle count, cache misses and FIFO high watermark as
+    attributes, :meth:`run_stream` wraps the whole stream in an
+    ``arch.stream`` span, and cumulative cycle/cache counters land in
+    the registry.  Both default to off (``None``), leaving the
+    benchmark-facing simulation loop untouched.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ArchConfig] = None,
+        tracer=None,
+        metrics=None,
+    ):
         self.config = config if config is not None else ArchConfig.new(16)
+        self._tracing = tracer is not None and tracer.enabled
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
 
     def run(
         self,
@@ -108,7 +125,57 @@ class CiceroSimulator:
         (the guard that turns a stalled simulation into a typed
         :class:`~repro.arch.system.SimulationCycleBudgetError`).
         """
-        return CiceroSystem(program, self.config).run(text, max_cycles=max_cycles)
+        if not self._tracing and self.metrics is None:
+            return CiceroSystem(program, self.config).run(
+                text, max_cycles=max_cycles
+            )
+        return self._run_instrumented(
+            CiceroSystem(program, self.config), text, max_cycles
+        )
+
+    def _run_instrumented(
+        self,
+        system: CiceroSystem,
+        text: Union[str, bytes],
+        max_cycles: Optional[int],
+    ) -> SimulationResult:
+        from ..observability import as_tracer
+
+        tracer = as_tracer(self.tracer if self._tracing else None)
+        with tracer.span("arch.run", engines=self.config.num_engines) as span:
+            result = system.run(text, max_cycles=max_cycles)
+            stats = result.stats
+            if tracer.enabled:
+                span.set(
+                    cycles=stats.cycles,
+                    matched=result.matched,
+                    cache_misses=stats.cache_misses,
+                    fifo_high_watermark=stats.fifo_high_watermark,
+                    peak_threads=stats.peak_threads,
+                )
+        self._record(stats)
+        return result
+
+    def _record(self, stats: SimulationStatistics) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.counter(
+            "repro_sim_runs_total",
+            help_text="simulated chunk executions",
+        ).inc()
+        metrics.counter(
+            "repro_sim_cycles_total",
+            help_text="simulated clock cycles",
+        ).inc(stats.cycles)
+        metrics.counter(
+            "repro_sim_cache_misses_total",
+            help_text="instruction-cache misses across simulated runs",
+        ).inc(stats.cache_misses)
+        metrics.gauge(
+            "repro_sim_fifo_high_watermark",
+            help_text="deepest FIFO occupancy seen by any simulated run",
+        ).set_max(stats.fifo_high_watermark)
 
     def run_stream(
         self,
@@ -119,14 +186,35 @@ class CiceroSimulator:
         """Execute the program once per chunk, aggregating cycles."""
         system = CiceroSystem(program, self.config)
         stream = StreamResult(config=self.config)
-        for chunk in chunks:
-            result = system.run(chunk)
-            stream.total_cycles += result.cycles
-            stream.chunks += 1
-            if result.matched:
-                stream.matches += 1
-            if keep_per_chunk:
-                stream.per_chunk.append(result)
+        instrumented = self._tracing or self.metrics is not None
+        if not instrumented:
+            for chunk in chunks:
+                result = system.run(chunk)
+                stream.total_cycles += result.cycles
+                stream.chunks += 1
+                if result.matched:
+                    stream.matches += 1
+                if keep_per_chunk:
+                    stream.per_chunk.append(result)
+            return stream
+        from ..observability import as_tracer
+
+        tracer = as_tracer(self.tracer if self._tracing else None)
+        with tracer.span("arch.stream", engines=self.config.num_engines) as span:
+            for chunk in chunks:
+                result = self._run_instrumented(system, chunk, None)
+                stream.total_cycles += result.cycles
+                stream.chunks += 1
+                if result.matched:
+                    stream.matches += 1
+                if keep_per_chunk:
+                    stream.per_chunk.append(result)
+            if tracer.enabled:
+                span.set(
+                    chunks=stream.chunks,
+                    matches=stream.matches,
+                    total_cycles=stream.total_cycles,
+                )
         return stream
 
     def run_text(

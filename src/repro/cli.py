@@ -13,11 +13,20 @@ Subcommands:
   paper-style time/energy table.
 * ``configs`` — list the evaluated architecture configurations with
   their resource usage, clock and power.
+* ``stats`` — print the metrics snapshot persisted by the last ``scan``.
+
+Observability: ``compile``/``run`` accept ``--trace-out FILE`` (span
+tree as JSON lines, one span per pipeline pass with op-count and
+``D_offset`` deltas); ``scan`` accepts ``--metrics`` (Prometheus text
+exposition on stdout) and persists a snapshot for ``stats``
+(``--stats-file`` or ``$REPRO_STATS_FILE``, default
+``~/.repro/stats.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -43,6 +52,23 @@ from .workloads.suite import BENCHMARK_NAMES, load_benchmark
 EXIT_REPRO_ERROR = 65
 
 
+def default_stats_path() -> str:
+    """Where ``scan`` persists its metrics snapshot for ``stats``."""
+    override = os.environ.get("REPRO_STATS_FILE")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".repro", "stats.json")
+
+
+def _export_trace(tracer, path: str) -> None:
+    """Write the tracer's spans as JSON lines, reporting on stderr."""
+    from .observability import TraceReport
+
+    report = TraceReport.from_tracer(tracer)
+    report.export(path)
+    print(f"trace: {len(report.spans)} spans -> {path}", file=sys.stderr)
+
+
 def parse_config(text: str) -> ArchConfig:
     """Parse ``NxM`` notation, e.g. ``1x9`` (old) or ``16x1`` (new)."""
     try:
@@ -59,6 +85,9 @@ def parse_config(text: str) -> ArchConfig:
 
 def _compile(args) -> int:
     if args.compiler == "old":
+        if args.trace_out:
+            print("--trace-out requires the new compiler", file=sys.stderr)
+            return 2
         result = OldCompiler(optimize=not args.no_opt).compile(args.pattern)
         regex_module = cicero_module = None
     else:
@@ -69,10 +98,17 @@ def _compile(args) -> int:
             boundary_quantifier=not args.no_boundary,
             jump_simplification=not args.no_jump_simplification,
             dead_code_elimination=not args.no_dce,
+            trace=bool(args.trace_out),
         )
         result = NewCompiler(options).compile(args.pattern)
         regex_module = result.regex_module
         cicero_module = result.cicero_module
+        if args.trace_out:
+            result.trace.export(args.trace_out)
+            print(
+                f"trace: {len(result.trace.spans)} spans -> {args.trace_out}",
+                file=sys.stderr,
+            )
 
     if args.emit == "asm":
         output = result.program.disassemble()
@@ -109,11 +145,19 @@ def _compile(args) -> int:
 
 
 def _run(args) -> int:
+    tracer = None
+    if args.trace_out:
+        if args.compiler == "old":
+            print("--trace-out requires the new compiler", file=sys.stderr)
+            return 2
+        from .observability import Tracer
+
+        tracer = Tracer()
     if args.compiler == "old":
         program = OldCompiler(optimize=not args.no_opt).compile(args.pattern).program
     else:
         program = (
-            NewCompiler(CompileOptions(optimize=not args.no_opt))
+            NewCompiler(CompileOptions(optimize=not args.no_opt), tracer=tracer)
             .compile(args.pattern)
             .program
         )
@@ -124,14 +168,20 @@ def _run(args) -> int:
         text = as_input_bytes(args.text or "", what="input text")
 
     if args.functional:
-        result = ThompsonVM(program).run(text, max_steps=args.max_vm_steps)
+        result = ThompsonVM(program).run(
+            text, max_steps=args.max_vm_steps, tracer=tracer
+        )
+        if tracer is not None:
+            _export_trace(tracer, args.trace_out)
         print(f"matched: {result.matched}"
               + (f" at position {result.position}" if result.matched else ""))
         return 0 if result.matched else 1
 
-    simulation = CiceroSimulator(args.config).run(
+    simulation = CiceroSimulator(args.config, tracer=tracer).run(
         program, text, max_cycles=args.max_cycles
     )
+    if tracer is not None:
+        _export_trace(tracer, args.trace_out)
     stats = simulation.stats
     print(f"configuration : {simulation.config.name}")
     print(f"matched       : {simulation.matched}"
@@ -150,6 +200,7 @@ def _scan(args) -> int:
     import time
 
     from .engine import DEFAULT_CACHE_SIZE, Engine, RetryPolicy, SupervisorPolicy
+    from .observability import MetricsRegistry
     from .runtime.budget import DEFAULT_BUDGET
 
     budget = DEFAULT_BUDGET
@@ -161,6 +212,7 @@ def _scan(args) -> int:
     supervisor = None
     if args.retries is not None:
         supervisor = SupervisorPolicy(retry=RetryPolicy(max_retries=args.retries))
+    registry = MetricsRegistry()
     engine = Engine(
         backend=args.backend,
         budget=budget,
@@ -170,6 +222,7 @@ def _scan(args) -> int:
         jobs=args.jobs,
         mp_context=args.mp_context,
         supervisor=supervisor,
+        metrics=registry,
     )
     if args.file:
         with open(args.file, "rb") as handle:
@@ -222,6 +275,26 @@ def _scan(args) -> int:
     )
     if degraded:
         print("warning: some chunks had no verdict (partial scan)",
+              file=sys.stderr)
+    if args.metrics:
+        sys.stdout.write(registry.render_prometheus())
+    stats_path = args.stats_file or default_stats_path()
+    try:
+        parent = os.path.dirname(stats_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        registry.write_snapshot(
+            stats_path,
+            extra={
+                "command": "scan",
+                "patterns": len(args.patterns),
+                "bytes": scanned,
+                "elapsed_seconds": elapsed,
+                "written_at": time.time(),
+            },
+        )
+    except OSError as error:
+        print(f"warning: could not write {stats_path}: {error}",
               file=sys.stderr)
     return 0 if matched_any else 1
 
@@ -302,6 +375,38 @@ def _verify(args) -> int:
     return 1 if failures else 0
 
 
+def _stats(args) -> int:
+    """Print the metrics snapshot persisted by the last ``scan``."""
+    from .observability import load_snapshot
+
+    stats_path = args.stats_file or default_stats_path()
+    try:
+        snapshot = load_snapshot(stats_path)
+    except FileNotFoundError:
+        print(
+            f"no metrics snapshot at {stats_path}; run a scan first "
+            "(or point --stats-file / $REPRO_STATS_FILE at one)",
+            file=sys.stderr,
+        )
+        return 1
+    metrics = snapshot.get("metrics", {})
+    context = {
+        key: value
+        for key, value in snapshot.items()
+        if key not in ("schema", "metrics")
+    }
+    print(f"metrics snapshot: {stats_path}")
+    for key in sorted(context):
+        print(f"  {key}: {context[key]}")
+    for name in sorted(metrics):
+        sample = metrics[name]
+        if isinstance(sample, dict):
+            print(f"{name} count={sample['count']} sum={sample['sum']:.6f}")
+        else:
+            print(f"{name} {sample:g}")
+    return 0
+
+
 def _configs(args) -> int:
     rows = []
     for config in MICROBENCH_GRID:
@@ -351,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("asm", "bin", "regex-ir", "cicero-ir", "pattern", "metrics"),
         default="asm",
     )
+    compile_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                                help="write the compilation span tree "
+                                "(frontend, each pass, codegen) as JSON "
+                                "lines to FILE")
     compile_parser.set_defaults(handler=_compile)
 
     run_parser = sub.add_parser("run", help="compile and execute an RE")
@@ -370,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--max-cycles", type=int, default=None,
                             help="abort a simulation after this many cycles "
                             "(default: adaptive watchdog)")
+    run_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="write compile + execution spans as JSON "
+                            "lines to FILE")
     run_parser.set_defaults(handler=_run)
 
     scan_parser = sub.add_parser(
@@ -410,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="multiprocessing start method for "
                              "worker pools (default: forkserver where "
                              "available, else spawn)")
+    scan_parser.add_argument("--metrics", action="store_true",
+                             help="print the scan's metrics registry in "
+                             "Prometheus text format")
+    scan_parser.add_argument("--stats-file", default=None,
+                             help="where to persist the metrics snapshot "
+                             "read back by `stats` (default: "
+                             "$REPRO_STATS_FILE or ~/.repro/stats.json)")
     scan_parser.set_defaults(handler=_scan)
 
     bench_parser = sub.add_parser("bench", help="quick benchmark sweep")
@@ -429,6 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     configs_parser = sub.add_parser("configs", help="list architecture configs")
     configs_parser.set_defaults(handler=_configs)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="print the metrics snapshot persisted by the last scan",
+    )
+    stats_parser.add_argument("--stats-file", default=None,
+                              help="snapshot to read (default: "
+                              "$REPRO_STATS_FILE or ~/.repro/stats.json)")
+    stats_parser.set_defaults(handler=_stats)
 
     verify_parser = sub.add_parser(
         "verify",

@@ -33,6 +33,8 @@ from .ir.operation import ModuleOp
 from .ir.pass_manager import PassManager
 from .isa.metrics import StaticMetrics, static_metrics
 from .isa.program import Program
+from .observability import NULL_TRACER, TraceReport, Tracer, ir_stats
+from .observability.tracer import AnyTracer
 from .runtime.budget import Budget, DEFAULT_BUDGET
 from .runtime.guards import check_pattern_budget
 
@@ -59,6 +61,11 @@ class CompileOptions:
     #: Resource limits enforced through the pipeline; ``None`` applies
     #: :data:`repro.runtime.budget.DEFAULT_BUDGET`.
     budget: Optional[Budget] = None
+    #: Record a span tree for the compilation (frontend → each pass →
+    #: emission), surfaced as ``CompilationResult.trace``.  Purely
+    #: observational — the produced program is identical — so it is
+    #: excluded from :meth:`cache_key`.
+    trace: bool = False
 
     def effective(self) -> "CompileOptions":
         """Options with the master switch folded into the per-pass flags."""
@@ -88,7 +95,9 @@ class CompileOptions:
             # ``optimize`` only acts through the per-pass flags, which
             # ``effective()`` has already folded; keying on it would
             # split identical configurations across cache entries.
-            if options_field.name == "optimize":
+            # ``trace`` never changes the artifact, only whether a span
+            # tree rides along, so it must not split the cache either.
+            if options_field.name in ("optimize", "trace"):
                 continue
             value = getattr(effective, options_field.name)
             if isinstance(value, Budget):
@@ -116,6 +125,9 @@ class CompilationResult:
     #: the budget (empty on a normal, full-strength compile).  See
     #: :func:`repro.runtime.degrade.compile_with_degradation`.
     dropped_passes: List[str] = field(default_factory=list)
+    #: The span tree of this compilation (``CompileOptions.trace`` or an
+    #: explicit tracer on :class:`NewCompiler`); ``None`` when untraced.
+    trace: Optional[TraceReport] = None
 
     @property
     def degraded(self) -> bool:
@@ -132,69 +144,122 @@ class CompilationResult:
 
 
 class NewCompiler:
-    """The multi-dialect compiler; stateless apart from its options."""
+    """The multi-dialect compiler; stateless apart from its options.
+
+    ``tracer`` (or ``options.trace``) turns on span instrumentation:
+    one root ``compile`` span with a child per stage (``frontend`` →
+    ``to-regex-dialect`` → ``regex-transforms`` → ``lowering`` →
+    ``cicero-transforms`` → ``codegen``), one ``pass:<name>`` span per
+    pass carrying ``op_count``/``d_offset`` before/after attributes,
+    and the result carries a :class:`~repro.observability.TraceReport`.
+    The untraced path is unchanged — span plumbing costs one branch per
+    stage.
+    """
 
     name = COMPILER_NAME
 
-    def __init__(self, options: Optional[CompileOptions] = None):
+    def __init__(
+        self,
+        options: Optional[CompileOptions] = None,
+        tracer: Optional[AnyTracer] = None,
+    ):
         self.options = (options or CompileOptions()).effective()
+        self.tracer = tracer
+
+    def _resolve_tracer(self) -> AnyTracer:
+        if self.tracer is not None:
+            return self.tracer
+        if self.options.trace:
+            return Tracer()
+        return NULL_TRACER
 
     def compile(self, pattern: str) -> CompilationResult:
         options = self.options
         budget = options.budget if options.budget is not None else DEFAULT_BUDGET
         stage_seconds: Dict[str, float] = {}
+        tracer = self._resolve_tracer()
 
-        budget.check_pattern_length(pattern)
-        started = time.perf_counter()
-        ast = parse_regex(pattern, max_depth=budget.max_nesting_depth)
-        check_pattern_budget(ast, budget)
-        stage_seconds["frontend"] = time.perf_counter() - started
+        with tracer.span(
+            "compile", pattern=pattern, compiler=self.name
+        ) as root_span:
+            budget.check_pattern_length(pattern)
+            with tracer.span("frontend", pattern_length=len(pattern)):
+                started = time.perf_counter()
+                ast = parse_regex(pattern, max_depth=budget.max_nesting_depth)
+                check_pattern_budget(ast, budget)
+                stage_seconds["frontend"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        regex_module = pattern_to_regex_dialect(ast, verify=options.verify_each)
-        stage_seconds["to-regex-dialect"] = time.perf_counter() - started
+            with tracer.span("to-regex-dialect") as span:
+                started = time.perf_counter()
+                regex_module = pattern_to_regex_dialect(
+                    ast, verify=options.verify_each
+                )
+                stage_seconds["to-regex-dialect"] = time.perf_counter() - started
+                if tracer.enabled:
+                    span.set(**_suffixed(ir_stats(regex_module), "_after"))
 
-        highlevel = PassManager(verify_each=options.verify_each)
-        for regex_pass in regex_optimization_passes(
-            enable_simplify_subregex=options.simplify_subregex,
-            enable_factorize=options.factorize_alternations,
-            enable_boundary_quantifier=options.boundary_quantifier,
-        ):
-            highlevel.add(regex_pass)
-        started = time.perf_counter()
-        highlevel.run(regex_module)
-        stage_seconds["regex-transforms"] = time.perf_counter() - started
-        if highlevel.passes:
-            budget.check_pass_time(
-                stage_seconds["regex-transforms"], "regex-transforms"
-            )
+            highlevel = PassManager(verify_each=options.verify_each)
+            for regex_pass in regex_optimization_passes(
+                enable_simplify_subregex=options.simplify_subregex,
+                enable_factorize=options.factorize_alternations,
+                enable_boundary_quantifier=options.boundary_quantifier,
+            ):
+                highlevel.add(regex_pass)
+            with tracer.span("regex-transforms", passes=len(highlevel.passes)):
+                started = time.perf_counter()
+                highlevel.run(regex_module, tracer=tracer, span_attrs=ir_stats)
+                stage_seconds["regex-transforms"] = time.perf_counter() - started
+            if highlevel.passes:
+                budget.check_pass_time(
+                    stage_seconds["regex-transforms"], "regex-transforms"
+                )
 
-        started = time.perf_counter()
-        cicero_module = lower_to_cicero(regex_module, verify=options.verify_each)
-        stage_seconds["lowering"] = time.perf_counter() - started
+            with tracer.span("lowering") as span:
+                started = time.perf_counter()
+                cicero_module = lower_to_cicero(
+                    regex_module, verify=options.verify_each
+                )
+                stage_seconds["lowering"] = time.perf_counter() - started
+                if tracer.enabled:
+                    span.set(**_suffixed(ir_stats(cicero_module), "_after"))
 
-        lowlevel = PassManager(verify_each=options.verify_each)
-        if options.jump_simplification:
-            lowlevel.add(JumpSimplificationPass())
-        if options.dead_code_elimination:
-            lowlevel.add(DeadCodeEliminationPass())
-        started = time.perf_counter()
-        lowlevel.run(cicero_module)
-        stage_seconds["cicero-transforms"] = time.perf_counter() - started
-        if lowlevel.passes:
-            budget.check_pass_time(
-                stage_seconds["regex-transforms"]
-                + stage_seconds["cicero-transforms"],
-                "cicero-transforms",
-            )
+            lowlevel = PassManager(verify_each=options.verify_each)
+            if options.jump_simplification:
+                lowlevel.add(JumpSimplificationPass())
+            if options.dead_code_elimination:
+                lowlevel.add(DeadCodeEliminationPass())
+            with tracer.span("cicero-transforms", passes=len(lowlevel.passes)):
+                started = time.perf_counter()
+                lowlevel.run(cicero_module, tracer=tracer, span_attrs=ir_stats)
+                stage_seconds["cicero-transforms"] = time.perf_counter() - started
+            if lowlevel.passes:
+                budget.check_pass_time(
+                    stage_seconds["regex-transforms"]
+                    + stage_seconds["cicero-transforms"],
+                    "cicero-transforms",
+                )
 
-        started = time.perf_counter()
-        program_op = cicero_module.body.operations[0]
-        program = generate_program(
-            program_op, source_pattern=pattern, compiler=self.name
-        )
-        stage_seconds["codegen"] = time.perf_counter() - started
-        budget.check_program_size(len(program), pattern)
+            with tracer.span("codegen") as span:
+                started = time.perf_counter()
+                program_op = cicero_module.body.operations[0]
+                program = generate_program(
+                    program_op, source_pattern=pattern, compiler=self.name
+                )
+                stage_seconds["codegen"] = time.perf_counter() - started
+                if tracer.enabled:
+                    metrics = static_metrics(program)
+                    span.set(
+                        code_size=metrics.code_size,
+                        d_offset=metrics.d_offset,
+                        num_jumps=metrics.num_jumps,
+                        num_splits=metrics.num_splits,
+                    )
+            budget.check_program_size(len(program), pattern)
+            if tracer.enabled:
+                root_span.set(
+                    code_size=len(program),
+                    total_seconds=sum(stage_seconds.values()),
+                )
 
         return CompilationResult(
             pattern=pattern,
@@ -203,7 +268,15 @@ class NewCompiler:
             regex_module=regex_module,
             cicero_module=cicero_module,
             stage_seconds=stage_seconds,
+            trace=(
+                TraceReport.from_tracer(tracer) if tracer.enabled else None
+            ),
         )
+
+
+def _suffixed(stats: Dict[str, object], suffix: str) -> Dict[str, object]:
+    """``{"op_count": 3}`` → ``{"op_count_after": 3}`` (span attrs)."""
+    return {f"{key}{suffix}": value for key, value in stats.items()}
 
 
 def compile_regex(

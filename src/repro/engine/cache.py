@@ -24,6 +24,9 @@ from ..arch.config import ConfigurationError
 from ..compiler import CompileOptions
 from ..runtime.budget import Budget, DEFAULT_BUDGET
 
+#: Distinguishes "no entry" from any cached artifact in the probe path.
+_ABSENT = object()
+
 
 def matcher_cache_key(
     pattern: str,
@@ -87,7 +90,7 @@ class PatternCache:
     value objects, so this is benign).
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, metrics: Any = None):
         if capacity < 1:
             raise ConfigurationError(
                 f"cache capacity must be positive, got {capacity}"
@@ -98,6 +101,24 @@ class PatternCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Pre-resolved registry instruments (one lookup per cache, not
+        # per probe); ``None`` keeps the probe path allocation-free.
+        self._metric_hits = None
+        self._metric_misses = None
+        self._metric_evictions = None
+        if metrics is not None and metrics.enabled:
+            self._metric_hits = metrics.counter(
+                "repro_cache_hits_total",
+                help_text="pattern-cache lookups served from the LRU",
+            )
+            self._metric_misses = metrics.counter(
+                "repro_cache_misses_total",
+                help_text="pattern-cache lookups that compiled",
+            )
+            self._metric_evictions = metrics.counter(
+                "repro_cache_evictions_total",
+                help_text="pattern-cache entries dropped by LRU pressure",
+            )
 
     def get_or_build(
         self, key: Hashable, builder: Callable[[], Any]
@@ -106,9 +127,18 @@ class PatternCache:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
-                return self._entries[key]
-            self._misses += 1
+                cached = self._entries[key]
+            else:
+                self._misses += 1
+                cached = _ABSENT
+        if cached is not _ABSENT:
+            if self._metric_hits is not None:
+                self._metric_hits.inc()
+            return cached
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
         artifact = builder()
+        evicted = 0
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -120,6 +150,9 @@ class PatternCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted and self._metric_evictions is not None:
+            self._metric_evictions.inc(evicted)
         return artifact
 
     def __contains__(self, key: Hashable) -> bool:

@@ -46,6 +46,13 @@ from ..backends import (
     compile_with_backend,
 )
 from ..compiler import CompileOptions
+from ..observability import (
+    AnyMetrics,
+    AnyTracer,
+    as_metrics,
+    as_tracer,
+    default_tracer,
+)
 from ..runtime.budget import Budget, DEFAULT_BUDGET
 from ..runtime.encoding import as_input_bytes
 from ..runtime.faults import ProcessFaultPlan
@@ -53,6 +60,7 @@ from .cache import CacheStats, PatternCache
 from .parallel import WorkerPayload, build_match_fn, resolve_mp_context
 from .supervisor import (
     DEFAULT_POLICY,
+    OUTCOME_STATUSES,
     ShardOutcome,
     SupervisorPolicy,
     run_in_process,
@@ -153,6 +161,8 @@ class Engine:
         jobs: Optional[int] = None,
         mp_context: Optional[str] = None,
         supervisor: Optional[SupervisorPolicy] = None,
+        metrics: Optional[AnyMetrics] = None,
+        tracer: Optional[AnyTracer] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -172,7 +182,14 @@ class Engine:
         if policy.mp_context != mp_context and mp_context is not None:
             policy = replace(policy, mp_context=mp_context)
         self.supervisor = policy
-        self._cache = PatternCache(cache_size)
+        # Telemetry sinks resolve at construction: ``None`` metrics mean
+        # the process-wide default registry (so ``recording()`` blocks
+        # see engines built inside them), ``None`` tracer the process
+        # default, which is the no-op NULL_TRACER unless recording.
+        self.metrics = as_metrics(metrics)
+        self.tracer = as_tracer(tracer if tracer is not None else default_tracer())
+        self._instruments = _EngineInstruments.create(self.metrics)
+        self._cache = PatternCache(cache_size, metrics=self.metrics)
         # The options/budget halves of every cache key are fixed for the
         # engine's lifetime; computing them once keeps the per-request
         # cache-hit cost at a tuple construction plus a dict probe.
@@ -220,6 +237,8 @@ class Engine:
     # ------------------------------------------------------------------
     def match(self, pattern: str, text: TextLike) -> bool:
         """One text through the cached matcher (budgeted VM steps)."""
+        if self._instruments is not None:
+            self._instruments.requests["match"].inc()
         data = as_input_bytes(text, what="input text")
         return self._entry(pattern).match_fn(data)
 
@@ -246,6 +265,8 @@ class Engine:
         poisoning the batch.  ``fault_plan`` is the fault-injection test
         hook (:class:`~repro.runtime.faults.ProcessFaultPlan`).
         """
+        if self._instruments is not None:
+            self._instruments.requests["match_many"].inc()
         report = self._scan(pattern, texts, jobs, fault_plan)
         if not strict:
             return report
@@ -277,6 +298,8 @@ class Engine:
         partial mode returns the full :class:`ScanReport` so a scan with
         a few quarantined chunks still reports every healthy verdict.
         """
+        if self._instruments is not None:
+            self._instruments.requests["scan_corpus"].inc()
         chunks = split_chunks(data, chunk_bytes)
         report = self._scan(pattern, chunks, jobs, fault_plan)
         report.chunk_bytes = chunk_bytes
@@ -312,18 +335,37 @@ class Engine:
             jobs if jobs is not None else self.jobs, self.budget
         )
         entry = self._entry(pattern)
-        if effective_jobs <= 1 and fault_plan is None:
-            result = run_in_process(entry.match_fn, normalized)
-        else:
-            result = supervised_matches(
-                entry.payload,
-                normalized,
-                max(2, effective_jobs) if fault_plan is not None else effective_jobs,
-                task_timeout=self.budget.max_task_seconds,
-                wall_timeout=self.budget.max_wall_seconds,
-                policy=self.supervisor,
-                fault_plan=fault_plan,
-            )
+        tracer = self.tracer
+        with tracer.span(
+            "engine.scan",
+            pattern=pattern,
+            shards=len(normalized),
+            jobs=effective_jobs,
+        ) as span:
+            if effective_jobs <= 1 and fault_plan is None:
+                result = run_in_process(entry.match_fn, normalized)
+            else:
+                result = supervised_matches(
+                    entry.payload,
+                    normalized,
+                    max(2, effective_jobs)
+                    if fault_plan is not None
+                    else effective_jobs,
+                    task_timeout=self.budget.max_task_seconds,
+                    wall_timeout=self.budget.max_wall_seconds,
+                    policy=self.supervisor,
+                    fault_plan=fault_plan,
+                    tracer=tracer,
+                )
+            if tracer.enabled:
+                span.set(
+                    failed=sum(1 for o in result.outcomes if not o.ok),
+                    retries=result.retries,
+                    respawns=result.respawns,
+                    breaker_tripped=result.breaker_tripped,
+                )
+        if self._instruments is not None:
+            self._instruments.record_scan(result, normalized)
         return ScanReport(
             matched=any(
                 outcome.ok and outcome.verdict for outcome in result.outcomes
@@ -354,6 +396,89 @@ class Engine:
         if isinstance(matcher, DFAMatcher):
             return WorkerPayload("dfa", matcher.dfa, max_vm_steps)
         raise ValueError(f"cannot shard matcher {matcher!r}")
+
+
+class _EngineInstruments:
+    """Pre-resolved metric handles for the engine's hot paths.
+
+    Registry lookups take a lock and normalize labels; resolving every
+    instrument once at engine construction keeps the per-request cost
+    at plain ``Counter.inc`` calls.  ``create`` returns ``None`` for a
+    disabled registry so call sites guard with one identity check.
+    """
+
+    __slots__ = (
+        "requests",
+        "shards",
+        "retries",
+        "respawns",
+        "breaker_trips",
+        "bytes_scanned",
+        "scan_seconds",
+    )
+
+    @classmethod
+    def create(cls, metrics) -> Optional["_EngineInstruments"]:
+        if metrics is None or not metrics.enabled:
+            return None
+        instruments = cls()
+        instruments.requests = {
+            call: metrics.counter(
+                "repro_engine_requests_total",
+                labels={"call": call},
+                help_text="engine entry-point invocations",
+            )
+            for call in ("match", "match_many", "scan_corpus")
+        }
+        instruments.shards = {
+            status: metrics.counter(
+                "repro_scan_shards_total",
+                labels={"status": status},
+                help_text="settled scan shards by final status",
+            )
+            for status in OUTCOME_STATUSES
+        }
+        instruments.retries = metrics.counter(
+            "repro_scan_retries_total",
+            help_text="shard attempts re-queued by the supervisor",
+        )
+        instruments.respawns = metrics.counter(
+            "repro_scan_respawns_total",
+            help_text="worker pools respawned after crashes",
+        )
+        instruments.breaker_trips = metrics.counter(
+            "repro_scan_breaker_trips_total",
+            help_text="scans aborted by the circuit breaker",
+        )
+        instruments.bytes_scanned = metrics.counter(
+            "repro_scan_bytes_total",
+            help_text="input bytes fed through engine scans",
+        )
+        instruments.scan_seconds = metrics.histogram(
+            "repro_scan_seconds",
+            help_text="wall-clock seconds per engine scan",
+        )
+        return instruments
+
+    def record_scan(self, result, normalized: Sequence[bytes]) -> None:
+        """Fold one supervisor result into the registry.
+
+        Called exactly once per :meth:`Engine._scan`, and every shard
+        settles in exactly one outcome, so summing
+        ``repro_scan_shards_total`` across statuses always equals the
+        number of shards dispatched.
+        """
+        shards = self.shards
+        for outcome in result.outcomes:
+            shards[outcome.status].inc()
+        if result.retries:
+            self.retries.inc(result.retries)
+        if result.respawns:
+            self.respawns.inc(result.respawns)
+        if result.breaker_tripped:
+            self.breaker_trips.inc()
+        self.bytes_scanned.inc(sum(len(data) for data in normalized))
+        self.scan_seconds.observe(result.elapsed)
 
 
 @dataclass(frozen=True)

@@ -241,7 +241,11 @@ class _Supervisor:
         wall_timeout: Optional[float],
         policy: SupervisorPolicy,
         fault_plan: Optional[ProcessFaultPlan],
+        tracer=None,
     ):
+        from ..observability import as_tracer
+
+        self.tracer = as_tracer(tracer)
         self.payload = payload
         self.items = items
         self.jobs = max(1, min(jobs, len(items)))
@@ -283,6 +287,8 @@ class _Supervisor:
 
     def _respawn_pool(self) -> None:
         self.respawns += 1
+        if self.tracer.enabled:
+            self.tracer.event("supervisor.respawn", respawns=self.respawns)
         self.pool.terminate()
         self.pool.join()
         self._spawn_pool()
@@ -307,15 +313,34 @@ class _Supervisor:
         if retryable and self.strikes[index] <= retry.max_retries:
             self.retries += 1
             delay = retry.backoff_seconds(self.strikes[index], self.rng)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "supervisor.retry",
+                    shard=index,
+                    attempt=self.strikes[index],
+                    delay_s=delay,
+                    error_code=error.code,
+                )
             self.delayed.append((time.monotonic() + delay, index))
             return
         attempts = self.dispatches.get(index, 1)
         if timeout:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "supervisor.timeout", shard=index, attempts=attempts
+                )
             self._settle(
                 index,
                 ShardOutcome(index, "timeout", error=error, attempts=attempts),
             )
         else:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "supervisor.quarantine",
+                    shard=index,
+                    attempts=attempts,
+                    error_code=error.code,
+                )
             self._settle(
                 index,
                 ShardOutcome(
@@ -486,6 +511,22 @@ class _Supervisor:
 
     # -- main -----------------------------------------------------------
     def run(self) -> SupervisorResult:
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "supervisor.run", shards=len(self.items), jobs=self.jobs
+            ) as span:
+                result = self._run()
+                span.set(
+                    retries=result.retries,
+                    respawns=result.respawns,
+                    failed=result.failed,
+                    quarantined=result.quarantined,
+                    breaker_tripped=result.breaker_tripped,
+                )
+                return result
+        return self._run()
+
+    def _run(self) -> SupervisorResult:
         started = time.monotonic()
         deadline = (
             started + self.wall_timeout
@@ -510,6 +551,12 @@ class _Supervisor:
                 if self._breaker_should_trip():
                     self.breaker_tripped = True
                     failures, settled = self.settled_failures, self.settled_total
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "supervisor.breaker_open",
+                            failures=failures,
+                            settled=settled,
+                        )
                     self._settle_remaining(
                         lambda index: CircuitBreakerOpenError(
                             failures, settled, self.policy.failure_threshold
@@ -545,6 +592,7 @@ def supervised_matches(
     wall_timeout: Optional[float] = None,
     policy: SupervisorPolicy = DEFAULT_POLICY,
     fault_plan: Optional[ProcessFaultPlan] = None,
+    tracer=None,
 ) -> SupervisorResult:
     """Match every item under supervision; every item gets an outcome.
 
@@ -553,12 +601,21 @@ def supervised_matches(
     worker-side matcher rebuild, but per-shard futures with timeouts,
     crash recovery, retries, quarantine and a circuit breaker.
     ``fault_plan`` is the test hook injecting worker-process faults
-    (:class:`~repro.runtime.faults.ProcessFaultPlan`).
+    (:class:`~repro.runtime.faults.ProcessFaultPlan`).  ``tracer``
+    records a ``supervisor.run`` span carrying retry / timeout /
+    quarantine / respawn / circuit-breaker events.
     """
     if not items:
         return SupervisorResult()
     supervisor = _Supervisor(
-        payload, items, jobs, task_timeout, wall_timeout, policy, fault_plan
+        payload,
+        items,
+        jobs,
+        task_timeout,
+        wall_timeout,
+        policy,
+        fault_plan,
+        tracer=tracer,
     )
     return supervisor.run()
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .diagnostics import IRError
 from .operation import Operation
@@ -106,14 +106,45 @@ class PassManager:
             raise IRError(f"not a pass: {pass_or_name!r}")
         return self
 
-    def run(self, root: Operation) -> PipelineResult:
+    def run(
+        self,
+        root: Operation,
+        tracer=None,
+        span_attrs: Optional[Callable[[Operation], Dict[str, Any]]] = None,
+    ) -> PipelineResult:
+        """Run every pass over ``root``, timing each.
+
+        ``tracer`` (a :class:`repro.observability.Tracer`, or ``None``)
+        gets one ``pass:<name>`` span per pass; ``span_attrs`` computes
+        IR statistics (op count, ``D_offset``) recorded as ``*_before``/
+        ``*_after`` span attributes together with their deltas.  Both
+        are skipped entirely when tracing is disabled, so the untraced
+        path is byte-for-byte the historical one.
+        """
         result = PipelineResult()
         if self.verify_each:
             root.verify()
+        tracing = tracer is not None and tracer.enabled
         for pipeline_pass in self.passes:
-            started = time.perf_counter()
-            pipeline_pass.run(root)
-            elapsed = time.perf_counter() - started
+            if tracing:
+                with tracer.span(f"pass:{pipeline_pass.PASS_NAME}") as span:
+                    before = span_attrs(root) if span_attrs is not None else {}
+                    for key, value in before.items():
+                        span.attributes[f"{key}_before"] = value
+                    started = time.perf_counter()
+                    pipeline_pass.run(root)
+                    elapsed = time.perf_counter() - started
+                    after = span_attrs(root) if span_attrs is not None else {}
+                    for key, value in after.items():
+                        span.attributes[f"{key}_after"] = value
+                        prior = before.get(key)
+                        if value is not None and prior is not None:
+                            span.attributes[f"{key}_delta"] = value - prior
+                    span.attributes["seconds"] = elapsed
+            else:
+                started = time.perf_counter()
+                pipeline_pass.run(root)
+                elapsed = time.perf_counter() - started
             result.timings.append(PassTiming(pipeline_pass.PASS_NAME, elapsed))
             if self.verify_each:
                 root.verify()

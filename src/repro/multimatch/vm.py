@@ -85,11 +85,20 @@ class MultiMatchVM:
         self._entry = self._closure_of(0)
 
     def run(
-        self, text: Union[str, bytes], max_steps: Optional[int] = None
+        self,
+        text: Union[str, bytes],
+        max_steps: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ) -> MultiMatchResult:
         data = text if isinstance(text, bytes) else as_input_bytes(
             text, what="input text"
         )
+        if tracer is not None or metrics is not None:
+            if (tracer is not None and tracer.enabled) or (
+                metrics is not None and metrics.enabled
+            ):
+                return self._run_instrumented(data, max_steps, tracer, metrics)
         opcodes = self._opcodes
         operands = self._operands
         successors = self._successors
@@ -143,6 +152,115 @@ class MultiMatchVM:
             matched_ids=frozenset(matched),
             patterns=dict(self.multi_program.patterns),
         )
+
+    def _run_instrumented(
+        self,
+        data: bytes,
+        max_steps: Optional[int],
+        tracer,
+        metrics,
+    ) -> MultiMatchResult:
+        """The fast path plus telemetry (see ``ThompsonVM``'s twin).
+
+        Kept as a separate copy of the loop so the uninstrumented
+        :meth:`run` stays branch-free; records steps, dedup
+        suppressions and ε-closure table hits on a ``multimatch.run``
+        span and the shared ``repro_vm_*`` counters.
+        """
+        from ..observability import as_tracer
+
+        active_tracer = as_tracer(tracer)
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        steps = 0
+        dedup_suppressed = 0
+        closure_hits = 0
+        matched: Set[int] = set()
+        all_ids = self._all_ids
+        with active_tracer.span(
+            "multimatch.run",
+            program_size=len(opcodes),
+            input_bytes=length,
+            patterns=len(all_ids),
+        ) as span:
+            try:
+                frontier: List[int] = list(self._entry)
+                executed = 0
+                for position in range(length + 1):
+                    if not frontier or matched == all_ids:
+                        break
+                    has_char = position < length
+                    char = data[position] if has_char else -1
+                    visited: Set[int] = set()
+                    next_roots: Set[int] = set()
+                    worklist = frontier
+                    while worklist:
+                        pc = worklist.pop()
+                        if pc in visited:
+                            dedup_suppressed += 1
+                            continue
+                        visited.add(pc)
+                        opcode = opcodes[pc]
+                        if opcode == NOT_MATCH:
+                            if has_char and char != operands[pc]:
+                                closure_hits += 1
+                                worklist.extend(successors[pc])
+                        elif opcode == MATCH_ANY:
+                            if has_char:
+                                next_roots.add(pc)
+                        elif opcode == ACCEPT_PARTIAL:
+                            matched.add(operands[pc])
+                        elif opcode == ACCEPT:
+                            if not has_char:
+                                matched.add(operands[pc])
+                        else:  # MATCH
+                            if has_char and char == operands[pc]:
+                                next_roots.add(pc)
+                    steps += len(visited)
+                    if max_steps is not None:
+                        executed += len(visited)
+                        if executed > max_steps:
+                            raise VMStepBudgetError(executed, max_steps)
+                    frontier = []
+                    for root in next_roots:
+                        closure_hits += 1
+                        frontier.extend(successors[root])
+                return MultiMatchResult(
+                    matched_ids=frozenset(matched),
+                    patterns=dict(self.multi_program.patterns),
+                )
+            finally:
+                span.set(
+                    steps=steps,
+                    dedup_suppressed=dedup_suppressed,
+                    closure_hits=closure_hits,
+                    matched_ids=sorted(matched),
+                )
+                if metrics is not None and metrics.enabled:
+                    metrics.counter(
+                        "repro_vm_runs_total",
+                        help_text="ThompsonVM fast-path executions",
+                    ).inc()
+                    metrics.counter(
+                        "repro_vm_steps_total",
+                        help_text="work instructions executed by the VM",
+                    ).inc(steps)
+                    metrics.counter(
+                        "repro_vm_dedup_suppressed_total",
+                        help_text="threads killed by per-position dedup",
+                    ).inc(dedup_suppressed)
+                    metrics.counter(
+                        "repro_vm_closure_hits_total",
+                        help_text="precomputed ε-closure table expansions",
+                    ).inc(closure_hits)
 
     def run_reference(
         self, text: Union[str, bytes], max_steps: Optional[int] = None

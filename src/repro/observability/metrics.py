@@ -1,0 +1,428 @@
+"""Counters, gauges and histograms behind one registry.
+
+:class:`MetricsRegistry` unifies the ad-hoc counters that accumulated
+across the serving layers (``PatternCache`` hit/miss/eviction tallies,
+supervisor ``ShardOutcome`` accounting, fault-injection detector
+counts) behind a single API with two export surfaces:
+
+* :meth:`MetricsRegistry.to_dict` — a JSON-ready snapshot (what the
+  ``repro stats`` CLI subcommand persists and prints);
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus-style text
+  exposition (``# TYPE`` headers, ``name{label="v"} value`` samples).
+
+Metric identity is ``(name, labels)`` where labels is a sorted tuple of
+``(key, value)`` pairs; instruments are created on first use and cached,
+so hot paths resolve their instrument once and pay only an addition
+under a lock per update.  The canonical metric names are tabulated in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds-oriented).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+def _normalize_labels(labels: Optional[Mapping[str, Any]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _render_labels(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs, help_text: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs, help_text: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-watermark of every observation."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} buckets must be sorted")
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def sample(self) -> Any:
+        with self._lock:
+            cumulative = 0
+            by_bound: Dict[str, int] = {}
+            for index, bound in enumerate(self.buckets):
+                cumulative += self._counts[index]
+                by_bound[repr(bound)] = cumulative
+            by_bound["+Inf"] = cumulative + self._counts[-1]
+            return {"count": self._count, "sum": self._sum, "buckets": by_bound}
+
+
+class NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    kind = "null"
+    name = ""
+    labels: LabelPairs = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def set_max(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def sample(self) -> Any:
+        return 0.0
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelPairs], Any] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- instrument factories ------------------------------------------
+    def _get_or_create(
+        self,
+        factory: type,
+        name: str,
+        labels: Optional[Mapping[str, Any]],
+        help_text: str,
+        **kwargs: Any,
+    ) -> Any:
+        pairs = _normalize_labels(labels)
+        key = (name, pairs)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(name, pairs, help_text, **kwargs)
+                self._instruments[key] = instrument
+                if help_text:
+                    self._help.setdefault(name, help_text)
+            elif not isinstance(instrument, factory):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{instrument.kind}, not {factory.__name__.lower()}"
+                )
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help_text)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help_text, buckets=buckets
+        )
+
+    # -- introspection / export ----------------------------------------
+    def instruments(self) -> List[Any]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        """The current sample of one instrument (0.0 when absent)."""
+        key = (name, _normalize_labels(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+        return instrument.sample() if instrument is not None else 0.0
+
+    def sum_values(self, name: str) -> float:
+        """Sum of a counter/gauge family's samples across label sets."""
+        total = 0.0
+        for instrument in self.instruments():
+            if instrument.name == name and instrument.kind in (
+                "counter",
+                "gauge",
+            ):
+                total += instrument.sample()
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: ``name{labels}`` → sample."""
+        snapshot: Dict[str, Any] = {}
+        for instrument in self.instruments():
+            key = instrument.name + _render_labels(instrument.labels)
+            snapshot[key] = instrument.sample()
+        return dict(sorted(snapshot.items()))
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        by_name: Dict[str, List[Any]] = {}
+        for instrument in self.instruments():
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            family = by_name[name]
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {family[0].kind}")
+            for instrument in family:
+                labels = _render_labels(instrument.labels)
+                if instrument.kind == "histogram":
+                    sample = instrument.sample()
+                    for bound, count in sample["buckets"].items():
+                        pairs = instrument.labels + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(pairs)} {count}"
+                        )
+                    lines.append(f"{name}_sum{labels} {sample['sum']}")
+                    lines.append(f"{name}_count{labels} {sample['count']}")
+                else:
+                    lines.append(f"{name}{labels} {instrument.sample()}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_snapshot(
+        self, path: str, extra: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Persist :meth:`to_dict` (plus caller context) as JSON."""
+        payload: Dict[str, Any] = {"schema": 1, "metrics": self.to_dict()}
+        if extra:
+            payload.update(extra)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+            self._help.clear()
+
+
+class NullMetricsRegistry:
+    """A disabled registry: instruments exist but never record.
+
+    Pass one to :class:`~repro.engine.Engine` (or anything accepting a
+    registry) to remove metric updates from a hot path entirely — this
+    is the configuration the ``observability_overhead`` benchmark
+    compares against.
+    """
+
+    enabled = False
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+    ) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+    ) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def instruments(self) -> List[Any]:
+        return []
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        return 0.0
+
+    def sum_values(self, name: str) -> float:
+        return 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def write_snapshot(
+        self, path: str, extra: Optional[Dict[str, Any]] = None
+    ) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read back a :meth:`MetricsRegistry.write_snapshot` file."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_METRICS",
+    "NullInstrument",
+    "NullMetricsRegistry",
+    "load_snapshot",
+]

@@ -1,0 +1,372 @@
+"""Nested-span tracing with monotonic timings and JSON-lines export.
+
+The tracing model is deliberately tiny — a :class:`Tracer` hands out
+:class:`Span` objects arranged in a parent/child tree (per thread, via a
+thread-local stack), each span carrying a name, monotonic start/end
+timestamps, free-form attributes, and zero-duration :class:`SpanEvent`
+entries.  Finished spans serialize to JSON lines
+(:meth:`Tracer.to_jsonl`), one object per line, suitable for ``jq`` and
+for the ``repro compile --trace-out`` CLI flag.
+
+Performance contract: tracing must be cheap enough to leave compiled in
+everywhere.  The disabled path is :data:`NULL_TRACER` — ``span()``
+returns one shared no-op context manager and ``enabled`` is ``False``,
+so instrumented code guards any non-trivial attribute computation with
+``if tracer.enabled:`` and pays only an attribute load plus a branch
+when tracing is off (gated by the ``observability_overhead`` section of
+``benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+@dataclass
+class SpanEvent:
+    """A zero-duration occurrence attached to a span (e.g. a retry)."""
+
+    name: str
+    timestamp_us: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "timestamp_us": self.timestamp_us,
+            "attributes": self.attributes,
+        }
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_us: float
+    end_us: Optional[float] = None
+    status: str = "ok"
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> Optional[float]:
+        if self.end_us is None:
+            return None
+        return self.end_us - self.start_us
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "duration_us": self.duration_us,
+            "status": self.status,
+            "attributes": self.attributes,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span: accepts the full :class:`Span` surface."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = 0
+    parent_id: Optional[int] = None
+    status = "ok"
+    attributes: Dict[str, Any] = {}
+    events: List[SpanEvent] = []
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that closes its span and pops the stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attributes: Any) -> "_SpanHandle":
+        self.span.set(**attributes)
+        return self
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.attributes.setdefault(
+                "error_type", getattr(exc_type, "__name__", str(exc_type))
+            )
+        self._tracer.finish(self.span)
+
+
+class _SpanStack(threading.local):
+    """Per-thread stack of open spans (parentage is per thread)."""
+
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+
+
+class Tracer:
+    """Collects nested spans; thread-safe; export as JSON lines."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._open = 0
+        self._local = _SpanStack()
+
+    # -- span lifecycle ------------------------------------------------
+    def start(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a child of the current thread's active span."""
+        parent = self._local.stack[-1] if self._local.stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_us=time.perf_counter() * 1e6,
+            attributes=dict(attributes),
+        )
+        self._local.stack.append(span)
+        with self._lock:
+            self._open += 1
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and any children left open above it)."""
+        stack = self._local.stack
+        while stack:
+            top = stack.pop()
+            top.end_us = time.perf_counter() * 1e6
+            with self._lock:
+                self._open -= 1
+                self._finished.append(top)
+            if top is span:
+                return
+        # The span was opened on another thread or already closed;
+        # close it directly so no span is ever left dangling.
+        if span.end_us is None:
+            span.end_us = time.perf_counter() * 1e6
+            with self._lock:
+                self._open -= 1
+                self._finished.append(span)
+
+    def span(self, name: str, **attributes: Any) -> _SpanHandle:
+        """``with tracer.span("name", k=v) as span: ...`` — the main API."""
+        return _SpanHandle(self, self.start(name, **attributes))
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the current span (dropped when no span)."""
+        stack = self._local.stack
+        if not stack:
+            return
+        stack[-1].events.append(
+            SpanEvent(name, time.perf_counter() * 1e6, dict(attributes))
+        )
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._local.stack
+        return stack[-1] if stack else None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        with self._lock:
+            return self._open
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans with exactly this name, in finish order."""
+        return [span for span in self.finished_spans() if span.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    # -- export --------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, spans ordered by start time."""
+        spans = sorted(self.finished_spans(), key=lambda span: span.start_us)
+        buffer = io.StringIO()
+        for span in spans:
+            buffer.write(json.dumps(span.to_dict(), sort_keys=True))
+            buffer.write("\n")
+        return buffer.getvalue()
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumented code holds a tracer unconditionally and branches on
+    :attr:`enabled` before computing attributes; with this tracer the
+    cost per call site is one attribute load and one predictable branch.
+    """
+
+    enabled = False
+
+    def start(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span: object) -> None:
+        return None
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def current_span(self) -> None:
+        return None
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write("")
+
+
+NULL_TRACER = NullTracer()
+
+AnyTracer = Union[Tracer, NullTracer]
+
+
+def as_tracer(tracer: Optional[AnyTracer]) -> AnyTracer:
+    """Normalize an optional tracer to a concrete one (``None`` → null)."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def parse_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines trace back into dicts (validation helper)."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def validate_trace(records: List[Dict[str, Any]]) -> List[str]:
+    """Structural checks over exported spans; returns problem strings.
+
+    Verifies what the property suite asserts: every span is closed,
+    parent ids reference exported spans, children nest inside their
+    parent's [start, end] window, and span ids are unique.
+    """
+    problems: List[str] = []
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        span_id = record.get("span_id")
+        if span_id in by_id:
+            problems.append(f"duplicate span_id {span_id}")
+        by_id[span_id] = record
+        if record.get("end_us") is None:
+            problems.append(f"span {span_id} ({record.get('name')}) not closed")
+    for record in records:
+        parent_id = record.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {record.get('span_id')} references missing parent "
+                f"{parent_id}"
+            )
+            continue
+        if record.get("end_us") is None or parent.get("end_us") is None:
+            continue
+        if record["start_us"] < parent["start_us"] - 1e-3 or (
+            record["end_us"] > parent["end_us"] + 1e-3
+        ):
+            problems.append(
+                f"span {record.get('span_id')} ({record.get('name')}) "
+                f"escapes its parent {parent_id}'s window"
+            )
+    return problems
+
+
+def iter_tree(
+    records: List[Dict[str, Any]], parent_id: Optional[int] = None
+) -> Iterator[Dict[str, Any]]:
+    """Yield spans under ``parent_id`` in start order (one level)."""
+    children = [
+        record for record in records if record.get("parent_id") == parent_id
+    ]
+    children.sort(key=lambda record: record["start_us"])
+    for child in children:
+        yield child
+
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "AnyTracer",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "as_tracer",
+    "iter_tree",
+    "parse_jsonl",
+    "validate_trace",
+]

@@ -133,7 +133,11 @@ class ThompsonVM:
         self._entry: tuple = self._closure_of(0)
 
     def run(
-        self, text: Union[str, bytes], max_steps: Optional[int] = None
+        self,
+        text: Union[str, bytes],
+        max_steps: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ) -> MatchResult:
         """Execute the program over ``text``; stops at the first match.
 
@@ -142,9 +146,23 @@ class ThompsonVM:
         exceeding it raises a typed
         :class:`~repro.runtime.errors.VMStepBudgetError` instead of
         burning CPU on a pathological pattern × input combination.
+
+        ``tracer`` (a :class:`repro.observability.Tracer`) wraps the run
+        in a ``vm.run`` span recording steps, ε-closure table hits and
+        dedup suppressions; ``metrics`` (a
+        :class:`repro.observability.MetricsRegistry`) accumulates the
+        same counts into ``repro_vm_*`` counters.  With neither, the
+        dispatch lands on the historical uninstrumented loop — the
+        disabled-path overhead is one ``is None`` check per run.
         """
         data = text if isinstance(text, bytes) else _as_bytes(text)
-        return self._run_fast(data, max_steps)
+        if tracer is None and metrics is None:
+            return self._run_fast(data, max_steps)
+        if (tracer is None or not tracer.enabled) and (
+            metrics is None or not metrics.enabled
+        ):
+            return self._run_fast(data, max_steps)
+        return self._run_fast_instrumented(data, max_steps, tracer, metrics)
 
     def run_reference(
         self, text: Union[str, bytes], max_steps: Optional[int] = None
@@ -207,6 +225,118 @@ class ThompsonVM:
             for root in next_roots:
                 frontier.extend(successors[root])
         return MatchResult(False, None)
+
+    def _run_fast_instrumented(
+        self,
+        data: bytes,
+        max_steps: Optional[int],
+        tracer,
+        metrics,
+    ) -> MatchResult:
+        """The fast path plus telemetry counters.
+
+        A separate copy of :meth:`_run_fast`'s loop so the untraced hot
+        path carries zero extra branches (the ``observability_overhead``
+        benchmark gate).  Counts per run: executed work instructions
+        (``steps``), per-position dedup suppressions, and ε-closure
+        dispatch-table expansions (``closure_hits``).
+        """
+        from ..observability import NULL_TRACER, as_tracer
+
+        active_tracer = as_tracer(tracer)
+        if not active_tracer.enabled:
+            active_tracer = NULL_TRACER
+
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        length = len(data)
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        steps = 0
+        dedup_suppressed = 0
+        closure_hits = 0
+        positions = 0
+        with active_tracer.span(
+            "vm.run", program_size=len(opcodes), input_bytes=length
+        ) as span:
+            result = MatchResult(False, None)
+            frontier: List[int] = list(self._entry)
+            try:
+                for position in range(length + 1):
+                    if not frontier:
+                        break
+                    positions += 1
+                    has_char = position < length
+                    char = data[position] if has_char else -1
+                    visited: Set[int] = set()
+                    next_roots: Set[int] = set()
+                    worklist = frontier
+                    while worklist:
+                        pc = worklist.pop()
+                        if pc in visited:
+                            dedup_suppressed += 1
+                            continue
+                        visited.add(pc)
+                        opcode = opcodes[pc]
+                        if opcode == NOT_MATCH:
+                            if has_char and char != operands[pc]:
+                                closure_hits += 1
+                                worklist.extend(successors[pc])
+                        elif opcode == MATCH_ANY:
+                            if has_char:
+                                next_roots.add(pc)
+                        elif opcode == ACCEPT_PARTIAL:
+                            result = MatchResult(True, position)
+                            steps += len(visited)
+                            return result
+                        elif opcode == ACCEPT:
+                            if not has_char:
+                                result = MatchResult(True, position)
+                                steps += len(visited)
+                                return result
+                        else:  # MATCH
+                            if has_char and char == operands[pc]:
+                                next_roots.add(pc)
+                    steps += len(visited)
+                    if max_steps is not None and steps > max_steps:
+                        raise VMStepBudgetError(
+                            steps, max_steps, self.program.source_pattern
+                        )
+                    frontier = []
+                    for root in next_roots:
+                        closure_hits += 1
+                        frontier.extend(successors[root])
+                return result
+            finally:
+                span.set(
+                    steps=steps,
+                    dedup_suppressed=dedup_suppressed,
+                    closure_hits=closure_hits,
+                    positions=positions,
+                    matched=result.matched,
+                )
+                if metrics is not None and metrics.enabled:
+                    metrics.counter(
+                        "repro_vm_runs_total",
+                        help_text="ThompsonVM fast-path executions",
+                    ).inc()
+                    metrics.counter(
+                        "repro_vm_steps_total",
+                        help_text="work instructions executed by the VM",
+                    ).inc(steps)
+                    metrics.counter(
+                        "repro_vm_dedup_suppressed_total",
+                        help_text="threads killed by per-position dedup",
+                    ).inc(dedup_suppressed)
+                    metrics.counter(
+                        "repro_vm_closure_hits_total",
+                        help_text="precomputed ε-closure table expansions",
+                    ).inc(closure_hits)
 
     def run_with_stats(
         self, text: Union[str, bytes], max_steps: Optional[int] = None

@@ -1,0 +1,153 @@
+"""Unit tests for the metrics registry and its export surfaces."""
+
+import pytest
+
+from repro.observability import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    load_snapshot,
+)
+from repro.observability.metrics import NULL_INSTRUMENT
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert registry.value("repro_test_total") == 3.5
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", labels={"a": "1", "b": "2"})
+        second = registry.counter("x_total", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_distinct_labels_distinct_instruments(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("shards_total", labels={"status": "ok"})
+        bad = registry.counter("shards_total", labels={"status": "error"})
+        assert ok is not bad
+        ok.inc(3)
+        bad.inc(1)
+        assert registry.value("shards_total", labels={"status": "ok"}) == 3
+        assert registry.sum_values("shards_total") == 4
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("mixed")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("mixed")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_set_max_keeps_high_watermark(self):
+        gauge = MetricsRegistry().gauge("fifo_high_watermark")
+        for value in (3, 9, 4):
+            gauge.set_max(value)
+        assert gauge.value == 9.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        sample = histogram.sample()
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(55.55)
+        assert sample["buckets"] == {
+            "0.1": 1,
+            "1.0": 2,
+            "10.0": 3,
+            "+Inf": 4,
+        }
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.1))
+
+
+class TestRegistryExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_cache_hits_total", help_text="Cache hits."
+        ).inc(7)
+        registry.counter(
+            "repro_scan_shards_total", labels={"status": "ok"}
+        ).inc(4)
+        registry.gauge("repro_sim_fifo_high_watermark").set_max(12)
+        registry.histogram("repro_scan_seconds", buckets=(1.0,)).observe(0.25)
+        return registry
+
+    def test_value_of_absent_instrument_is_zero(self):
+        assert MetricsRegistry().value("never_registered") == 0.0
+
+    def test_to_dict_renders_labels_and_sorts(self):
+        snapshot = self._populated().to_dict()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["repro_cache_hits_total"] == 7.0
+        assert snapshot['repro_scan_shards_total{status="ok"}'] == 4.0
+        assert snapshot["repro_scan_seconds"]["count"] == 1
+
+    def test_render_prometheus_exposition(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP repro_cache_hits_total Cache hits." in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_scan_shards_total{status="ok"} 4.0' in text
+        assert "# TYPE repro_sim_fifo_high_watermark gauge" in text
+        assert 'repro_scan_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_scan_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_scan_seconds_sum 0.25" in text
+        assert "repro_scan_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_round_trip_with_context(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "stats.json"
+        registry.write_snapshot(str(path), extra={"command": "scan"})
+        payload = load_snapshot(str(path))
+        assert payload["schema"] == 1
+        assert payload["command"] == "scan"
+        assert payload["metrics"] == registry.to_dict()
+
+    def test_clear_empties_registry(self):
+        registry = self._populated()
+        registry.clear()
+        assert registry.to_dict() == {}
+        assert registry.render_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self, tmp_path):
+        assert NULL_METRICS.enabled is False
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+        counter = NULL_METRICS.counter("anything_total")
+        assert counter is NULL_INSTRUMENT
+        counter.inc(100)
+        NULL_METRICS.gauge("g").set_max(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.value("anything_total") == 0.0
+        assert NULL_METRICS.sum_values("anything_total") == 0.0
+        assert NULL_METRICS.to_dict() == {}
+        assert NULL_METRICS.render_prometheus() == ""
+        path = tmp_path / "none.json"
+        NULL_METRICS.write_snapshot(str(path))
+        assert not path.exists()

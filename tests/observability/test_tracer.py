@@ -1,0 +1,218 @@
+"""Unit tests for the nested-span tracer and trace-validation helpers."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    NULL_TRACER,
+    Tracer,
+    as_tracer,
+    iter_tree,
+    parse_jsonl,
+    validate_trace,
+)
+
+
+class TestSpanLifecycle:
+    def test_nesting_records_parentage(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.find("root")[0]
+        child = tracer.find("child")[0]
+        grandchild = tracer.find("grandchild")[0]
+        sibling = tracer.find("sibling")[0]
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        assert tracer.open_spans == 0
+
+    def test_timing_is_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.find("outer")[0]
+        inner = tracer.find("inner")[0]
+        assert outer.closed and inner.closed
+        assert outer.duration_us >= 0
+        assert inner.start_us >= outer.start_us
+        assert inner.end_us <= outer.end_us
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("op", pattern="a*b") as span:
+            span.set(result=True).set(steps=7)
+        finished = tracer.find("op")[0]
+        assert finished.attributes == {
+            "pattern": "a*b",
+            "result": True,
+            "steps": 7,
+        }
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("retry", shard=3)
+            with tracer.span("inner"):
+                tracer.event("deep")
+        outer = tracer.find("outer")[0]
+        inner = tracer.find("inner")[0]
+        assert [event.name for event in outer.events] == ["retry"]
+        assert outer.events[0].attributes == {"shard": 3}
+        assert [event.name for event in inner.events] == ["deep"]
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.finished_spans() == []
+        assert tracer.current_span() is None
+
+    def test_exception_marks_error_status_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.find("boom")[0]
+        assert span.status == "error"
+        assert span.attributes["error_type"] == "ValueError"
+        assert span.closed
+        assert tracer.open_spans == 0
+
+    def test_finish_closes_children_left_open(self):
+        # Closing a parent with the low-level API must not leave dangling
+        # children — the invariant validate_trace checks on every export.
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        tracer.start("child")
+        tracer.finish(parent)
+        assert tracer.open_spans == 0
+        assert {span.name for span in tracer.finished_spans()} == {
+            "parent",
+            "child",
+        }
+        assert validate_trace(parse_jsonl(tracer.to_jsonl())) == []
+
+    def test_parentage_is_per_thread(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            barrier.wait()
+            with tracer.span(name):
+                with tracer.span(f"{name}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(name,))
+            for name in ("t1", "t2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.open_spans == 0
+        for name in ("t1", "t2"):
+            root = tracer.find(name)[0]
+            inner = tracer.find(f"{name}.inner")[0]
+            assert root.parent_id is None
+            assert inner.parent_id == root.span_id
+        assert validate_trace(parse_jsonl(tracer.to_jsonl())) == []
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("compile", pattern="ab"):
+            with tracer.span("pass:dce"):
+                pass
+            with tracer.span("emit"):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip_in_start_order(self):
+        tracer = self._traced()
+        records = parse_jsonl(tracer.to_jsonl())
+        assert [record["name"] for record in records] == [
+            "compile",
+            "pass:dce",
+            "emit",
+        ]
+        assert records[0]["attributes"] == {"pattern": "ab"}
+        assert all(record["end_us"] is not None for record in records)
+
+    def test_export_jsonl_writes_file(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        assert parse_jsonl(path.read_text()) == parse_jsonl(tracer.to_jsonl())
+
+    def test_validate_trace_accepts_well_formed(self):
+        assert validate_trace(parse_jsonl(self._traced().to_jsonl())) == []
+
+    def test_validate_trace_flags_problems(self):
+        records = [
+            {"span_id": 1, "parent_id": None, "name": "a",
+             "start_us": 0.0, "end_us": None},
+            {"span_id": 1, "parent_id": None, "name": "dup",
+             "start_us": 0.0, "end_us": 1.0},
+            {"span_id": 2, "parent_id": 99, "name": "orphan",
+             "start_us": 0.0, "end_us": 1.0},
+            {"span_id": 3, "parent_id": 1, "name": "escapee",
+             "start_us": 0.0, "end_us": 50.0},
+        ]
+        problems = "\n".join(validate_trace(records))
+        assert "duplicate span_id 1" in problems
+        assert "not closed" in problems
+        assert "missing parent 99" in problems
+
+    def test_validate_trace_flags_child_escaping_parent_window(self):
+        records = [
+            {"span_id": 1, "parent_id": None, "name": "parent",
+             "start_us": 10.0, "end_us": 20.0},
+            {"span_id": 2, "parent_id": 1, "name": "child",
+             "start_us": 15.0, "end_us": 25.0},
+        ]
+        problems = validate_trace(records)
+        assert len(problems) == 1 and "escapes" in problems[0]
+
+    def test_iter_tree_yields_one_level_in_start_order(self):
+        tracer = self._traced()
+        records = parse_jsonl(tracer.to_jsonl())
+        roots = list(iter_tree(records))
+        assert [record["name"] for record in roots] == ["compile"]
+        children = list(iter_tree(records, roots[0]["span_id"]))
+        assert [record["name"] for record in children] == ["pass:dce", "emit"]
+
+    def test_clear_drops_finished_spans(self):
+        tracer = self._traced()
+        tracer.clear()
+        assert tracer.finished_spans() == []
+        assert tracer.to_jsonl() == ""
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self, tmp_path):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.set(more=2)
+            NULL_TRACER.event("ignored")
+        assert NULL_TRACER.open_spans == 0
+        assert NULL_TRACER.finished_spans() == []
+        assert NULL_TRACER.find("anything") == []
+        assert NULL_TRACER.to_jsonl() == ""
+        path = tmp_path / "empty.jsonl"
+        NULL_TRACER.export_jsonl(str(path))
+        assert path.read_text() == ""
+
+    def test_as_tracer_normalizes(self):
+        tracer = Tracer()
+        assert as_tracer(None) is NULL_TRACER
+        assert as_tracer(tracer) is tracer
+        assert as_tracer(NULL_TRACER) is NULL_TRACER
