@@ -28,6 +28,10 @@ The package layers, bottom-up:
 * :mod:`repro.observability` — zero-dependency tracing + metrics
   threaded through every layer above (pass/VM/engine/simulator
   profiling, Prometheus-style exposition, JSON-lines span export).
+* :mod:`repro.fuzz` — the differential fuzzing campaign: seeded
+  pattern/IR generators, a multi-oracle diffing harness over every
+  execution path, AST shrinking, and the persisted regression corpus
+  (``repro fuzz`` CLI, ``docs/fuzzing.md``).
 * :mod:`repro.api` — the two-call façade (compile, match, simulate).
 
 Every rejection anywhere in the stack is a

@@ -14,6 +14,9 @@ Subcommands:
 * ``configs`` — list the evaluated architecture configurations with
   their resource usage, clock and power.
 * ``stats`` — print the metrics snapshot persisted by the last ``scan``.
+* ``fuzz`` — time-boxed seeded differential fuzzing campaign over every
+  oracle pair (``--seconds --seed --oracles``), with shrinking, corpus
+  persistence (``--save-failures``) and corpus replay (``--replay``).
 
 Observability: ``compile``/``run`` accept ``--trace-out FILE`` (span
 tree as JSON lines, one span per pipeline pass with op-count and
@@ -407,6 +410,68 @@ def _stats(args) -> int:
     return 0
 
 
+def _fuzz(args) -> int:
+    """Differential fuzzing: campaign, or corpus replay with --replay."""
+    import json
+
+    from .fuzz import (
+        DEFAULT_CORPUS_DIR,
+        DEFAULT_ORACLES,
+        CampaignConfig,
+        replay_corpus,
+        run_campaign,
+    )
+    from .observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    corpus_dir = args.corpus_dir or DEFAULT_CORPUS_DIR
+
+    if args.replay:
+        results = replay_corpus(corpus_dir, metrics=registry)
+        failures = 0
+        for result in results:
+            status = "ok" if result.ok else "DISAGREES"
+            print(f"{result.pattern!r}: {status} "
+                  f"({len(result.inputs)} inputs)")
+            if not result.ok:
+                failures += 1
+                for disagreement in result.disagreements:
+                    print(f"  {json.dumps(disagreement.to_dict())}",
+                          file=sys.stderr)
+        print(f"corpus replay: {len(results)} reproducers, "
+              f"{failures} disagreeing")
+        if args.metrics:
+            sys.stdout.write(registry.render_prometheus())
+        return 1 if failures else 0
+
+    oracles = DEFAULT_ORACLES
+    if args.oracles:
+        oracles = tuple(name.strip() for name in args.oracles.split(","))
+        unknown = [name for name in oracles if name not in DEFAULT_ORACLES]
+        if unknown:
+            print(f"unknown oracle {unknown[0]!r}; available: "
+                  f"{', '.join(DEFAULT_ORACLES)}", file=sys.stderr)
+            return 2
+    config = CampaignConfig(
+        seconds=args.seconds,
+        seed=args.seed,
+        oracles=oracles,
+        max_cases=args.max_cases,
+        shrink=not args.no_shrink,
+        corpus_dir=corpus_dir if args.save_failures else None,
+    )
+    report = run_campaign(config, metrics=registry)
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report: -> {args.report}", file=sys.stderr)
+    if args.metrics:
+        sys.stdout.write(registry.render_prometheus())
+    return 0 if report.clean else 1
+
+
 def _configs(args) -> int:
     rows = []
     for config in MICROBENCH_GRID:
@@ -565,6 +630,37 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("pattern")
     verify_parser.add_argument("--max-states", type=int, default=100_000)
     verify_parser.set_defaults(handler=_verify)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing campaign over all oracle pairs",
+    )
+    fuzz_parser.add_argument("--seconds", type=float, default=5.0,
+                             help="campaign time box in seconds (default 5)")
+    fuzz_parser.add_argument("--seed", type=int, default=0xC1CE40,
+                             help="base seed; every case is re-derivable "
+                             "from it (default 0xC1CE40)")
+    fuzz_parser.add_argument("--oracles", default=None,
+                             help="comma-separated oracle subset "
+                             "(default: all ten)")
+    fuzz_parser.add_argument("--max-cases", type=int, default=None,
+                             help="stop after N cases even if time remains")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="report disagreements unshrunk")
+    fuzz_parser.add_argument("--corpus-dir", default=None,
+                             help="reproducer corpus directory "
+                             "(default tests/fuzz/corpus)")
+    fuzz_parser.add_argument("--save-failures", action="store_true",
+                             help="persist shrunk reproducers into the "
+                             "corpus directory")
+    fuzz_parser.add_argument("--replay", action="store_true",
+                             help="replay the corpus instead of fuzzing")
+    fuzz_parser.add_argument("--report", metavar="FILE", default=None,
+                             help="write the campaign report as JSON")
+    fuzz_parser.add_argument("--metrics", action="store_true",
+                             help="print repro_fuzz_* metrics in "
+                             "Prometheus text format")
+    fuzz_parser.set_defaults(handler=_fuzz)
     return parser
 
 

@@ -1,0 +1,86 @@
+"""Differential fuzzing for the whole compilation and execution stack.
+
+The campaign is the correctness backstop behind the paper's central
+claim: that the MLIR-style lowering pipeline preserves matching
+semantics.  Fixed test suites sample that claim; this package searches
+for violations — grammar-based random patterns (plus direct mid-level IR
+modules) are run through every available execution path and the verdicts
+are diffed, any disagreement is delta-debugged to a minimal reproducer,
+and reproducers persist as JSON in ``tests/fuzz/corpus/`` where tier-1
+pytest replays them forever.
+
+Layout:
+
+* :mod:`~repro.fuzz.generators` — seeded pattern/IR/input generation;
+* :mod:`~repro.fuzz.oracles` — the multi-oracle harness and verdict model;
+* :mod:`~repro.fuzz.shrink` — AST delta-debugging;
+* :mod:`~repro.fuzz.corpus` — reproducer persistence and replay;
+* :mod:`~repro.fuzz.campaign` — the time-boxed seeded campaign runner
+  behind the ``repro fuzz`` CLI subcommand.
+
+See ``docs/fuzzing.md`` for the generator grammar, the oracle matrix
+and the triage workflow.
+"""
+
+from .campaign import (
+    DEFAULT_SEED,
+    CampaignConfig,
+    CampaignFinding,
+    CampaignReport,
+    case_seed,
+    run_campaign,
+)
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    Reproducer,
+    load_corpus,
+    replay_corpus,
+    save_reproducer,
+)
+from .generators import (
+    ALPHABET,
+    ModuleGenerator,
+    RegexGenerator,
+    count_nodes,
+    derive_inputs,
+    module_text,
+    pattern_text,
+)
+from .oracles import (
+    DEFAULT_ORACLES,
+    CaseResult,
+    CompiledOracles,
+    Disagreement,
+    default_fault_for,
+    run_case,
+)
+from .shrink import ShrinkResult, shrink_pattern
+
+__all__ = [
+    "ALPHABET",
+    "CampaignConfig",
+    "CampaignFinding",
+    "CampaignReport",
+    "CaseResult",
+    "CompiledOracles",
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_ORACLES",
+    "DEFAULT_SEED",
+    "Disagreement",
+    "ModuleGenerator",
+    "RegexGenerator",
+    "Reproducer",
+    "ShrinkResult",
+    "case_seed",
+    "count_nodes",
+    "default_fault_for",
+    "derive_inputs",
+    "load_corpus",
+    "module_text",
+    "pattern_text",
+    "replay_corpus",
+    "run_campaign",
+    "run_case",
+    "save_reproducer",
+    "shrink_pattern",
+]

@@ -1,0 +1,455 @@
+"""The multi-oracle differential harness.
+
+One *case* is a pattern (text, or a pre-built ``regex``-dialect module
+from :class:`~repro.fuzz.generators.ModuleGenerator`) plus a set of
+probe inputs.  The harness compiles the pattern through every available
+execution path and diffs the verdicts:
+
+============ =========================================================
+``vm``        new compiler, optimized program, VM fast path
+``vm-ref``    same program on :meth:`ThompsonVM.run_reference` (golden)
+``noopt``     new compiler with every optimization disabled
+``old``       the paper's original direct-lowering compiler
+``sim``       cycle-level :class:`~repro.arch.system.CiceroSystem`
+``nfa``       breadth-first NFA built from the pristine module
+``dfa``       subset-constructed, minimized DFA from the same NFA
+``multi``     :class:`MultiMatchVM` fast path over a 1-pattern program
+``multi-ref`` the multi-match golden-reference interpreter
+``pyre``      Python :mod:`re` over the emitted pattern text
+============ =========================================================
+
+plus two *program-level* oracles that need no inputs at all: the
+:mod:`repro.verify` product-automaton equivalence of the optimized
+program against the unoptimized one and against the old compiler's.
+
+Verdicts reuse the :class:`~repro.runtime.errors.ReproError` taxonomy:
+an oracle's answer is ``("ok", bool)``, ``("error", REPRO-code)`` — so
+*two oracles rejecting with the same code agree* — or ``("skip",
+reason)`` for capacity limits (``BudgetExceeded`` trips and DFA blow-up
+are legitimate asymmetries between oracles, never disagreements).
+Anything else escaping an oracle is ``("crash", ...)``, which disagrees
+with everything by construction.
+
+Fault injection: pass an :class:`~repro.runtime.faults.InstructionFault`
+and the optimized program is corrupted before the ``vm``/``vm-ref``/
+``sim`` oracles and the equivalence checks see it — the planted-bug mode
+the acceptance test uses to prove the campaign detects and shrinks real
+miscompiles.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.config import ArchConfig
+from ..arch.system import CiceroSystem
+from ..automata.dfa import DFASizeLimitExceeded, determinize, minimize
+from ..automata.nfa import nfa_from_regex_module
+from ..backends import program_from_regex_module
+from ..compiler import CompileOptions
+from ..dialects.regex.emit_pattern import emit_pattern, emit_python_re
+from ..dialects.regex.from_ast import pattern_to_regex_dialect
+from ..dialects.regex.transforms.pipeline import regex_optimization_passes
+from ..frontend.parser import parse_regex
+from ..ir.diagnostics import BudgetExceeded
+from ..ir.pass_manager import PassManager
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from ..multimatch import MultiMatchVM, compile_multipattern
+from ..oldcompiler.compiler import OldCompiler
+from ..runtime.budget import DEFAULT_BUDGET, Budget
+from ..runtime.errors import ReproError
+from ..runtime.faults import InstructionFault, corrupt_program
+from ..runtime.guards import check_pattern_budget
+from ..verify.equivalence import EquivalenceCheckExceeded, check_equivalence
+from ..vm.thompson import ThompsonVM
+
+#: Every input-level oracle, in reporting order.
+DEFAULT_ORACLES: Tuple[str, ...] = (
+    "vm",
+    "vm-ref",
+    "noopt",
+    "old",
+    "sim",
+    "nfa",
+    "dfa",
+    "multi",
+    "multi-ref",
+    "pyre",
+)
+
+#: A verdict is ``(kind, payload)``; only ``skip`` is excluded from the
+#: agreement vote.
+Verdict = Tuple[str, object]
+
+
+@dataclass
+class Disagreement:
+    """One observed divergence, input-level or program-level."""
+
+    pattern: str
+    #: The probe input (or decoded counterexample); None when the
+    #: divergence is structural (e.g. corrupted image rejected).
+    input: Optional[str]
+    #: oracle name → verdict for input-level kinds; check name → detail
+    #: for program-level kinds.
+    verdicts: Dict[str, Verdict]
+    kind: str = "input"  # "input" | "equivalence" | "validation"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pattern": self.pattern,
+            "input": self.input,
+            "kind": self.kind,
+            "detail": self.detail,
+            "verdicts": {
+                name: list(verdict) for name, verdict in self.verdicts.items()
+            },
+        }
+
+
+@dataclass
+class CaseResult:
+    """Everything one differential case produced."""
+
+    pattern: str
+    oracles: Tuple[str, ...]
+    inputs: List[str] = field(default_factory=list)
+    disagreements: List[Disagreement] = field(default_factory=list)
+    #: oracle/check name → reason it sat this case out (capacity).
+    skips: Dict[str, str] = field(default_factory=dict)
+    #: REPRO-code when the whole case was rejected at the frontend.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+
+def default_fault_for(program: Program) -> InstructionFault:
+    """A single-bit operand corruption guaranteed to be *interesting*:
+    flip the low bit of the first character-matching instruction, so the
+    corrupted program matches a different character there."""
+    for address, instruction in enumerate(program):
+        if instruction.opcode in (Opcode.MATCH, Opcode.NOT_MATCH):
+            return InstructionFault(
+                address, operand=instruction.operand ^ 0x1
+            )
+    return InstructionFault(0, operand=program.instructions[0].operand ^ 0x1)
+
+
+def _guarded(matcher: Callable[[str], bool]) -> Callable[[str], Verdict]:
+    def runner(text: str) -> Verdict:
+        try:
+            return ("ok", bool(matcher(text)))
+        except BudgetExceeded as error:
+            return ("skip", error.code)
+        except DFASizeLimitExceeded:
+            return ("skip", "dfa-size-limit")
+        except ReproError as error:
+            return ("error", error.code)
+        except Exception as error:  # a crashing oracle is itself a bug
+            return ("crash", f"{type(error).__name__}: {error}")
+
+    return runner
+
+
+def _constant(verdict: Verdict) -> Callable[[str], Verdict]:
+    return lambda _text: verdict
+
+
+class CompiledOracles:
+    """All oracles for one pattern, compiled once, probed per input."""
+
+    def __init__(
+        self,
+        pattern: str,
+        module=None,
+        oracles: Sequence[str] = DEFAULT_ORACLES,
+        options: Optional[CompileOptions] = None,
+        budget: Optional[Budget] = None,
+        config: Optional[ArchConfig] = None,
+        max_dfa_states: int = 2_000,
+        equivalence_states: int = 20_000,
+        fault: Optional[InstructionFault] = None,
+    ):
+        self.pattern = pattern
+        self.oracle_names = tuple(oracles)
+        self.options = options if options is not None else CompileOptions()
+        self.budget = (
+            budget
+            if budget is not None
+            else (
+                self.options.budget
+                if self.options.budget is not None
+                else DEFAULT_BUDGET
+            )
+        )
+        self.equivalence_states = equivalence_states
+        self.runners: Dict[str, Callable[[str], Verdict]] = {}
+        self.skips: Dict[str, str] = {}
+        #: Program-level disagreements found at compile time.
+        self.structural: List[Disagreement] = []
+        #: Distinguishing inputs the equivalence checks surfaced.
+        self.counterexamples: List[str] = []
+
+        # -- shared frontend (parse once, like compile_backends) -------
+        if module is None:
+            self.budget.check_pattern_length(pattern)
+            ast_pattern = parse_regex(
+                pattern, max_depth=self.budget.max_nesting_depth
+            )
+            check_pattern_budget(ast_pattern, self.budget)
+            pristine = pattern_to_regex_dialect(ast_pattern)
+        else:
+            pristine = module
+        self._pristine = pristine
+        root = pristine.body.operations[0]
+        self._python_re_text = emit_python_re(root)
+        self._body_text = emit_pattern(root)
+
+        opt_module = pristine.clone()
+        effective = self.options.effective()
+        pipeline = PassManager(verify_each=False)
+        for transform in regex_optimization_passes(
+            enable_simplify_subregex=effective.simplify_subregex,
+            enable_factorize=effective.factorize_alternations,
+            enable_boundary_quantifier=effective.boundary_quantifier,
+        ):
+            pipeline.add(transform)
+        pipeline.run(opt_module)
+
+        program_opt = program_from_regex_module(
+            opt_module, pattern, self.options
+        )
+        program_noopt = program_from_regex_module(
+            pristine.clone(), pattern, CompileOptions.none()
+        )
+        self.program_noopt = program_noopt
+
+        # -- optional planted corruption --------------------------------
+        # ``fault`` may be a concrete InstructionFault or a *planter*
+        # callable(program) -> InstructionFault, recomputed per program
+        # so the shrinker can re-plant on every smaller candidate.
+        self.program_opt = program_opt
+        if callable(fault):
+            fault = fault(program_opt)
+        self.fault = fault
+        if fault is not None:
+            try:
+                self.program_opt = corrupt_program(program_opt, fault)
+            except (ReproError, ValueError) as error:
+                # The validation layer caught the corruption outright;
+                # that *is* a detection, reported structurally.
+                self.structural.append(
+                    Disagreement(
+                        pattern=pattern,
+                        input=None,
+                        verdicts={"validation": ("error", str(error))},
+                        kind="validation",
+                        detail=f"corrupted image rejected: {error}",
+                    )
+                )
+
+        # -- per-oracle matchers ----------------------------------------
+        want = set(self.oracle_names)
+        if "vm" in want or "vm-ref" in want:
+            vm = ThompsonVM(self.program_opt)
+            if "vm" in want:
+                self.runners["vm"] = _guarded(lambda t: bool(vm.run(t)))
+            if "vm-ref" in want:
+                self.runners["vm-ref"] = _guarded(
+                    lambda t: bool(vm.run_reference(t))
+                )
+        if "noopt" in want:
+            vm_noopt = ThompsonVM(program_noopt)
+            self.runners["noopt"] = _guarded(lambda t: bool(vm_noopt.run(t)))
+        if "old" in want:
+            self._build("old", lambda: self._old_runner())
+        if "sim" in want:
+            system = CiceroSystem(
+                self.program_opt,
+                config if config is not None else ArchConfig.new(4),
+            )
+            self.runners["sim"] = _guarded(lambda t: system.run(t).matched)
+        if "nfa" in want or "dfa" in want:
+            nfa = nfa_from_regex_module(pristine)
+            if "nfa" in want:
+                self.runners["nfa"] = _guarded(nfa.matches)
+            if "dfa" in want:
+                self._build(
+                    "dfa",
+                    lambda: _guarded(
+                        minimize(
+                            determinize(nfa, max_states=max_dfa_states)
+                        ).matches
+                    ),
+                )
+        if "multi" in want or "multi-ref" in want:
+            self._build("multi", lambda: self._multi_runners(want))
+        if "pyre" in want:
+            self._build("pyre", lambda: self._pyre_runner())
+
+        # -- program-level equivalence oracles --------------------------
+        self._check_equivalence("equivalence-opt", self.program_opt,
+                                program_noopt, "optimized", "unoptimized")
+
+    # -- builders ------------------------------------------------------
+    def _build(self, name: str, factory: Callable[[], object]) -> None:
+        """Compile one oracle, classifying its compile-stage failures."""
+        try:
+            runner = factory()
+        except BudgetExceeded as error:
+            self.skips[name] = error.code
+            return
+        except DFASizeLimitExceeded:
+            self.skips[name] = "dfa-size-limit"
+            return
+        except ReproError as error:
+            self.runners[name] = _constant(("error", error.code))
+            return
+        except Exception as error:
+            self.runners[name] = _constant(
+                ("crash", f"{type(error).__name__}: {error}")
+            )
+            return
+        if runner is not None:
+            self.runners[name] = runner
+
+    def _old_runner(self) -> Callable[[str], Verdict]:
+        program = OldCompiler(optimize=True).compile(self.pattern).program
+        vm = ThompsonVM(program)
+        self._check_equivalence(
+            "equivalence-old", self.program_opt, program, "new", "old"
+        )
+        return _guarded(lambda t: bool(vm.run(t)))
+
+    def _multi_runners(self, want) -> None:
+        multi = compile_multipattern([self.pattern], self.options)
+        vm = MultiMatchVM(multi)
+        if "multi" in want:
+            self.runners["multi"] = _guarded(
+                lambda t: 1 in vm.run(t).matched_ids
+            )
+        if "multi-ref" in want:
+            self.runners["multi-ref"] = _guarded(
+                lambda t: 1 in vm.run_reference(t).matched_ids
+            )
+        return None
+
+    def _pyre_runner(self) -> Optional[Callable[[str], Verdict]]:
+        try:
+            compiled = _re.compile(self._python_re_text)
+        except _re.error as error:
+            # The emitted text left Python's syntax — a subset-boundary
+            # capacity limit, not a verdict.
+            self.skips["pyre"] = f"re.error: {error}"
+            return None
+        return _guarded(lambda t: bool(compiled.search(t)))
+
+    def _check_equivalence(
+        self, name: str, left: Program, right: Program,
+        left_label: str, right_label: str,
+    ) -> None:
+        try:
+            result = check_equivalence(
+                left, right, max_states=self.equivalence_states
+            )
+        except EquivalenceCheckExceeded as error:
+            self.skips[name] = error.code
+            return
+        if not result.equivalent:
+            counterexample = (result.counterexample or b"").decode("latin-1")
+            accepted = left_label if result.accepted_by == "left" else right_label
+            self.structural.append(
+                Disagreement(
+                    pattern=self.pattern,
+                    input=counterexample,
+                    verdicts={name: ("error", f"accepted only by {accepted}")},
+                    kind="equivalence",
+                    detail=(
+                        f"{name}: {counterexample!r} accepted only by the "
+                        f"{accepted} program"
+                    ),
+                )
+            )
+            self.counterexamples.append(counterexample)
+
+    # -- probing -------------------------------------------------------
+    def verdicts(self, text: str) -> Dict[str, Verdict]:
+        return {name: runner(text) for name, runner in self.runners.items()}
+
+    def diff(self, text: str) -> Optional[Disagreement]:
+        verdicts = self.verdicts(text)
+        votes = {
+            verdict
+            for verdict in verdicts.values()
+            if verdict[0] != "skip"
+        }
+        if len(votes) > 1:
+            return Disagreement(
+                pattern=self.pattern, input=text, verdicts=verdicts
+            )
+        return None
+
+
+def run_case(
+    pattern: str,
+    inputs: Sequence[str],
+    module=None,
+    oracles: Sequence[str] = DEFAULT_ORACLES,
+    options: Optional[CompileOptions] = None,
+    budget: Optional[Budget] = None,
+    config: Optional[ArchConfig] = None,
+    max_dfa_states: int = 2_000,
+    equivalence_states: int = 20_000,
+    fault: Optional[InstructionFault] = None,
+    metrics=None,
+) -> CaseResult:
+    """Compile every oracle for ``pattern`` and diff them over ``inputs``.
+
+    Frontend rejections make an *agreeing* case (``error`` set): every
+    oracle shares the frontend, so a structured rejection cannot be a
+    differential signal.  Budget trips skip the case the same way.
+    """
+    result = CaseResult(pattern=pattern, oracles=tuple(oracles))
+    try:
+        compiled = CompiledOracles(
+            pattern,
+            module=module,
+            oracles=oracles,
+            options=options,
+            budget=budget,
+            config=config,
+            max_dfa_states=max_dfa_states,
+            equivalence_states=equivalence_states,
+            fault=fault,
+        )
+    except BudgetExceeded as error:
+        result.error = error.code
+        result.skips["case"] = error.code
+        return result
+    except ReproError as error:
+        result.error = error.code
+        return result
+    result.skips.update(compiled.skips)
+    result.disagreements.extend(compiled.structural)
+    probes = list(inputs) + [
+        text for text in compiled.counterexamples if text not in inputs
+    ]
+    result.inputs = probes
+    for text in probes:
+        disagreement = compiled.diff(text)
+        if metrics is not None and metrics.enabled:
+            for name in compiled.runners:
+                metrics.counter(
+                    "repro_fuzz_oracle_runs_total",
+                    labels={"oracle": name},
+                    help_text="fuzz oracle executions",
+                ).inc()
+        if disagreement is not None:
+            result.disagreements.append(disagreement)
+    return result

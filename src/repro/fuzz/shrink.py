@@ -1,0 +1,188 @@
+"""Delta-debugging shrinker: reduce a disagreeing case to a minimal one.
+
+Classic ddmin operates on flat token lists; regex cases shrink much
+faster structurally, so the shrinker walks the frontend AST and proposes
+simplification candidates in decreasing order of aggressiveness:
+
+* keep only one alternation branch / drop one branch;
+* drop one piece of a concatenation (keeping it non-empty);
+* replace a sub-regex group, class, or wildcard with a single literal;
+* remove or tighten a quantifier (``{m,n}`` → ``{1,1}``, shrink bounds);
+* canonicalize a literal to ``'a'``;
+* restore the implicit anchors (drop ``^``/``$``).
+
+Each candidate is re-rendered to pattern text and handed to the caller's
+*predicate* (typically "does the differential harness still disagree?").
+Greedy first-improvement iteration runs to a fixpoint, so the result is
+1-minimal: no single candidate step keeps the failure.  The predicate
+sees only pattern text, which keeps the shrinker agnostic of whether the
+original case came from the text generator or the direct IR generator —
+an IR case is rendered once and shrunk in AST space.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse_regex
+from ..runtime.errors import ReproError
+from .generators import count_nodes, pattern_text
+
+#: Default cap on predicate evaluations — shrinking is best-effort.
+DEFAULT_MAX_CHECKS = 400
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    pattern: str
+    nodes: int
+    checks: int
+    #: Size before shrinking, for the campaign report.
+    original_nodes: int
+
+
+def _candidates(pattern: ast.Pattern) -> Iterator[ast.Pattern]:
+    """Every single-step simplification of ``pattern``, most aggressive
+    first.  Each candidate is an independent deep copy."""
+    root = pattern.root
+
+    # Keep exactly one branch (binary-search-flavoured big steps first).
+    if len(root.branches) > 1:
+        for index in range(len(root.branches)):
+            candidate = copy.deepcopy(pattern)
+            candidate.root.branches = [candidate.root.branches[index]]
+            yield candidate
+        for index in range(len(root.branches)):
+            candidate = copy.deepcopy(pattern)
+            del candidate.root.branches[index]
+            yield candidate
+
+    # Structural edits at every (branch, piece) position.
+    for branch_index, branch in enumerate(root.branches):
+        if len(branch.pieces) > 1:
+            for piece_index in range(len(branch.pieces)):
+                candidate = copy.deepcopy(pattern)
+                del candidate.root.branches[branch_index].pieces[piece_index]
+                yield candidate
+        for piece_index, piece in enumerate(branch.pieces):
+            yield from _piece_candidates(
+                pattern, branch_index, piece_index, piece
+            )
+
+    # Restore the implicit anchors last: they rarely matter.
+    if not pattern.has_prefix:
+        candidate = copy.deepcopy(pattern)
+        candidate.has_prefix = True
+        yield candidate
+    if not pattern.has_suffix:
+        candidate = copy.deepcopy(pattern)
+        candidate.has_suffix = True
+        yield candidate
+
+
+def _piece_candidates(
+    pattern: ast.Pattern, branch_index: int, piece_index: int, piece: ast.Piece
+) -> Iterator[ast.Pattern]:
+    def edit() -> tuple:
+        candidate = copy.deepcopy(pattern)
+        return candidate, candidate.root.branches[branch_index].pieces[piece_index]
+
+    atom = piece.atom
+    # Inline a sub-regex's first branch into the enclosing concatenation.
+    if isinstance(atom, ast.SubRegex) and not piece.is_quantified:
+        for inline_index in range(len(atom.body.branches)):
+            candidate = copy.deepcopy(pattern)
+            branch = candidate.root.branches[branch_index]
+            group = branch.pieces[piece_index].atom
+            branch.pieces[piece_index:piece_index + 1] = (
+                group.body.branches[inline_index].pieces
+            )
+            yield candidate
+    # Any non-trivial atom collapses to the canonical literal.
+    if not (isinstance(atom, ast.Char) and atom.code == ord("a")):
+        if not isinstance(atom, ast.Dollar):
+            candidate, target = edit()
+            target.atom = ast.Char(ord("a"))
+            yield candidate
+    # A class shrinks one member at a time before collapsing.
+    if isinstance(atom, ast.CharClass) and len(atom.members) > 1:
+        candidate, target = edit()
+        target.atom = ast.CharClass(
+            members=atom.members[:1], negated=atom.negated
+        )
+        yield candidate
+    # Quantifiers: remove entirely, then tighten towards small bounds.
+    if piece.is_quantified:
+        candidate, target = edit()
+        target.min, target.max = 1, 1
+        yield candidate
+        if piece.max == ast.UNBOUNDED:
+            candidate, target = edit()
+            target.max = max(piece.min, 1) + 1
+            yield candidate
+        elif piece.max > piece.min:
+            candidate, target = edit()
+            target.max = piece.min if piece.min > 0 else 1
+            yield candidate
+        if piece.min > 1:
+            candidate, target = edit()
+            target.min = 1
+            yield candidate
+
+
+def _valid(pattern: ast.Pattern) -> bool:
+    if not pattern.root.branches:
+        return False
+    return all(branch.pieces for branch in pattern.root.branches)
+
+
+def shrink_pattern(
+    pattern: str,
+    predicate: Callable[[str], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ShrinkResult:
+    """Greedy fixpoint reduction of ``pattern`` under ``predicate``.
+
+    ``predicate(text)`` must return True while the failure reproduces.
+    The original pattern is assumed failing (it is not re-checked).
+    """
+    current = parse_regex(pattern)
+    original_nodes = count_nodes(current)
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            if not _valid(candidate):
+                continue
+            if count_nodes(candidate) >= count_nodes(current):
+                continue
+            try:
+                text = pattern_text(candidate)
+                # Only propose candidates that survive a reparse: the
+                # corpus stores text, so text must be the fixpoint.
+                parse_regex(text)
+            except (ReproError, ValueError):
+                continue
+            checks += 1
+            try:
+                still_failing = predicate(text)
+            except ReproError:
+                continue
+            if still_failing:
+                current = parse_regex(text)
+                improved = True
+                break
+    return ShrinkResult(
+        pattern=pattern_text(current),
+        nodes=count_nodes(current),
+        checks=checks,
+        original_nodes=original_nodes,
+    )

@@ -1,0 +1,85 @@
+"""Reproducer persistence and the tier-1 regression-corpus replay.
+
+`test_corpus_replays_clean` is the wiring the issue requires: every
+JSON reproducer under ``tests/fuzz/corpus/`` is replayed through the
+full oracle set on every pytest run, so a disagreement fixed once can
+never silently return.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import (
+    Reproducer,
+    load_corpus,
+    replay_corpus,
+    save_reproducer,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _corpus():
+    reproducers = load_corpus(CORPUS_DIR)
+    assert reproducers, f"seed corpus missing at {CORPUS_DIR}"
+    return reproducers
+
+
+@pytest.mark.parametrize(
+    "reproducer", _corpus(), ids=lambda r: repr(r.pattern)
+)
+def test_corpus_replays_clean(reproducer):
+    result = reproducer.replay()
+    assert result.ok, [d.to_dict() for d in result.disagreements]
+    assert result.error is None
+
+
+def test_replay_corpus_covers_every_file():
+    files = [
+        name for name in os.listdir(CORPUS_DIR) if name.endswith(".json")
+    ]
+    results = replay_corpus(CORPUS_DIR)
+    assert len(results) == len(files)
+
+
+def test_save_and_load_round_trip(tmp_path):
+    reproducer = Reproducer(
+        pattern="ab|c", inputs=["", "ab", "c"], seed=123, note="round trip"
+    )
+    path = save_reproducer(reproducer, str(tmp_path))
+    assert os.path.basename(path) == reproducer.filename()
+    loaded = load_corpus(str(tmp_path))
+    assert len(loaded) == 1
+    assert loaded[0].pattern == "ab|c"
+    assert loaded[0].inputs == ["", "ab", "c"]
+    assert loaded[0].seed == 123
+
+
+def test_saving_is_idempotent_by_content(tmp_path):
+    reproducer = Reproducer(pattern="xy", inputs=["xy"])
+    first = save_reproducer(reproducer, str(tmp_path))
+    second = save_reproducer(Reproducer(pattern="xy", inputs=["xy"]),
+                             str(tmp_path))
+    assert first == second
+    assert len(os.listdir(tmp_path)) == 1
+
+
+def test_unknown_schema_is_rejected(tmp_path):
+    bad = tmp_path / "case-bad.json"
+    bad.write_text(json.dumps({"schema": 99, "pattern": "a"}))
+    with pytest.raises(ValueError, match="schema"):
+        load_corpus(str(tmp_path))
+
+
+def test_corpus_files_are_content_addressed():
+    for name in os.listdir(CORPUS_DIR):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(CORPUS_DIR, name)) as handle:
+            reproducer = Reproducer.from_dict(json.load(handle))
+        assert name == reproducer.filename(), (
+            f"{name} does not match its content digest "
+            f"{reproducer.filename()}; regenerate with save_reproducer()"
+        )

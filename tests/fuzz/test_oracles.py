@@ -1,0 +1,115 @@
+"""The multi-oracle differential harness: agreement, skips, detection."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_regex
+from repro.fuzz import (
+    DEFAULT_ORACLES,
+    default_fault_for,
+    derive_inputs,
+    run_case,
+)
+from repro.fuzz.oracles import _guarded
+from repro.frontend.parser import parse_regex
+from repro.ir.diagnostics import BudgetExceeded
+from repro.runtime.budget import DEFAULT_BUDGET
+from repro.runtime.errors import InputEncodingError
+from repro.runtime.faults import InstructionFault
+
+AGREEMENT_PATTERNS = [
+    "a",
+    "ab|cd",
+    "th(is|at|ose)",
+    "a[bc]+d",
+    "x.{2,4}y",
+    "^abc$",
+    "(a|b)(c|d)",
+    "[^ab]x",
+    "a{2,3}|b{4,5}",
+]
+
+
+@pytest.mark.parametrize("pattern", AGREEMENT_PATTERNS)
+def test_all_oracles_agree_on_known_good_patterns(pattern):
+    inputs = derive_inputs(parse_regex(pattern), random.Random(7))
+    result = run_case(pattern, inputs)
+    assert result.ok, [d.to_dict() for d in result.disagreements]
+    assert result.error is None
+    # Every input-level oracle produced a verdict or a recorded skip.
+    assert set(result.oracles) == set(DEFAULT_ORACLES)
+
+
+def test_budget_rejection_is_agreement_not_disagreement():
+    """All oracles share the frontend: a structured rejection is one
+    case-level code, never a differential signal."""
+    result = run_case(
+        "((a))",
+        ["a"],
+        budget=DEFAULT_BUDGET.replace(max_nesting_depth=1),
+    )
+    assert result.ok
+    assert result.error == "REPRO-BUDGET-NESTING"
+
+
+def test_dfa_blowup_is_a_skip():
+    result = run_case("a.{2,4}y", ["axxy"], max_dfa_states=1)
+    assert result.ok
+    assert result.skips.get("dfa") == "dfa-size-limit"
+
+
+def test_planted_instruction_fault_is_detected():
+    pattern = "th(is|at)"
+    result = run_case(pattern, ["this", "that", "those", ""],
+                      fault=default_fault_for)
+    assert not result.ok
+    kinds = {d.kind for d in result.disagreements}
+    assert "equivalence" in kinds or "validation" in kinds
+
+
+def test_planted_fault_counterexample_reaches_input_diff():
+    """The equivalence counterexample is replayed through every oracle,
+    so the corrupted VM also disagrees at input level."""
+    pattern = "abc"
+    program = compile_regex(pattern).program
+    fault = default_fault_for(program)
+    assert isinstance(fault, InstructionFault)
+    result = run_case(pattern, ["abc"], fault=fault)
+    assert not result.ok
+    input_level = [d for d in result.disagreements if d.kind == "input"]
+    assert input_level, [d.to_dict() for d in result.disagreements]
+    verdicts = input_level[0].verdicts
+    # The corrupted oracles vote together, against the clean ones.
+    assert verdicts["vm"] == verdicts["vm-ref"] == verdicts["sim"]
+    assert verdicts["vm"] != verdicts["noopt"]
+
+
+def test_oracle_subset_selection():
+    result = run_case("ab", ["ab", "x"], oracles=("vm", "old", "pyre"))
+    assert result.ok
+    assert result.oracles == ("vm", "old", "pyre")
+
+
+def test_guarded_verdicts_reuse_the_error_taxonomy():
+    ok = _guarded(lambda text: True)("x")
+    assert ok == ("ok", True)
+    skip = _guarded(
+        lambda text: (_ for _ in ()).throw(
+            BudgetExceeded("too big", limit=1, spent=2)
+        )
+    )("x")
+    assert skip == ("skip", "REPRO-BUDGET")
+    error = _guarded(
+        lambda text: (_ for _ in ()).throw(InputEncodingError("☃", 0))
+    )("x")
+    assert error == ("error", "REPRO-INPUT-ENCODING")
+    crash = _guarded(lambda text: 1 / 0)("x")
+    assert crash[0] == "crash"
+
+
+def test_two_oracles_rejecting_with_same_code_agree():
+    """Identical ('error', code) verdicts are not a disagreement."""
+    snowman = "ab☃"
+    result = run_case("ab", [snowman], oracles=("vm", "noopt", "old"))
+    assert result.ok, [d.to_dict() for d in result.disagreements]

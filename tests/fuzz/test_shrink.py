@@ -1,0 +1,74 @@
+"""The delta-debugging shrinker, including the planted-bug acceptance
+criterion: a seeded campaign with instruction corruption detects the
+fault and shrinks the reproducer to at most 12 AST nodes."""
+
+from repro.frontend.parser import parse_regex
+from repro.fuzz import (
+    CampaignConfig,
+    count_nodes,
+    run_campaign,
+    shrink_pattern,
+)
+
+#: The acceptance bound from the issue: reproducers shrink to a
+#: minimal pattern of at most this many AST nodes.
+MAX_REPRODUCER_NODES = 12
+
+
+def test_shrink_with_synthetic_predicate():
+    """Shrinking 'a(b|c)d{2,3}' under "contains b" ends at 'b'."""
+    result = shrink_pattern("a(b|c)d{2,3}", lambda text: "b" in text)
+    assert result.pattern == "b"
+    assert result.nodes == 5
+    assert result.original_nodes > result.nodes
+    assert result.checks > 0
+
+
+def test_shrink_keeps_failing_property():
+    """The result still satisfies the predicate and still parses."""
+    predicate = lambda text: "{2," in text  # noqa: E731
+    result = shrink_pattern("x.{2,4}y|ab", predicate)
+    assert predicate(result.pattern)
+    parse_regex(result.pattern)
+
+
+def test_shrink_respects_check_budget():
+    calls = []
+
+    def predicate(text):
+        calls.append(text)
+        return True
+
+    shrink_pattern("(ab|cd)(ef|gh)x{2,3}", predicate, max_checks=5)
+    assert len(calls) <= 5
+
+
+def test_shrink_minimal_input_is_fixpoint():
+    result = shrink_pattern("a", lambda text: True)
+    assert result.pattern == "a"
+    assert result.nodes == 5
+
+
+def test_planted_bug_campaign_detects_and_shrinks(tmp_path):
+    """Acceptance: a seeded run with `runtime.faults` instruction
+    corruption planted into every optimized program is detected by the
+    harness and shrunk to a reproducer of <= 12 AST nodes."""
+    corpus_dir = tmp_path / "corpus"
+    config = CampaignConfig(
+        seconds=60.0,
+        seed=777,
+        max_cases=2,
+        plant_fault=True,
+        corpus_dir=str(corpus_dir),
+    )
+    report = run_campaign(config)
+    assert report.cases == 2
+    # Every planted corruption must be detected (no silent agreement).
+    assert report.disagreements == report.cases
+    for finding in report.findings:
+        assert finding.nodes <= MAX_REPRODUCER_NODES, finding.to_dict()
+        assert count_nodes(parse_regex(finding.shrunk_pattern)) == finding.nodes
+        assert finding.reproducer_path is not None
+    # Reproducers were persisted for triage.
+    saved = list(corpus_dir.glob("case-*.json"))
+    assert len(saved) == len(report.findings)

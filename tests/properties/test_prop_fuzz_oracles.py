@@ -1,0 +1,32 @@
+"""Property: the full differential oracle set agrees on every small
+generated pattern — the fast-path smoke version of the fuzz campaign
+that runs inside tier-1 (satellite of the fuzzing issue)."""
+
+from hypothesis import given, settings
+
+from repro.fuzz import run_case
+from strategies import inputs, regex_patterns
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=regex_patterns(max_depth=1), text=inputs(max_size=12))
+def test_full_oracle_set_agrees(pattern, text):
+    result = run_case(
+        pattern,
+        ["", text],
+        max_dfa_states=500,
+        equivalence_states=5_000,
+    )
+    assert result.ok, [d.to_dict() for d in result.disagreements]
+
+
+@settings(max_examples=15, deadline=None)
+@given(pattern=regex_patterns(max_depth=1))
+def test_fast_paths_agree_with_golden_references(pattern):
+    """VM fast path vs run_reference, single- and multi-match flavours."""
+    result = run_case(
+        pattern,
+        ["", "ab", "abcdef", "ffff"],
+        oracles=("vm", "vm-ref", "multi", "multi-ref"),
+    )
+    assert result.ok, [d.to_dict() for d in result.disagreements]

@@ -72,6 +72,86 @@ ALL_ERROR_TYPES = [
 ]
 
 
+#: Snapshot of every subclass reachable from ``ReproError`` and its
+#: wire code.  Codes are part of the public contract — the fuzz harness
+#: treats "both oracles reject with the same code" as agreement — so
+#: renaming one is a breaking change and must be deliberate.
+CODE_SNAPSHOT = {
+    "BudgetExceeded": "REPRO-BUDGET",
+    "CircuitBreakerOpenError": "REPRO-CIRCUIT-OPEN",
+    "CodegenError": "REPRO-CODEGEN",
+    "ConfigurationError": "REPRO-ARCH-CONFIG",
+    "EquivalenceCheckExceeded": "REPRO-BUDGET-EQUIV-STATES",
+    "ExpansionBudgetError": "REPRO-BUDGET-EXPANSION",
+    "IRError": "REPRO-IR",
+    "InputEncodingError": "REPRO-INPUT-ENCODING",
+    "LoweringError": "REPRO-LOWERING",
+    "ParseError": "REPRO-PARSE",
+    "PassBudgetError": "REPRO-BUDGET-PASS-TIME",
+    "PatternLengthBudgetError": "REPRO-BUDGET-PATTERN-LENGTH",
+    "PatternNestingError": "REPRO-BUDGET-NESTING",
+    "ProgramSizeBudgetError": "REPRO-BUDGET-PROGRAM-SIZE",
+    "RegexSyntaxError": "REPRO-SYNTAX",
+    "ShardFailedError": "REPRO-SHARD-FAILED",
+    "ShardQuarantinedError": "REPRO-SHARD-QUARANTINED",
+    "SimulationCycleBudgetError": "REPRO-BUDGET-SIM-CYCLES",
+    "SimulationError": "REPRO-SIM",
+    "TaskTimeoutError": "REPRO-BUDGET-TASK-TIMEOUT",
+    "ThreadBudgetError": "REPRO-BUDGET-SIM-THREADS",
+    "UnsupportedRegexError": "REPRO-UNSUPPORTED",
+    "VMStepBudgetError": "REPRO-BUDGET-VM-STEPS",
+    "VerificationError": "REPRO-IR-VERIFY",
+    "WallClockBudgetError": "REPRO-BUDGET-WALL-TIME",
+    "WorkerCrashError": "REPRO-WORKER-CRASH",
+    "WorkerStateError": "REPRO-WORKER-STATE",
+}
+
+
+def _walk_subclasses(root):
+    """Every class reachable from ``root`` via ``__subclasses__``.
+
+    Deduped by class identity: diamond inheritance (for example
+    ``PatternNestingError`` is both a ``RegexSyntaxError`` and a
+    ``BudgetExceeded``) makes several classes reachable twice.
+    """
+    seen = set()
+    stack = [root]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub not in seen:
+                seen.add(sub)
+                stack.append(sub)
+    return seen
+
+
+def test_dynamic_walk_finds_exactly_the_registered_errors():
+    """A new ReproError subclass must be added to ALL_ERROR_TYPES (and
+    the code snapshot) or this fails — no unregistered error types."""
+    discovered = _walk_subclasses(ReproError)
+    assert discovered == set(ALL_ERROR_TYPES), {
+        "unregistered": sorted(
+            c.__name__ for c in discovered - set(ALL_ERROR_TYPES)
+        ),
+        "vanished": sorted(
+            c.__name__ for c in set(ALL_ERROR_TYPES) - discovered
+        ),
+    }
+
+
+def test_dynamic_walk_codes_are_unique_and_stable():
+    discovered = _walk_subclasses(ReproError)
+    codes = {}
+    for cls in discovered:
+        assert cls.code.startswith("REPRO-"), cls
+        assert cls.code != "REPRO-ERROR", cls
+        assert cls.code not in codes, (
+            f"{cls.__name__} reuses code {cls.code} "
+            f"from {codes[cls.code].__name__}"
+        )
+        codes[cls.code] = cls
+    assert {c.__name__: c.code for c in discovered} == CODE_SNAPSHOT
+
+
 @pytest.mark.parametrize("error_type", ALL_ERROR_TYPES)
 def test_every_error_is_a_repro_error(error_type):
     assert issubclass(error_type, ReproError)
