@@ -321,6 +321,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional ratio drop vs the "
                         "baseline (default 0.30)")
+    parser.add_argument("--history",
+                        help="append-only JSONL time series to record the "
+                        "gated ratios into (and gate the new entry against "
+                        "the median of the previous window)")
+    parser.add_argument("--history-window", type=int, default=5,
+                        help="prior history entries the windowed detector "
+                        "medians over (default 5)")
     args = parser.parse_args(argv)
 
     results = run_suite(quick=args.quick)
@@ -374,6 +381,30 @@ def main(argv=None) -> int:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
         print(f"regression gate ok (vs {args.baseline})")
+
+    if args.history:
+        from repro.observability import (
+            append_entry,
+            detect_regressions,
+            load_history,
+            make_entry,
+        )
+
+        append_entry(args.history, make_entry(results))
+        entries = load_history(args.history)
+        regressions = detect_regressions(
+            entries,
+            window=args.history_window,
+            max_regression=args.max_regression,
+        )
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression.message()}", file=sys.stderr)
+            return 1
+        print(
+            f"history gate ok ({len(entries)} entries in {args.history}, "
+            f"window {args.history_window})"
+        )
     return 0
 
 

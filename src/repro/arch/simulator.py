@@ -118,19 +118,25 @@ class CiceroSimulator:
         program: Program,
         text: Union[str, bytes],
         max_cycles: Optional[int] = None,
+        profile=None,
     ) -> SimulationResult:
         """Execute over a single chunk; stops at the first match.
 
         ``max_cycles`` overrides the system's adaptive cycle watchdog
         (the guard that turns a stalled simulation into a typed
         :class:`~repro.arch.system.SimulationCycleBudgetError`).
+
+        ``profile`` (a :class:`repro.observability.SimProfile` over the
+        same program) collects per-PC retire/icache counts and per-cycle
+        occupancy histograms; ``None`` (the default) keeps the system
+        loop on its unprofiled branches.
         """
-        if not self._tracing and self.metrics is None:
+        if profile is None and not self._tracing and self.metrics is None:
             return CiceroSystem(program, self.config).run(
                 text, max_cycles=max_cycles
             )
         return self._run_instrumented(
-            CiceroSystem(program, self.config), text, max_cycles
+            CiceroSystem(program, self.config), text, max_cycles, profile
         )
 
     def _run_instrumented(
@@ -138,12 +144,13 @@ class CiceroSimulator:
         system: CiceroSystem,
         text: Union[str, bytes],
         max_cycles: Optional[int],
+        profile=None,
     ) -> SimulationResult:
         from ..observability import as_tracer
 
         tracer = as_tracer(self.tracer if self._tracing else None)
         with tracer.span("arch.run", engines=self.config.num_engines) as span:
-            result = system.run(text, max_cycles=max_cycles)
+            result = system.run(text, max_cycles=max_cycles, profile=profile)
             stats = result.stats
             if tracer.enabled:
                 span.set(
@@ -182,11 +189,14 @@ class CiceroSimulator:
         program: Program,
         chunks: Iterable[Union[str, bytes]],
         keep_per_chunk: bool = True,
+        profile=None,
     ) -> StreamResult:
         """Execute the program once per chunk, aggregating cycles."""
         system = CiceroSystem(program, self.config)
         stream = StreamResult(config=self.config)
-        instrumented = self._tracing or self.metrics is not None
+        instrumented = (
+            self._tracing or self.metrics is not None or profile is not None
+        )
         if not instrumented:
             for chunk in chunks:
                 result = system.run(chunk)
@@ -202,7 +212,7 @@ class CiceroSimulator:
         tracer = as_tracer(self.tracer if self._tracing else None)
         with tracer.span("arch.stream", engines=self.config.num_engines) as span:
             for chunk in chunks:
-                result = self._run_instrumented(system, chunk, None)
+                result = self._run_instrumented(system, chunk, None, profile)
                 stream.total_cycles += result.cycles
                 stream.chunks += 1
                 if result.matched:
@@ -222,9 +232,12 @@ class CiceroSimulator:
         program: Program,
         data: Union[str, bytes],
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        profile=None,
     ) -> StreamResult:
         """Chunk ``data`` the paper's way, then :meth:`run_stream`."""
-        return self.run_stream(program, split_chunks(data, chunk_bytes))
+        return self.run_stream(
+            program, split_chunks(data, chunk_bytes), profile=profile
+        )
 
 
 def average_re_time_us(

@@ -185,6 +185,7 @@ class CiceroSystem:
         max_cycles: Optional[int] = None,
         collect_matches: bool = False,
         trace=None,
+        profile=None,
     ) -> SimulationResult:
         """Execute over one chunk.
 
@@ -197,6 +198,12 @@ class CiceroSystem:
         ``trace`` accepts a :class:`~repro.arch.trace.TraceRecorder`
         that receives one event per retired instruction (the Figure-4
         view).
+
+        ``profile`` accepts a :class:`repro.observability.SimProfile`
+        built over this program: per-PC instruction retires and icache
+        hits/misses (split exactly as ``stats.instructions`` /
+        ``stats.cache_*`` total them) plus per-cycle core-occupancy and
+        FIFO-depth histograms (``sum(occupancy.values()) == cycles``).
         """
         data = as_input_bytes(text, what="input chunk")
         config = self.config
@@ -302,6 +309,8 @@ class CiceroSystem:
         def execute(engine_idx: int, core_idx: int, pc: int, cc: int) -> None:
             nonlocal total_alive, matched_at, done
             stats.instructions += 1
+            if profile is not None:
+                profile.pc_counts[pc] += 1
             if trace is not None:
                 outcome, target = trace_outcome(pc, cc)
                 trace.record(
@@ -403,12 +412,16 @@ class CiceroSystem:
                 return False
             pc, cc, _ready = entry
             if not core.cache.lookup(pc):
+                if profile is not None:
+                    profile.cache_misses_by_pc[pc] += 1
                 completion = port.request_fill(cycle)
                 core.cache.fill(pc)
                 core.waiting_pc = pc
                 core.waiting_cc = cc
                 core.resume_cycle = completion
                 return False
+            if profile is not None:
+                profile.cache_hits_by_pc[pc] += 1
             core.instructions += 1
             execute(engine_idx, core_idx, pc, cc)
             return True
@@ -427,14 +440,23 @@ class CiceroSystem:
                     limit=max_cycles,
                     spent=cycle,
                 )
-            any_active = False
+            active_cores = 0
             for engine_idx in range(num_engines):
                 engine = engines[engine_idx]
                 for core_idx in range(len(engine.cores)):
                     if step_core(engine_idx, core_idx):
-                        any_active = True
-            if any_active:
+                        active_cores += 1
+            if active_cores:
                 stats.active_cycles += 1
+            if profile is not None:
+                profile.record_cycle(
+                    active_cores,
+                    sum(
+                        len(fifo)
+                        for engine in engines
+                        for fifo in engine.fifos
+                    ),
+                )
 
             # Window sliding (possibly several positions per check when
             # the controller latency is zero).
@@ -479,6 +501,9 @@ class CiceroSystem:
                     stats.fifo_high_watermark = fifo.high_watermark
         stats.cache_hits -= cache_hits_before
         stats.cache_misses -= cache_misses_before
+        if profile is not None:
+            profile.runs += 1
+            profile.cycles += cycle
         if collect_matches:
             return SimulationResult(
                 matched=bool(matched_ids),

@@ -17,13 +17,19 @@ Subcommands:
 * ``fuzz`` — time-boxed seeded differential fuzzing campaign over every
   oracle pair (``--seconds --seed --oracles``), with shrinking, corpus
   persistence (``--save-failures``) and corpus replay (``--replay``).
+* ``trace`` — analyze a ``--trace-out`` span file: per-name summary,
+  Chrome trace-event export, collapsed-stack flamegraph input, or the
+  critical path through the span forest.
+* ``bench-report`` — render the append-only bench history as markdown
+  (or JSON) and optionally gate on the windowed regression detector.
 
-Observability: ``compile``/``run`` accept ``--trace-out FILE`` (span
-tree as JSON lines, one span per pipeline pass with op-count and
-``D_offset`` deltas); ``scan`` accepts ``--metrics`` (Prometheus text
-exposition on stdout) and persists a snapshot for ``stats``
-(``--stats-file`` or ``$REPRO_STATS_FILE``, default
-``~/.repro/stats.json``).
+Observability: ``compile``/``run``/``scan`` accept ``--trace-out FILE``
+(span tree as JSON lines, one span per pipeline pass with op-count and
+``D_offset`` deltas); ``run`` additionally accepts ``--profile``
+(per-PC execution profile attributed to source-regex fragments);
+``scan`` accepts ``--metrics`` (Prometheus text exposition on stdout)
+and persists a snapshot for ``stats`` (``--stats-file`` or
+``$REPRO_STATS_FILE``, default ``~/.repro/stats.json``).
 """
 
 from __future__ import annotations
@@ -171,17 +177,29 @@ def _run(args) -> int:
         text = as_input_bytes(args.text or "", what="input text")
 
     if args.functional:
+        profile = None
+        if args.profile:
+            from .observability import VMProfile
+
+            profile = VMProfile(program)
         result = ThompsonVM(program).run(
-            text, max_steps=args.max_vm_steps, tracer=tracer
+            text, max_steps=args.max_vm_steps, tracer=tracer, profile=profile
         )
         if tracer is not None:
             _export_trace(tracer, args.trace_out)
         print(f"matched: {result.matched}"
               + (f" at position {result.position}" if result.matched else ""))
+        if profile is not None:
+            print(profile.format_report())
         return 0 if result.matched else 1
 
+    profile = None
+    if args.profile:
+        from .observability import SimProfile
+
+        profile = SimProfile(program)
     simulation = CiceroSimulator(args.config, tracer=tracer).run(
-        program, text, max_cycles=args.max_cycles
+        program, text, max_cycles=args.max_cycles, profile=profile
     )
     if tracer is not None:
         _export_trace(tracer, args.trace_out)
@@ -195,6 +213,8 @@ def _run(args) -> int:
           f"({stats.miss_rate:.1%})")
     print(f"threads       : {stats.threads_spawned} spawned, "
           f"{stats.threads_killed} killed, peak {stats.peak_threads}")
+    if profile is not None:
+        print(profile.format_report())
     return 0 if simulation.matched else 1
 
 
@@ -216,6 +236,11 @@ def _scan(args) -> int:
     if args.retries is not None:
         supervisor = SupervisorPolicy(retry=RetryPolicy(max_retries=args.retries))
     registry = MetricsRegistry()
+    tracer = None
+    if args.trace_out:
+        from .observability import Tracer
+
+        tracer = Tracer()
     engine = Engine(
         backend=args.backend,
         budget=budget,
@@ -226,6 +251,10 @@ def _scan(args) -> int:
         mp_context=args.mp_context,
         supervisor=supervisor,
         metrics=registry,
+        tracer=tracer,
+        # With --metrics, sharded workers record VM counters locally and
+        # the engine folds the per-shard deltas back into the registry.
+        collect_worker_metrics=bool(args.metrics),
     )
     if args.file:
         with open(args.file, "rb") as handle:
@@ -279,6 +308,8 @@ def _scan(args) -> int:
     if degraded:
         print("warning: some chunks had no verdict (partial scan)",
               file=sys.stderr)
+    if tracer is not None:
+        _export_trace(tracer, args.trace_out)
     if args.metrics:
         sys.stdout.write(registry.render_prometheus())
     stats_path = args.stats_file or default_stats_path()
@@ -472,6 +503,98 @@ def _fuzz(args) -> int:
     return 0 if report.clean else 1
 
 
+def _trace(args) -> int:
+    """Analyze a ``--trace-out`` JSON-lines span file."""
+    import json
+
+    from .observability import (
+        critical_path,
+        format_critical_path,
+        format_summary,
+        parse_jsonl,
+        summarize,
+        to_chrome_trace,
+        to_collapsed_stacks,
+        validate_trace,
+    )
+
+    with open(args.file) as handle:
+        records = parse_jsonl(handle.read())
+    for problem in validate_trace(records):
+        print(f"warning: {problem}", file=sys.stderr)
+
+    if args.view == "summarize":
+        summary = summarize(records)
+        if args.json:
+            output = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        else:
+            output = format_summary(summary) + "\n"
+    elif args.view == "chrome":
+        output = (
+            json.dumps(to_chrome_trace(records), indent=2, sort_keys=True)
+            + "\n"
+        )
+    elif args.view == "flame":
+        output = to_collapsed_stacks(records)
+    else:  # critical-path
+        path = critical_path(records)
+        if args.json:
+            output = json.dumps(path, indent=2, sort_keys=True) + "\n"
+        else:
+            output = format_critical_path(path) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(
+            f"trace {args.view}: {len(records)} spans -> {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+def _bench_report(args) -> int:
+    """Render the bench history; optionally gate on the detector."""
+    import json
+
+    from .observability import (
+        detect_regressions,
+        load_history,
+        render_markdown,
+        render_report,
+    )
+
+    try:
+        entries = load_history(args.history)
+    except ValueError as error:
+        print(f"bad history file: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        report = render_report(entries, args.window, args.max_regression)
+        output = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        output = render_markdown(entries, args.window, args.max_regression)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(
+            f"bench-report: {len(entries)} entries -> {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(output)
+    if args.check:
+        regressions = detect_regressions(
+            entries, args.window, args.max_regression
+        )
+        for regression in regressions:
+            print(f"REGRESSION: {regression.message()}", file=sys.stderr)
+        return 1 if regressions else 0
+    return 0
+
+
 def _configs(args) -> int:
     rows = []
     for config in MICROBENCH_GRID:
@@ -547,6 +670,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace-out", metavar="FILE", default=None,
                             help="write compile + execution spans as JSON "
                             "lines to FILE")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print the per-PC execution profile with "
+                            "source-regex attribution after the run")
     run_parser.set_defaults(handler=_run)
 
     scan_parser = sub.add_parser(
@@ -589,7 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "available, else spawn)")
     scan_parser.add_argument("--metrics", action="store_true",
                              help="print the scan's metrics registry in "
-                             "Prometheus text format")
+                             "Prometheus text format (with --jobs, also "
+                             "aggregates worker-process VM counters)")
+    scan_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                             help="write the scan's span tree (engine.scan, "
+                             "supervisor.run + retry/timeout events) as "
+                             "JSON lines to FILE")
     scan_parser.add_argument("--stats-file", default=None,
                              help="where to persist the metrics snapshot "
                              "read back by `stats` (default: "
@@ -613,6 +744,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     configs_parser = sub.add_parser("configs", help="list architecture configs")
     configs_parser.set_defaults(handler=_configs)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="analyze a --trace-out span file (summary, Chrome trace, "
+        "flamegraph input, critical path)",
+    )
+    trace_parser.add_argument(
+        "view", choices=("summarize", "chrome", "flame", "critical-path")
+    )
+    trace_parser.add_argument("file",
+                              help="JSON-lines span file written by "
+                              "--trace-out")
+    trace_parser.add_argument("--out", metavar="FILE", default=None,
+                              help="write the view to FILE instead of stdout")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="emit summarize/critical-path as JSON "
+                              "instead of text")
+    trace_parser.set_defaults(handler=_trace)
+
+    report_parser = sub.add_parser(
+        "bench-report",
+        help="render the append-only bench history (markdown or JSON) "
+        "and optionally gate on the windowed regression detector",
+    )
+    report_parser.add_argument("--history",
+                               default="benchmarks/history/engine.jsonl",
+                               help="JSONL history file appended by "
+                               "bench_engine.py --history (default "
+                               "benchmarks/history/engine.jsonl)")
+    report_parser.add_argument("--window", type=int, default=5,
+                               help="prior entries the detector medians "
+                               "over (default 5)")
+    report_parser.add_argument("--max-regression", type=float, default=0.30,
+                               help="allowed fractional speedup drop vs "
+                               "the window median (default 0.30)")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit the structured report as JSON "
+                               "instead of markdown")
+    report_parser.add_argument("--out", metavar="FILE", default=None,
+                               help="write the report to FILE instead of "
+                               "stdout")
+    report_parser.add_argument("--check", action="store_true",
+                               help="exit 1 when the latest entry regresses "
+                               "vs the window median")
+    report_parser.set_defaults(handler=_bench_report)
 
     stats_parser = sub.add_parser(
         "stats",

@@ -7,7 +7,7 @@ operand values, done.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ...ir.diagnostics import CodegenError
 from ...isa.instructions import Instruction, Opcode
@@ -30,7 +30,9 @@ def generate_program(
     """Emit the binary-level program for a ``cicero.program`` op."""
     labels = program_op.label_map()
     instructions: List[Instruction] = []
+    source_map: List[Optional[str]] = []
     for address, op in enumerate(program_op.instructions):
+        source_map.append(getattr(op, "source", None))
         if isinstance(op, AcceptOp):
             instructions.append(Instruction(Opcode.ACCEPT))
         elif isinstance(op, AcceptPartialOp):
@@ -47,7 +49,16 @@ def generate_program(
             instructions.append(Instruction(Opcode.NOT_MATCH, op.code))
         else:
             raise CodegenError(f"cannot encode op '{op.name}' at {address}")
-    return Program(instructions, source_pattern=source_pattern, compiler=compiler)
+    return Program(
+        instructions,
+        source_pattern=source_pattern,
+        compiler=compiler,
+        # Attribution is optional: a program lowered without source
+        # contexts (e.g. lifted back from binary) carries no map at all.
+        source_map=(
+            source_map if any(entry is not None for entry in source_map) else None
+        ),
+    )
 
 
 def program_to_dialect(program: Program) -> ProgramOp:

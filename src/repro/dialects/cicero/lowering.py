@@ -27,10 +27,13 @@ the last branch falling through.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import contextlib
+from typing import Iterator, List, Optional
 
+from ...ir.attributes import StringAttr
 from ...ir.diagnostics import LoweringError
 from ...ir.operation import Block, ModuleOp, Operation
+from ..regex.emit_pattern import emit_piece
 from ..regex.ops import (
     ConcatenationOp as RegexConcatenationOp,
     DollarOp as RegexDollarOp,
@@ -69,6 +72,7 @@ class _Emitter:
         self._label_counter = 0
         self._pending_labels: List[str] = []
         self._aliases: dict = {}
+        self._source_stack: List[str] = []
 
     def fresh_label(self, hint: str = "L") -> str:
         self._label_counter += 1
@@ -78,6 +82,21 @@ class _Emitter:
         """Attach ``label`` to the next emitted instruction."""
         self._pending_labels.append(label)
 
+    @contextlib.contextmanager
+    def source(self, fragment: str) -> Iterator[None]:
+        """Stamp instructions emitted inside the block with ``fragment``.
+
+        Contexts nest (a sub-regex branch re-enters :meth:`source` for
+        its own pieces); the *outermost* fragment wins, so attribution
+        stays at top-level-piece granularity — the unit the profiler's
+        "70% of steps burned in ``(a|ab|b)*``" reports speak in.
+        """
+        self._source_stack.append(fragment)
+        try:
+            yield
+        finally:
+            self._source_stack.pop()
+
     def emit(self, op: Operation) -> Operation:
         if self._pending_labels:
             canonical = self._pending_labels[0]
@@ -85,6 +104,8 @@ class _Emitter:
             for alias in self._pending_labels[1:]:
                 self._aliases[alias] = canonical
             self._pending_labels = []
+        if self._source_stack and "source" not in op.attributes:
+            op.attributes["source"] = StringAttr(self._source_stack[0])
         self.block.append(op)
         return op
 
@@ -236,7 +257,8 @@ class RegexToCiceroLowering:
             ends_with_dollar = True
             pieces = pieces[:-1]
         for piece in pieces:
-            self.lower_piece(piece)
+            with self.emitter.source(emit_piece(piece)):
+                self.lower_piece(piece)
         return ends_with_dollar
 
     def lower_alternation(self, branches: List[Operation]) -> None:
@@ -275,9 +297,10 @@ class RegexToCiceroLowering:
             loop = self.emitter.fresh_label("PRE")
             body = self.emitter.fresh_label("BODY")
             self.emitter.place_label(loop)
-            self.emitter.emit(SplitOp(body))
-            self.emitter.emit(MatchAnyOp())
-            self.emitter.emit(JumpOp(loop))
+            with self.emitter.source(".* prefix"):
+                self.emitter.emit(SplitOp(body))
+                self.emitter.emit(MatchAnyOp())
+                self.emitter.emit(JumpOp(loop))
             self.emitter.place_label(body)
 
         accept_label = self.emitter.fresh_label("ACC")
@@ -292,24 +315,27 @@ class RegexToCiceroLowering:
             next_branch = None
             if not is_last:
                 next_branch = self.emitter.fresh_label("B")
-                self.emitter.emit(SplitOp(next_branch))
+                with self.emitter.source("(alternation)"):
+                    self.emitter.emit(SplitOp(next_branch))
             ends_with_dollar = self.lower_branch(branch)
             if ends_with_dollar and root.has_suffix:
                 # A '$'-terminated branch of an implicit-suffix root needs
                 # its own exact-acceptance op, distinct from the shared
                 # accept_partial.
-                self.emitter.emit(AcceptOp())
+                with self.emitter.source("(accept)"):
+                    self.emitter.emit(AcceptOp())
             else:
                 # Unoptimized Listing-2 layout: every branch ends with a
                 # jump to the single shared acceptance, which sits right
                 # after the first branch's jump (so that first jump
                 # targets the very next address — Jump Simplification's
                 # food).
-                self.emitter.emit(JumpOp(accept_label))
-                if not accept_placed:
-                    self.emitter.place_label(accept_label)
-                    self.emitter.emit(default_acceptance())
-                    accept_placed = True
+                with self.emitter.source("(accept)"):
+                    self.emitter.emit(JumpOp(accept_label))
+                    if not accept_placed:
+                        self.emitter.place_label(accept_label)
+                        self.emitter.emit(default_acceptance())
+                        accept_placed = True
             if next_branch is not None:
                 self.emitter.place_label(next_branch)
 

@@ -54,6 +54,23 @@ class CiceroInstructionOp(Operation):
         else:
             self.attributes["sym_name"] = StringAttr(label)
 
+    @property
+    def source(self) -> Optional[str]:
+        """The source-regex fragment this instruction was lowered from.
+
+        Provenance for the profiler's attribution reports; carried as an
+        open ``source`` attribute so transforms that move or duplicate
+        instructions keep it alive without special handling.
+        """
+        attr = self.attributes.get("source")
+        return attr.value if attr is not None else None
+
+    def set_source(self, fragment: Optional[str]) -> None:
+        if fragment is None:
+            self.attributes.pop("source", None)
+        else:
+            self.attributes["source"] = StringAttr(fragment)
+
     def verify_op(self) -> None:
         self.expect_num_regions(0)
         label = self.attributes.get("sym_name")

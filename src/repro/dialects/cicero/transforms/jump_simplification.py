@@ -85,6 +85,14 @@ def _duplicate_acceptance_targets(program: ProgramOp) -> bool:
             continue
         duplicate = type(destination)()
         duplicate.set_label(op.label)  # keep incoming references valid
+        # Keep provenance: the duplicate stands where the jump stood, so
+        # the jump's source fragment (falling back to the acceptance's)
+        # is what the profiler should attribute it to.
+        source = op.attributes.get("source")
+        if source is None:
+            source = destination.attributes.get("source")
+        if source is not None:
+            duplicate.attributes["source"] = source
         op.replace_with(duplicate)
         changed = True
     return changed

@@ -94,6 +94,16 @@ def _emit_piece(op: PieceOp) -> str:
     return atom_text + quantifier
 
 
+def emit_piece(op: PieceOp) -> str:
+    """Render one quantified piece (e.g. ``(a|ab)*``) as pattern text.
+
+    Public entry point for the Cicero lowering, which stamps the
+    rendered fragment onto every instruction it emits for the piece so
+    the profiler can attribute execution back to sub-patterns.
+    """
+    return _emit_piece(op)
+
+
 def _emit_alternation(op) -> str:
     branches = []
     for concat in op.alternatives:

@@ -163,6 +163,7 @@ class Engine:
         supervisor: Optional[SupervisorPolicy] = None,
         metrics: Optional[AnyMetrics] = None,
         tracer: Optional[AnyTracer] = None,
+        collect_worker_metrics: bool = False,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -189,6 +190,13 @@ class Engine:
         self.metrics = as_metrics(metrics)
         self.tracer = as_tracer(tracer if tracer is not None else default_tracer())
         self._instruments = _EngineInstruments.create(self.metrics)
+        # Opt-in: parallel workers record VM/simulator counters locally
+        # and ship per-shard deltas home; ``_scan`` folds them into this
+        # registry.  Off by default so worker hot loops stay on their
+        # uninstrumented copies (the gated bench ceiling).
+        self.collect_worker_metrics = bool(
+            collect_worker_metrics and self.metrics.enabled
+        )
         self._cache = PatternCache(cache_size, metrics=self.metrics)
         # The options/budget halves of every cache key are fixed for the
         # engine's lifetime; computing them once keeps the per-request
@@ -366,6 +374,13 @@ class Engine:
                 )
         if self._instruments is not None:
             self._instruments.record_scan(result, normalized)
+            # Fold worker-local VM/sim counter deltas back into the
+            # parent registry, so `repro_vm_steps_total` & co. stay
+            # accurate whether a scan ran in-process or sharded.
+            for outcome in result.outcomes:
+                if outcome.vm_counters:
+                    for name, value in outcome.vm_counters.items():
+                        self.metrics.counter(name).inc(value)
         return ScanReport(
             matched=any(
                 outcome.ok and outcome.verdict for outcome in result.outcomes
@@ -382,14 +397,21 @@ class Engine:
 
     def _payload(self, matcher: Matcher) -> WorkerPayload:
         max_vm_steps = self.budget.max_vm_steps
+        collect = self.collect_worker_metrics
         if isinstance(matcher, CiceroMatcher):
-            return WorkerPayload("cicero", matcher.vm.program, max_vm_steps)
+            return WorkerPayload(
+                "cicero",
+                matcher.vm.program,
+                max_vm_steps,
+                collect_vm_metrics=collect,
+            )
         if isinstance(matcher, CiceroSimMatcher):
             return WorkerPayload(
                 "cicero-sim",
                 matcher.system.program,
                 max_vm_steps,
                 matcher.system.config,
+                collect_vm_metrics=collect,
             )
         if isinstance(matcher, NFAMatcher):
             return WorkerPayload("nfa", matcher.nfa, max_vm_steps)

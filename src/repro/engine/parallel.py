@@ -77,17 +77,43 @@ class WorkerPayload:
     artifact: object
     max_vm_steps: Optional[int] = None
     config: Optional[ArchConfig] = None
+    #: Ask supervised workers to record VM/simulator counters into a
+    #: worker-local registry and ship per-shard deltas back with each
+    #: :class:`~repro.engine.supervisor.ShardOutcome` (the engine merges
+    #: them into the parent registry).  Off by default: worker hot loops
+    #: stay on their uninstrumented copies.
+    collect_vm_metrics: bool = False
 
 
-def build_match_fn(payload: WorkerPayload) -> Callable[[bytes], bool]:
-    """Rebuild the matcher a payload describes; returns ``bytes → bool``."""
+def build_match_fn(
+    payload: WorkerPayload, metrics=None
+) -> Callable[[bytes], bool]:
+    """Rebuild the matcher a payload describes; returns ``bytes → bool``.
+
+    ``metrics`` (a :class:`~repro.observability.MetricsRegistry`)
+    instruments the rebuilt matcher's execution loop — the supervised
+    worker initializer passes its worker-local registry here when the
+    payload asks for counter collection.  ``None`` (the default) keeps
+    every backend on its uninstrumented fast path; the ``nfa``/``dfa``
+    automata have no counter hooks and ignore ``metrics``.
+    """
     backend = payload.backend
     if backend == "cicero":
         vm = ThompsonVM(payload.artifact)
         max_steps = payload.max_vm_steps
+        if metrics is not None:
+            return lambda data: bool(
+                vm.run(data, max_steps=max_steps, metrics=metrics)
+            )
         return lambda data: bool(vm.run(data, max_steps=max_steps))
     if backend == "cicero-sim":
         config = payload.config if payload.config is not None else ArchConfig.new(16)
+        if metrics is not None:
+            from ..arch.simulator import CiceroSimulator
+
+            simulator = CiceroSimulator(config, metrics=metrics)
+            program = payload.artifact
+            return lambda data: simulator.run(program, data).matched
         system = CiceroSystem(payload.artifact, config)
         return lambda data: system.run(data).matched
     if backend in ("nfa", "dfa"):

@@ -111,26 +111,40 @@ DEFAULT_POLICY = SupervisorPolicy()
 
 @dataclass
 class ShardOutcome:
-    """How one shard settled: its verdict, or a typed error."""
+    """How one shard settled: its verdict, or a typed error.
+
+    ``vm_counters`` carries the worker-local counter deltas (e.g.
+    ``repro_vm_steps_total``) attributed to this shard's successful
+    attempt, when the payload asked for collection
+    (:attr:`~repro.engine.parallel.WorkerPayload.collect_vm_metrics`);
+    the engine merges them back into the parent registry.  Failed
+    attempts drop their deltas — retried work is never double-counted.
+    """
 
     index: int
     status: str
     verdict: Optional[bool] = None
     error: Optional[ReproError] = None
     attempts: int = 1
+    vm_counters: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "index": self.index,
             "status": self.status,
             "verdict": self.verdict,
             "error": None if self.error is None else self.error.to_dict(),
             "attempts": self.attempts,
         }
+        # Present only when worker metrics collection was opted in, so
+        # the serialized shape is unchanged for ordinary scans.
+        if self.vm_counters is not None:
+            payload["vm_counters"] = self.vm_counters
+        return payload
 
 
 @dataclass
@@ -167,28 +181,65 @@ class SupervisorResult:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-# (match_fn, fault_plan), installed per worker by the pool initializer.
-_SUPERVISED_STATE: Optional[Tuple[Optional[Callable], object]] = None
+# (match_fn, fault_plan, registry), installed per worker by the pool
+# initializer; registry is the worker-local counter sink (or None).
+_SUPERVISED_STATE: Optional[Tuple[Optional[Callable], object, object]] = None
+# Cumulative counter totals already attributed to earlier shards in this
+# worker, so each shard ships only its own delta.
+_COUNTER_BASELINE: Dict[str, float] = {}
 
 
 def _init_supervised_worker(
     payload: WorkerPayload, fault_plan: Optional[ProcessFaultPlan]
 ) -> None:
     global _SUPERVISED_STATE
+    registry = None
+    if payload.collect_vm_metrics:
+        from ..observability import MetricsRegistry
+
+        registry = MetricsRegistry()
     try:
-        match_fn: Optional[Callable] = build_match_fn(payload)
+        match_fn: Optional[Callable] = build_match_fn(payload, registry)
     except Exception:
         # A failing initializer would make the pool retry it forever;
         # leave the state poisoned and let every task report it instead.
         match_fn = None
-    _SUPERVISED_STATE = (match_fn, fault_plan)
+    _SUPERVISED_STATE = (match_fn, fault_plan, registry)
+    _COUNTER_BASELINE.clear()
 
 
-def _run_shard(task: Tuple[int, bytes]) -> Tuple[int, str, object]:
+def _counter_totals(registry) -> Dict[str, float]:
+    """Counter values by family name (VM/sim counters are label-free)."""
+    totals: Dict[str, float] = {}
+    for instrument in registry.instruments():
+        if instrument.kind == "counter":
+            totals[instrument.name] = (
+                totals.get(instrument.name, 0.0) + instrument.value
+            )
+    return totals
+
+
+def _counter_delta(registry) -> Optional[Dict[str, float]]:
+    """This shard's counter increments since the previous snapshot."""
+    if registry is None:
+        return None
+    totals = _counter_totals(registry)
+    delta = {
+        name: value - _COUNTER_BASELINE.get(name, 0.0)
+        for name, value in totals.items()
+        if value - _COUNTER_BASELINE.get(name, 0.0) > 0.0
+    }
+    _COUNTER_BASELINE.clear()
+    _COUNTER_BASELINE.update(totals)
+    return delta or None
+
+
+def _run_shard(task: Tuple[int, bytes]) -> Tuple[int, str, object, object]:
     """One shard, executed in a worker.  Always *returns* a tagged tuple
     — worker-side exceptions are converted to picklable typed errors, so
     the only ways a future can fail to resolve are a dead process or a
-    hang, both of which the supervisor detects from outside."""
+    hang, both of which the supervisor detects from outside.  The fourth
+    element is the shard's worker-local counter delta (or ``None``)."""
     index, data = task
     state = _SUPERVISED_STATE
     if state is None or state[0] is None:
@@ -199,19 +250,24 @@ def _run_shard(task: Tuple[int, bytes]) -> Tuple[int, str, object]:
                 "supervised worker used before its initializer installed "
                 "a matcher"
             ),
+            None,
         )
-    match_fn, fault_plan = state
+    match_fn, fault_plan, registry = state
     try:
         if fault_plan is not None:
             fault_plan.fire(index)
-        return (index, "ok", bool(match_fn(data)))
+        verdict = bool(match_fn(data))
+        return (index, "ok", verdict, _counter_delta(registry))
     except ReproError as error:
-        return (index, "error", error)
+        _counter_delta(registry)  # advance the baseline past failed work
+        return (index, "error", error, None)
     except Exception as error:  # plain bugs become typed shard failures
+        _counter_delta(registry)
         return (
             index,
             "error",
             ShardFailedError(index, type(error).__name__, str(error)),
+            None,
         )
 
 
@@ -379,7 +435,7 @@ class _Supervisor:
             del self.pending[index]
             progressed = True
             try:
-                _, tag, value = flight.result.get()
+                _, tag, value, counters = flight.result.get()
             except Exception as error:  # result transport failed
                 self._fail(
                     index,
@@ -394,6 +450,7 @@ class _Supervisor:
                         "ok",
                         verdict=value,
                         attempts=self.dispatches.get(index, 1),
+                        vm_counters=counters,
                     ),
                 )
             else:

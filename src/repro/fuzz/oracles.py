@@ -40,6 +40,7 @@ miscompiles.
 from __future__ import annotations
 
 import re as _re
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -83,6 +84,18 @@ DEFAULT_ORACLES: Tuple[str, ...] = (
 #: A verdict is ``(kind, payload)``; only ``skip`` is excluded from the
 #: agreement vote.
 Verdict = Tuple[str, object]
+
+#: Buckets for ``repro_fuzz_oracle_seconds``: oracle probes run in the
+#: microsecond-to-millisecond range, far below the registry's default
+#: seconds-oriented buckets.
+ORACLE_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.00001,
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+)
 
 
 @dataclass
@@ -379,11 +392,32 @@ class CompiledOracles:
             self.counterexamples.append(counterexample)
 
     # -- probing -------------------------------------------------------
-    def verdicts(self, text: str) -> Dict[str, Verdict]:
-        return {name: runner(text) for name, runner in self.runners.items()}
+    def verdicts(self, text: str, metrics=None) -> Dict[str, Verdict]:
+        """Every oracle's verdict for one probe input.
 
-    def diff(self, text: str) -> Optional[Disagreement]:
-        verdicts = self.verdicts(text)
+        ``metrics`` (a :class:`~repro.observability.MetricsRegistry`)
+        additionally times each oracle into the per-oracle
+        ``repro_fuzz_oracle_seconds`` histogram, so a campaign's time
+        budget can be attributed to the oracles that consumed it.
+        """
+        if metrics is None or not metrics.enabled:
+            return {
+                name: runner(text) for name, runner in self.runners.items()
+            }
+        verdicts: Dict[str, Verdict] = {}
+        for name, runner in self.runners.items():
+            started = time.perf_counter()
+            verdicts[name] = runner(text)
+            metrics.histogram(
+                "repro_fuzz_oracle_seconds",
+                labels={"oracle": name},
+                help_text="wall-clock seconds per oracle probe",
+                buckets=ORACLE_SECONDS_BUCKETS,
+            ).observe(time.perf_counter() - started)
+        return verdicts
+
+    def diff(self, text: str, metrics=None) -> Optional[Disagreement]:
+        verdicts = self.verdicts(text, metrics=metrics)
         votes = {
             verdict
             for verdict in verdicts.values()
@@ -442,7 +476,7 @@ def run_case(
     ]
     result.inputs = probes
     for text in probes:
-        disagreement = compiled.diff(text)
+        disagreement = compiled.diff(text, metrics=metrics)
         if metrics is not None and metrics.enabled:
             for name in compiled.runners:
                 metrics.counter(

@@ -14,12 +14,17 @@ class Program:
     """A validated, position-addressed sequence of Cicero instructions.
 
     ``source_pattern`` and ``compiler`` are provenance metadata used by
-    the benchmark harness and the disassembler header.
+    the benchmark harness and the disassembler header.  ``source_map``
+    (when present) gives, per instruction address, the source-regex
+    fragment the instruction was lowered from — the attribution table
+    :class:`repro.observability.VMProfile` maps hot PCs back through.
+    Entries may be ``None`` for synthesized glue.
     """
 
     instructions: List[Instruction] = field(default_factory=list)
     source_pattern: str = ""
     compiler: str = ""
+    source_map: Optional[List[Optional[str]]] = None
 
     def __post_init__(self):
         self.validate()
@@ -49,6 +54,13 @@ class Program:
         """
         if not self.instructions:
             raise CodegenError("empty program")
+        if self.source_map is not None and len(self.source_map) != len(
+            self.instructions
+        ):
+            raise CodegenError(
+                f"source map covers {len(self.source_map)} addresses but "
+                f"the program has {len(self.instructions)}"
+            )
         if len(self.instructions) > MAX_PROGRAM_LENGTH:
             raise CodegenError(
                 f"program of {len(self.instructions)} instructions exceeds "
@@ -106,5 +118,6 @@ def program_from(
     instructions: Iterable[Instruction],
     source_pattern: str = "",
     compiler: str = "",
+    source_map: Optional[List[Optional[str]]] = None,
 ) -> Program:
-    return Program(list(instructions), source_pattern, compiler)
+    return Program(list(instructions), source_pattern, compiler, source_map)

@@ -91,12 +91,22 @@ class MultiPatternCompiler:
                 "(13-bit identifier field)"
             )
         bodies: List[List[Instruction]] = []
+        body_maps: List[List[Optional[str]]] = []
         table: Dict[int, str] = {}
         for index, pattern in enumerate(patterns):
             match_id = index + 1
             compiled = self._compiler.compile(pattern)
             bodies.append(_tag_acceptances(list(compiled.program), match_id))
             table[match_id] = pattern
+            # Per-pattern attribution survives composition: prefix each
+            # body's source fragments with the pattern identifier.
+            body_map = compiled.program.source_map
+            body_maps.append(
+                [
+                    f"#{match_id} {fragment}" if fragment is not None else None
+                    for fragment in (body_map or [None] * len(compiled.program))
+                ]
+            )
 
         chain_length = len(bodies) - 1
         body_starts: List[int] = []
@@ -106,19 +116,26 @@ class MultiPatternCompiler:
             cursor += len(body)
 
         instructions: List[Instruction] = []
+        source_map: List[Optional[str]] = ["(dispatch)"] * chain_length
         # Entry split chain: split i forks pattern i+1; the last chain
         # entry falls through into pattern 0's body.
         for index in range(chain_length):
             instructions.append(
                 Instruction(Opcode.SPLIT, body_starts[index + 1])
             )
-        for body, start in zip(bodies, body_starts):
+        for body, body_map, start in zip(bodies, body_maps, body_starts):
             instructions.extend(_relocate(body, start))
+            source_map.extend(body_map)
 
         program = Program(
             instructions,
             source_pattern=" | ".join(patterns),
             compiler="new-mlir-multimatch",
+            source_map=(
+                source_map
+                if any(entry is not None for entry in source_map)
+                else None
+            ),
         )
         return MultiProgram(program=program, patterns=table)
 

@@ -90,15 +90,20 @@ class MultiMatchVM:
         max_steps: Optional[int] = None,
         tracer=None,
         metrics=None,
+        profile=None,
     ) -> MultiMatchResult:
         data = text if isinstance(text, bytes) else as_input_bytes(
             text, what="input text"
         )
-        if tracer is not None or metrics is not None:
-            if (tracer is not None and tracer.enabled) or (
-                metrics is not None and metrics.enabled
+        if tracer is not None or metrics is not None or profile is not None:
+            if (
+                profile is not None
+                or (tracer is not None and tracer.enabled)
+                or (metrics is not None and metrics.enabled)
             ):
-                return self._run_instrumented(data, max_steps, tracer, metrics)
+                return self._run_instrumented(
+                    data, max_steps, tracer, metrics, profile
+                )
         opcodes = self._opcodes
         operands = self._operands
         successors = self._successors
@@ -159,17 +164,21 @@ class MultiMatchVM:
         max_steps: Optional[int],
         tracer,
         metrics,
+        profile=None,
     ) -> MultiMatchResult:
         """The fast path plus telemetry (see ``ThompsonVM``'s twin).
 
         Kept as a separate copy of the loop so the uninstrumented
         :meth:`run` stays branch-free; records steps, dedup
         suppressions and ε-closure table hits on a ``multimatch.run``
-        span and the shared ``repro_vm_*`` counters.
+        span and the shared ``repro_vm_*`` counters.  ``profile``
+        additionally splits the steps by PC with the same exact
+        conservation as the single-match VM.
         """
         from ..observability import as_tracer
 
         active_tracer = as_tracer(tracer)
+        pc_counts = profile.pc_counts if profile is not None else None
         opcodes = self._opcodes
         operands = self._operands
         successors = self._successors
@@ -208,6 +217,8 @@ class MultiMatchVM:
                             dedup_suppressed += 1
                             continue
                         visited.add(pc)
+                        if pc_counts is not None:
+                            pc_counts[pc] += 1
                         opcode = opcodes[pc]
                         if opcode == NOT_MATCH:
                             if has_char and char != operands[pc]:
@@ -244,6 +255,10 @@ class MultiMatchVM:
                     closure_hits=closure_hits,
                     matched_ids=sorted(matched),
                 )
+                if profile is not None:
+                    profile.runs += 1
+                    if matched:
+                        profile.matches += 1
                 if metrics is not None and metrics.enabled:
                     metrics.counter(
                         "repro_vm_runs_total",

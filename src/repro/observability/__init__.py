@@ -33,6 +33,17 @@ import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
+from .benchhistory import (
+    DEFAULT_MAX_REGRESSION,
+    DEFAULT_WINDOW,
+    Regression,
+    append_entry,
+    detect_regressions,
+    load_history,
+    make_entry,
+    render_markdown,
+    render_report,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -42,7 +53,17 @@ from .metrics import (
     NullMetricsRegistry,
     load_snapshot,
 )
+from .profiler import UNATTRIBUTED, ProgramProfile, SimProfile, VMProfile
 from .report import TraceReport, ir_stats, module_d_offset, op_count
+from .traceview import (
+    build_forest,
+    critical_path,
+    format_critical_path,
+    format_summary,
+    summarize,
+    to_chrome_trace,
+    to_collapsed_stacks,
+)
 from .tracer import (
     AnyTracer,
     NULL_TRACER,
@@ -129,6 +150,8 @@ __all__ = [
     "AnyMetrics",
     "AnyTracer",
     "Counter",
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_WINDOW",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -136,21 +159,39 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "ProgramProfile",
     "Recording",
+    "Regression",
+    "SimProfile",
     "Span",
     "SpanEvent",
     "TraceReport",
     "Tracer",
+    "UNATTRIBUTED",
+    "VMProfile",
+    "append_entry",
     "as_metrics",
     "as_tracer",
+    "build_forest",
+    "critical_path",
     "default_registry",
     "default_tracer",
+    "detect_regressions",
+    "format_critical_path",
+    "format_summary",
     "ir_stats",
     "iter_tree",
+    "load_history",
     "load_snapshot",
+    "make_entry",
     "module_d_offset",
     "op_count",
     "parse_jsonl",
     "recording",
+    "render_markdown",
+    "render_report",
+    "summarize",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
     "validate_trace",
 ]

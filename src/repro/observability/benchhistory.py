@@ -1,0 +1,284 @@
+"""Append-only benchmark history and windowed regression detection.
+
+The bench harness (``benchmarks/bench_engine.py``) measures machine-
+independent *speedup ratios* per section; this module keeps those
+ratios as a time series so a slow drift — each PR individually inside
+the single-run ``--baseline`` tolerance — still trips an alarm:
+
+* :func:`make_entry` distills a ``BENCH_engine.json``-shaped results
+  dict into a compact history entry (ratio metrics only; absolute
+  throughputs are machine-dependent and deliberately dropped);
+* :func:`append_entry` / :func:`load_history` persist entries as
+  JSON-lines under ``benchmarks/history/`` (append-only: one line per
+  recorded run, never rewritten);
+* :func:`detect_regressions` compares the newest entry against the
+  **median of the previous window** per section — robust to a single
+  noisy CI runner in a way latest-vs-previous is not;
+* :func:`render_markdown` / :func:`render_report` produce the
+  ``repro bench-report`` artifact CI uploads.
+
+Only ``speedup`` ratios are gated (higher is better); auxiliary ratios
+such as ``overhead_frac`` are recorded for trend plots but judged by
+their own hard ceiling in the bench harness, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: History entry schema version (bumped on incompatible layout changes).
+HISTORY_SCHEMA = 1
+
+#: How many prior entries the detector medians over by default.
+DEFAULT_WINDOW = 5
+
+#: Default allowed fractional drop of a speedup vs the window median.
+DEFAULT_MAX_REGRESSION = 0.30
+
+#: Ratio metrics copied into history entries when a section has them.
+TRACKED_METRICS = ("speedup", "overhead_frac")
+
+#: The one metric the windowed detector gates (direction: higher wins).
+GATED_METRIC = "speedup"
+
+
+@dataclass
+class Regression:
+    """One section whose latest speedup fell below the windowed floor."""
+
+    section: str
+    metric: str
+    measured: float
+    reference: float
+    floor: float
+    window: int
+
+    def message(self) -> str:
+        return (
+            f"{self.section}.{self.metric}: {self.measured:.2f}x is below "
+            f"the floor {self.floor:.2f}x (median of previous "
+            f"{self.window} entr{'y' if self.window == 1 else 'ies'} "
+            f"{self.reference:.2f}x)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "section": self.section,
+            "metric": self.metric,
+            "measured": self.measured,
+            "reference": self.reference,
+            "floor": self.floor,
+            "window": self.window,
+        }
+
+
+def extract_sections(results: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Pull the tracked ratio metrics out of a bench results dict."""
+    sections: Dict[str, Dict[str, float]] = {}
+    for name, payload in results.items():
+        if not isinstance(payload, dict):
+            continue
+        metrics = {
+            metric: float(payload[metric])
+            for metric in TRACKED_METRICS
+            if isinstance(payload.get(metric), (int, float))
+        }
+        if metrics:
+            sections[name] = metrics
+    return sections
+
+
+def make_entry(
+    results: Dict[str, Any], recorded_at: Optional[str] = None
+) -> Dict[str, Any]:
+    """Distill a full bench results dict into one history entry."""
+    if recorded_at is None:
+        recorded_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    return {
+        "schema": HISTORY_SCHEMA,
+        "recorded_at": recorded_at,
+        "quick": bool(results.get("quick")),
+        "sections": extract_sections(results),
+    }
+
+
+def append_entry(path: Union[str, Path], entry: Dict[str, Any]) -> None:
+    """Append one entry to a JSON-lines history file (creating dirs)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSON-lines history file; a missing file is an empty one."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    with target.open(encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{target}:{number}: malformed history line: {error}"
+                ) from error
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"{target}:{number}: history entry must be an object"
+                )
+            entries.append(entry)
+    return entries
+
+
+def _section_values(
+    entries: Sequence[Dict[str, Any]], section: str, metric: str
+) -> List[float]:
+    values: List[float] = []
+    for entry in entries:
+        value = (entry.get("sections") or {}).get(section, {}).get(metric)
+        if isinstance(value, (int, float)):
+            values.append(float(value))
+    return values
+
+
+def detect_regressions(
+    entries: Sequence[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> List[Regression]:
+    """Gate the newest entry against the median of the previous window.
+
+    Needs at least two entries (something to compare against); sections
+    absent from the earlier window are skipped, so adding a new bench
+    section never fails the first run that records it.
+    """
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    previous = list(entries[:-1])[-window:]
+    regressions: List[Regression] = []
+    for section in sorted((latest.get("sections") or {})):
+        measured = latest["sections"][section].get(GATED_METRIC)
+        if not isinstance(measured, (int, float)):
+            continue
+        references = _section_values(previous, section, GATED_METRIC)
+        if not references:
+            continue
+        reference = statistics.median(references)
+        floor = reference * (1.0 - max_regression)
+        if float(measured) < floor:
+            regressions.append(
+                Regression(
+                    section=section,
+                    metric=GATED_METRIC,
+                    measured=float(measured),
+                    reference=reference,
+                    floor=floor,
+                    window=len(references),
+                )
+            )
+    return regressions
+
+
+def render_report(
+    entries: Sequence[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Dict[str, Any]:
+    """Structured report over a history: latest vs windowed medians."""
+    regressions = detect_regressions(entries, window, max_regression)
+    flagged = {regression.section for regression in regressions}
+    sections: List[Dict[str, Any]] = []
+    if entries:
+        latest = entries[-1]
+        previous = list(entries[:-1])[-window:]
+        for section in sorted((latest.get("sections") or {})):
+            measured = latest["sections"][section].get(GATED_METRIC)
+            if not isinstance(measured, (int, float)):
+                continue
+            references = _section_values(previous, section, GATED_METRIC)
+            reference = statistics.median(references) if references else None
+            trend = _section_values(
+                list(entries)[-(window + 1) :], section, GATED_METRIC
+            )
+            sections.append(
+                {
+                    "section": section,
+                    "latest": float(measured),
+                    "median": reference,
+                    "delta_frac": (
+                        float(measured) / reference - 1.0
+                        if reference
+                        else None
+                    ),
+                    "trend": trend,
+                    "regression": section in flagged,
+                }
+            )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "entries": len(entries),
+        "window": window,
+        "max_regression": max_regression,
+        "recorded_at": entries[-1].get("recorded_at") if entries else None,
+        "sections": sections,
+        "regressions": [regression.to_dict() for regression in regressions],
+    }
+
+
+def render_markdown(
+    entries: Sequence[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> str:
+    """The human-facing bench report (CI uploads this as an artifact)."""
+    report = render_report(entries, window, max_regression)
+    lines = ["# Benchmark history report", ""]
+    if not report["sections"]:
+        lines.append(
+            f"No history entries ({report['entries']} recorded). Run "
+            "`python benchmarks/bench_engine.py --quick --history "
+            "benchmarks/history/engine.jsonl` to record one."
+        )
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"Latest of {report['entries']} entr"
+        f"{'y' if report['entries'] == 1 else 'ies'} "
+        f"(recorded {report['recorded_at']}), gated at "
+        f"-{max_regression:.0%} vs the median of the previous "
+        f"{window}-entry window."
+    )
+    lines.append("")
+    lines.append("| section | latest | median | delta | trend | status |")
+    lines.append("|---|---:|---:|---:|---|---|")
+    for row in report["sections"]:
+        median = f"{row['median']:.2f}x" if row["median"] is not None else "—"
+        delta = (
+            f"{row['delta_frac']:+.1%}"
+            if row["delta_frac"] is not None
+            else "—"
+        )
+        trend = " → ".join(f"{value:.2f}" for value in row["trend"]) or "—"
+        status = "**REGRESSION**" if row["regression"] else "ok"
+        lines.append(
+            f"| {row['section']} | {row['latest']:.2f}x | {median} "
+            f"| {delta} | {trend} | {status} |"
+        )
+    if report["regressions"]:
+        lines.append("")
+        lines.append("## Regressions")
+        lines.append("")
+        for payload in report["regressions"]:
+            regression = Regression(**payload)
+            lines.append(f"- {regression.message()}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,241 @@
+"""Trace analysis: span-tree converters and critical-path extraction.
+
+Operates on the JSON-lines span records :meth:`Tracer.to_jsonl` emits
+(and :func:`parse_jsonl` reads back): dicts with ``name``, ``span_id``,
+``parent_id``, ``start_us``, ``end_us``, ``duration_us``, ``status``,
+``attributes`` and ``events``.  Four views:
+
+* :func:`summarize` — per-span-name aggregate table (count / total /
+  mean / max), the quick "where did the time go" answer;
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format
+  (``chrome://tracing``, Perfetto): one ``"ph": "X"`` complete event
+  per span plus ``"ph": "i"`` instants for span events;
+* :func:`to_collapsed_stacks` — Brendan-Gregg collapsed-stack lines
+  (``root;child;leaf <weight>``) consumable by ``flamegraph.pl`` and
+  speedscope; weights are *self* microseconds, so the weights of a
+  root's lines sum back to the root's duration (± rounding — a tested
+  conservation property);
+* :func:`critical_path` — the longest chain through the span forest:
+  from the slowest root, repeatedly descend into the slowest child.
+
+Everything is pure-function over plain dicts: no tracer instance,
+filesystem or clock access, so converters run identically over live
+:class:`Tracer` output and persisted ``--trace-out`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Spans missing a start/duration (malformed input) sort/weigh as zero
+#: rather than crashing an analysis of an otherwise useful trace.
+_ZERO = 0.0
+
+
+def _start(record: Dict[str, Any]) -> float:
+    value = record.get("start_us")
+    return float(value) if value is not None else _ZERO
+
+
+def _duration(record: Dict[str, Any]) -> float:
+    value = record.get("duration_us")
+    return float(value) if value is not None else _ZERO
+
+
+def build_forest(
+    records: Sequence[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[Optional[str], List[Dict[str, Any]]]]:
+    """Index records into ``(roots, children_by_parent_id)``.
+
+    A record whose ``parent_id`` does not resolve inside ``records``
+    (a truncated file, a cross-process fragment) is treated as a root
+    rather than dropped.  Sibling order is deterministic: by start
+    time, then span id.
+    """
+    ids = {record.get("span_id") for record in records}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(record)
+        else:
+            children.setdefault(parent, []).append(record)
+    def order(record: Dict[str, Any]) -> Tuple[float, str]:
+        return (_start(record), str(record.get("span_id")))
+
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def summarize(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate spans by name: count / total / mean / max microseconds."""
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        name = str(record.get("name"))
+        duration = _duration(record)
+        entry = by_name.setdefault(
+            name, {"name": name, "count": 0, "total_us": 0.0, "max_us": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_us"] += duration
+        if duration > entry["max_us"]:
+            entry["max_us"] = duration
+    table = sorted(
+        by_name.values(), key=lambda entry: (-entry["total_us"], entry["name"])
+    )
+    for entry in table:
+        entry["mean_us"] = entry["total_us"] / entry["count"]
+    roots, _children = build_forest(records)
+    wall_us = sum(_duration(root) for root in roots)
+    return {
+        "spans": len(records),
+        "roots": len(roots),
+        "wall_us": wall_us,
+        "by_name": table,
+    }
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Render :func:`summarize` output as an aligned text table."""
+    lines = [
+        f"{summary['spans']} span(s), {summary['roots']} root(s), "
+        f"{summary['wall_us']:.0f} µs total root time",
+        f"{'name':<28} {'count':>6} {'total µs':>12} {'mean µs':>10} "
+        f"{'max µs':>10}",
+    ]
+    for entry in summary["by_name"]:
+        lines.append(
+            f"{entry['name']:<28} {entry['count']:>6} "
+            f"{entry['total_us']:>12.1f} {entry['mean_us']:>10.1f} "
+            f"{entry['max_us']:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def to_chrome_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records into Chrome trace-event JSON.
+
+    Each span becomes a complete (``"ph": "X"``) event with its
+    attributes under ``args``; each span *event* becomes a
+    thread-scoped instant (``"ph": "i"``).  Load the result in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in sorted(records, key=_start):
+        events.append(
+            {
+                "name": str(record.get("name")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": _start(record),
+                "dur": _duration(record),
+                "pid": 1,
+                "tid": 1,
+                "args": dict(record.get("attributes") or {}),
+            }
+        )
+        for event in record.get("events") or []:
+            events.append(
+                {
+                    "name": str(event.get("name")),
+                    "cat": "repro",
+                    "ph": "i",
+                    "ts": float(event.get("timestamp_us") or 0.0),
+                    "pid": 1,
+                    "tid": 1,
+                    "s": "t",
+                    "args": dict(event.get("attributes") or {}),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Collapsed stacks (flamegraph / speedscope input)
+# ----------------------------------------------------------------------
+def to_collapsed_stacks(records: Sequence[Dict[str, Any]]) -> str:
+    """Render the span forest as collapsed-stack lines.
+
+    One line per span: ``root;...;span <self_us>`` where the weight is
+    the span's duration minus its children's (clamped at zero when
+    concurrent children overlap the parent), rounded to integer
+    microseconds.  Zero-weight pure-container spans are omitted — their
+    time lives in their leaves, which is exactly what keeps the total
+    sample weight equal to the root durations.
+    """
+    roots, children = build_forest(records)
+    lines: List[str] = []
+
+    def descend(record: Dict[str, Any], path: str) -> None:
+        name = str(record.get("name")).replace(";", ":")
+        frame = f"{path};{name}" if path else name
+        own = children.get(record.get("span_id"), [])
+        self_us = _duration(record) - sum(_duration(child) for child in own)
+        weight = int(round(max(self_us, 0.0)))
+        if weight > 0:
+            lines.append(f"{frame} {weight}")
+        for child in own:
+            descend(child, frame)
+
+    for root in roots:
+        descend(root, "")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Critical path
+# ----------------------------------------------------------------------
+def critical_path(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The slowest root-to-leaf chain through the span forest.
+
+    Starting from the longest root, repeatedly descend into the longest
+    child.  Each step reports the span's duration and its *self* share
+    (duration minus the next step's), so the path reads as a cost
+    breakdown of the dominant chain.
+    """
+    roots, children = build_forest(records)
+    if not roots:
+        return []
+    path: List[Dict[str, Any]] = []
+    current = max(roots, key=_duration)
+    while current is not None:
+        own = children.get(current.get("span_id"), [])
+        heaviest = max(own, key=_duration) if own else None
+        path.append(
+            {
+                "name": str(current.get("name")),
+                "span_id": current.get("span_id"),
+                "start_us": _start(current),
+                "duration_us": _duration(current),
+                "self_us": _duration(current)
+                - (_duration(heaviest) if heaviest is not None else 0.0),
+                "attributes": dict(current.get("attributes") or {}),
+            }
+        )
+        current = heaviest
+    return path
+
+
+def format_critical_path(path: Sequence[Dict[str, Any]]) -> str:
+    """Render :func:`critical_path` output as an indented chain."""
+    if not path:
+        return "empty trace: no spans"
+    total = path[0]["duration_us"] or 1.0
+    lines = [f"critical path: {path[0]['duration_us']:.1f} µs end to end"]
+    for depth, step in enumerate(path):
+        share = step["duration_us"] / total if total else 0.0
+        lines.append(
+            f"{'  ' * depth}{step['name']}  "
+            f"{step['duration_us']:.1f} µs ({share:.1%} of root, "
+            f"self {step['self_us']:.1f} µs)"
+        )
+    return "\n".join(lines)

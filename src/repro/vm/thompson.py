@@ -138,6 +138,7 @@ class ThompsonVM:
         max_steps: Optional[int] = None,
         tracer=None,
         metrics=None,
+        profile=None,
     ) -> MatchResult:
         """Execute the program over ``text``; stops at the first match.
 
@@ -151,18 +152,24 @@ class ThompsonVM:
         in a ``vm.run`` span recording steps, ε-closure table hits and
         dedup suppressions; ``metrics`` (a
         :class:`repro.observability.MetricsRegistry`) accumulates the
-        same counts into ``repro_vm_*`` counters.  With neither, the
-        dispatch lands on the historical uninstrumented loop — the
-        disabled-path overhead is one ``is None`` check per run.
+        same counts into ``repro_vm_*`` counters; ``profile`` (a
+        :class:`repro.observability.VMProfile` built over this program)
+        additionally attributes every step to its program counter — the
+        per-PC counts sum to exactly the ``steps`` total (tested
+        conservation property).  With none of the three, the dispatch
+        lands on the historical uninstrumented loop — the disabled-path
+        overhead is one ``is None`` check per run.
         """
         data = text if isinstance(text, bytes) else _as_bytes(text)
-        if tracer is None and metrics is None:
+        if tracer is None and metrics is None and profile is None:
             return self._run_fast(data, max_steps)
-        if (tracer is None or not tracer.enabled) and (
-            metrics is None or not metrics.enabled
+        if (
+            profile is None
+            and (tracer is None or not tracer.enabled)
+            and (metrics is None or not metrics.enabled)
         ):
             return self._run_fast(data, max_steps)
-        return self._run_fast_instrumented(data, max_steps, tracer, metrics)
+        return self._run_fast_instrumented(data, max_steps, tracer, metrics, profile)
 
     def run_reference(
         self, text: Union[str, bytes], max_steps: Optional[int] = None
@@ -232,6 +239,7 @@ class ThompsonVM:
         max_steps: Optional[int],
         tracer,
         metrics,
+        profile=None,
     ) -> MatchResult:
         """The fast path plus telemetry counters.
 
@@ -239,13 +247,18 @@ class ThompsonVM:
         path carries zero extra branches (the ``observability_overhead``
         benchmark gate).  Counts per run: executed work instructions
         (``steps``), per-position dedup suppressions, and ε-closure
-        dispatch-table expansions (``closure_hits``).
+        dispatch-table expansions (``closure_hits``).  With ``profile``,
+        every step is additionally attributed to its PC at the same
+        ``visited.add`` site the aggregate counts, so
+        ``sum(profile.pc_counts)`` equals ``steps`` exactly on every
+        exit path (early accepts and budget aborts included).
         """
         from ..observability import NULL_TRACER, as_tracer
 
         active_tracer = as_tracer(tracer)
         if not active_tracer.enabled:
             active_tracer = NULL_TRACER
+        pc_counts = profile.pc_counts if profile is not None else None
 
         opcodes = self._opcodes
         operands = self._operands
@@ -282,6 +295,8 @@ class ThompsonVM:
                             dedup_suppressed += 1
                             continue
                         visited.add(pc)
+                        if pc_counts is not None:
+                            pc_counts[pc] += 1
                         opcode = opcodes[pc]
                         if opcode == NOT_MATCH:
                             if has_char and char != operands[pc]:
@@ -320,6 +335,11 @@ class ThompsonVM:
                     positions=positions,
                     matched=result.matched,
                 )
+                if profile is not None:
+                    profile.runs += 1
+                    profile.positions += positions
+                    if result.matched:
+                        profile.matches += 1
                 if metrics is not None and metrics.enabled:
                     metrics.counter(
                         "repro_vm_runs_total",

@@ -1,0 +1,177 @@
+"""Bench history time series: entry schema, windowed regression gate, CLI."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.observability import (
+    DEFAULT_WINDOW,
+    append_entry,
+    detect_regressions,
+    load_history,
+    make_entry,
+    render_markdown,
+    render_report,
+)
+from repro.observability.benchhistory import extract_sections
+
+
+def _results(speedups, quick=True):
+    sections = {
+        name: {"speedup": value, "overhead_frac": 0.01, "note": "ignored"}
+        for name, value in speedups.items()
+    }
+    sections["quick"] = quick
+    return sections
+
+
+def _entry(speedups, when="2026-08-08T00:00:00+00:00"):
+    return make_entry(_results(speedups), recorded_at=when)
+
+
+def _series(speedup_rows):
+    return [_entry(row) for row in speedup_rows]
+
+
+class TestEntries:
+    def test_make_entry_extracts_tracked_metrics_only(self):
+        entry = _entry({"corpus_scan": 3.5})
+        section = entry["sections"]["corpus_scan"]
+        assert section == {"speedup": 3.5, "overhead_frac": 0.01}
+        assert entry["schema"] == 1
+        assert entry["quick"] is True
+        assert entry["recorded_at"] == "2026-08-08T00:00:00+00:00"
+        assert "quick" not in entry["sections"]
+
+    def test_extract_sections_skips_non_numeric_and_non_dict(self):
+        sections = extract_sections(
+            {"good": {"speedup": 2.0}, "bad": {"speedup": "fast"}, "raw": 7}
+        )
+        assert sections == {"good": {"speedup": 2.0}}
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history" / "engine.jsonl"
+        first = _entry({"corpus_scan": 3.0})
+        second = _entry({"corpus_scan": 3.2})
+        append_entry(path, first)
+        append_entry(path, second)
+        assert load_history(path) == [first, second]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "engine.jsonl"
+        path.write_text('{"schema": 1, "sections": {}}\nnot json\n')
+        with pytest.raises(ValueError, match="engine.jsonl:2"):
+            load_history(path)
+
+
+class TestRegressionGate:
+    def test_stable_series_is_clean(self):
+        entries = _series([{"a": 3.0}, {"a": 3.1}, {"a": 2.9}, {"a": 3.0}])
+        assert detect_regressions(entries) == []
+
+    def test_drop_beyond_threshold_fires(self):
+        entries = _series([{"a": 3.0}, {"a": 3.0}, {"a": 3.0}, {"a": 1.5}])
+        found = detect_regressions(entries, max_regression=0.30)
+        assert [r.section for r in found] == ["a"]
+        regression = found[0]
+        assert regression.metric == "speedup"
+        assert regression.measured == 1.5
+        assert regression.reference == 3.0
+        assert regression.floor == pytest.approx(2.1)
+        assert "below the floor" in regression.message()
+        assert regression.to_dict()["section"] == "a"
+
+    def test_drop_within_threshold_passes(self):
+        entries = _series([{"a": 3.0}, {"a": 3.0}, {"a": 2.2}])
+        assert detect_regressions(entries, max_regression=0.30) == []
+
+    def test_short_history_never_fires(self):
+        assert detect_regressions([]) == []
+        assert detect_regressions(_series([{"a": 0.1}])) == []
+
+    def test_new_section_skipped_on_first_appearance(self):
+        entries = _series([{"a": 3.0}, {"a": 3.0}])
+        entries.append(_entry({"a": 3.0, "b": 0.01}))
+        assert detect_regressions(entries) == []
+
+    def test_window_bounds_the_reference_median(self):
+        # Old glory days fall outside the window; recent median rules.
+        rows = [{"a": 9.0}] * 5 + [{"a": 2.0}] * 3 + [{"a": 1.9}]
+        assert detect_regressions(_series(rows), window=3) == []
+        found = detect_regressions(_series(rows), window=8)
+        assert [r.section for r in found] == ["a"]
+
+
+class TestReports:
+    def test_report_shape_and_trend(self):
+        entries = _series([{"a": 3.0}, {"a": 3.5}, {"a": 1.0}])
+        report = render_report(entries)
+        assert report["window"] == DEFAULT_WINDOW
+        section = next(
+            s for s in report["sections"] if s["section"] == "a"
+        )
+        assert section["latest"] == 1.0
+        assert section["median"] == pytest.approx(3.25)
+        assert section["trend"] == [3.0, 3.5, 1.0]
+        assert section["regression"] is True
+        assert [r["section"] for r in report["regressions"]] == ["a"]
+
+    def test_markdown_flags_regressions(self):
+        entries = _series([{"a": 3.0}, {"a": 3.0}, {"a": 1.0}])
+        text = render_markdown(entries)
+        assert "# Benchmark history report" in text
+        assert "**REGRESSION**" in text
+        assert "## Regressions" in text
+
+    def test_markdown_clean_series(self):
+        text = render_markdown(_series([{"a": 3.0}, {"a": 3.0}]))
+        assert "ok" in text and "REGRESSION" not in text
+
+
+class TestCli:
+    def _history(self, tmp_path, rows):
+        path = tmp_path / "engine.jsonl"
+        for entry in _series(rows):
+            append_entry(path, entry)
+        return path
+
+    def test_bench_report_markdown_to_file(self, tmp_path, capsys):
+        path = self._history(tmp_path, [{"a": 3.0}, {"a": 3.1}])
+        out = tmp_path / "report.md"
+        code = cli.main(
+            ["bench-report", "--history", str(path), "--out", str(out)]
+        )
+        assert code == 0
+        assert "# Benchmark history report" in out.read_text()
+
+    def test_bench_report_json_stdout(self, tmp_path, capsys):
+        path = self._history(tmp_path, [{"a": 3.0}, {"a": 3.1}])
+        code = cli.main(["bench-report", "--history", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+
+    def test_bench_report_check_gates(self, tmp_path, capsys):
+        path = self._history(
+            tmp_path, [{"a": 3.0}, {"a": 3.0}, {"a": 3.0}, {"a": 1.0}]
+        )
+        code = cli.main(["bench-report", "--history", str(path), "--check"])
+        assert code == 1
+        assert "below the floor" in capsys.readouterr().err
+
+    def test_bench_report_empty_history(self, tmp_path, capsys):
+        code = cli.main(
+            ["bench-report", "--history", str(tmp_path / "none.jsonl")]
+        )
+        assert code == 0
+
+    def test_bench_report_bad_history(self, tmp_path, capsys):
+        path = tmp_path / "engine.jsonl"
+        path.write_text("oops\n")
+        code = cli.main(["bench-report", "--history", str(path)])
+        assert code == 1
+        assert "bad history file" in capsys.readouterr().err

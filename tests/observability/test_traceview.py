@@ -1,0 +1,160 @@
+"""Trace-analysis views: golden schemas and conservation properties.
+
+The collapsed-stack weights are *self* time, so the weights under one
+root must sum back to that root's duration (± integer rounding per
+span) — the flamegraph is a lossless decomposition of the wall clock,
+mirroring the profiler's step-conservation law.
+"""
+
+import json
+from pathlib import Path
+
+from repro.compiler import NewCompiler
+from repro.observability import (
+    Tracer,
+    critical_path,
+    format_critical_path,
+    format_summary,
+    parse_jsonl,
+    summarize,
+    to_chrome_trace,
+    to_collapsed_stacks,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _record(
+    name,
+    span_id,
+    parent_id,
+    start_us,
+    end_us,
+    attributes=None,
+    events=None,
+):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_us": start_us,
+        "end_us": end_us,
+        "duration_us": end_us - start_us,
+        "status": "ok",
+        "attributes": attributes or {},
+        "events": events or [],
+    }
+
+
+def fixture_records():
+    """A small fixed forest: root(a){b, c{d}} plus a second root."""
+    return [
+        _record(
+            "compile",
+            "a",
+            None,
+            0.0,
+            100.0,
+            attributes={"pattern": "a(b|c)d*e"},
+            events=[
+                {
+                    "name": "cache.miss",
+                    "timestamp_us": 5.0,
+                    "attributes": {"key": "a(b|c)d*e"},
+                }
+            ],
+        ),
+        _record("frontend", "b", "a", 10.0, 40.0),
+        _record("lowering", "c", "a", 50.0, 90.0),
+        _record("codegen", "d", "c", 55.0, 80.0),
+        _record("vm.run", "e", None, 120.0, 150.0),
+    ]
+
+
+class TestGoldenSchemas:
+    def test_chrome_trace_matches_golden(self):
+        produced = to_chrome_trace(fixture_records())
+        golden = json.loads((GOLDEN_DIR / "chrome_trace.json").read_text())
+        assert produced == golden
+
+    def test_collapsed_stacks_match_golden(self):
+        produced = to_collapsed_stacks(fixture_records())
+        assert produced == (GOLDEN_DIR / "flame.txt").read_text()
+
+    def test_chrome_trace_schema_shape(self):
+        trace = to_chrome_trace(fixture_records())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 5 and len(instants) == 1
+        for event in complete:
+            assert set(event) == {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args",
+            }
+        assert instants[0]["ts"] == 5.0
+        assert instants[0]["s"] == "t"
+
+
+class TestCollapsedStacks:
+    def test_weights_conserve_root_durations(self):
+        records = fixture_records()
+        lines = to_collapsed_stacks(records).splitlines()
+        weights = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        roots_total = 100.0 + 30.0
+        assert abs(sum(weights) - roots_total) <= len(records)
+
+    def test_zero_weight_containers_are_omitted(self):
+        records = [
+            _record("root", "a", None, 0.0, 50.0),
+            _record("child", "b", "a", 0.0, 50.0),
+        ]
+        lines = to_collapsed_stacks(records).splitlines()
+        assert lines == ["root;child 50"]
+
+    def test_semicolons_in_names_are_escaped(self):
+        records = [_record("a;b", "x", None, 0.0, 10.0)]
+        assert to_collapsed_stacks(records) == "a:b 10\n"
+
+    def test_real_compile_trace_conserves_wall_clock(self):
+        tracer = Tracer()
+        NewCompiler(tracer=tracer).compile("(a|ab|b)*c(d|e)f{2,4}")
+        records = parse_jsonl(tracer.to_jsonl())
+        lines = to_collapsed_stacks(records).splitlines()
+        weights = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        summary = summarize(records)
+        # ± 1 µs of rounding slack per span, plus clamped negatives.
+        assert abs(weights - summary["wall_us"]) <= len(records)
+
+
+class TestForestAndSummary:
+    def test_orphaned_parent_is_a_root(self):
+        records = [_record("stray", "x", "missing-parent", 0.0, 10.0)]
+        summary = summarize(records)
+        assert summary["roots"] == 1
+        assert summary["wall_us"] == 10.0
+
+    def test_summary_table_orders_by_total(self):
+        summary = summarize(fixture_records())
+        names = [entry["name"] for entry in summary["by_name"]]
+        assert names[0] == "compile"
+        assert summary["spans"] == 5
+        assert summary["roots"] == 2
+        text = format_summary(summary)
+        assert "compile" in text and "total µs" in text
+
+    def test_critical_path_descends_slowest_children(self):
+        path = critical_path(fixture_records())
+        assert [step["name"] for step in path] == [
+            "compile",
+            "lowering",
+            "codegen",
+        ]
+        assert path[0]["self_us"] == 60.0
+        text = format_critical_path(path)
+        assert "critical path" in text and "codegen" in text
+
+    def test_empty_trace(self):
+        assert critical_path([]) == []
+        assert format_critical_path([]) == "empty trace: no spans"
+        assert to_collapsed_stacks([]) == ""
