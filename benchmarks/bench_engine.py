@@ -20,6 +20,16 @@ so future PRs have a perf trajectory:
   instruments explicitly supplied vs the bare call; the observability
   layer's no-op fast path must cost ≤ ``OVERHEAD_CEILING`` (a hard
   gate, independent of any baseline).
+* **prefilter-sparse-scan** — corpus scan where ≤1% of chunks can
+  match: the literal prefilter + lazy-DFA path vs the same engine with
+  ``prefilter="off"``.  Must clear ``PREFILTER_SPARSE_FLOOR`` (hard
+  gate: the tentpole's order-of-magnitude claim).
+* **prefilter-dense-scan** — every chunk carries the literal, so the
+  prefilter rejects nothing and the ratio is pure overhead + lazy-DFA
+  verify; must stay above ``PREFILTER_DENSE_FLOOR``.
+* **lazy-dfa** — the bounded lazy DFA vs the NFA VM on a
+  prefilter-inert pattern (no literal, wide first-byte set), the path
+  ``auto`` mode takes when chunk rejection has nothing to work with.
 
 Absolute throughputs are machine-dependent; the *speedup ratios* are
 not, so the regression gate (``--baseline`` + ``--max-regression``)
@@ -53,11 +63,20 @@ GATED_METRICS = (
     ("vm_fast_path", "speedup"),
     ("supervisor_overhead", "speedup"),
     ("observability_overhead", "speedup"),
+    ("prefilter_sparse_scan", "speedup"),
+    ("prefilter_dense_scan", "speedup"),
+    ("lazy_dfa", "speedup"),
 )
 
 #: Hard ceiling on the disabled-telemetry overhead fraction: the no-op
 #: tracer/metrics path may cost at most this much over the bare VM call.
 OVERHEAD_CEILING = 0.05
+
+#: Hard floors (baseline-independent, like OVERHEAD_CEILING): the
+#: sparse-scan speedup is the PR's acceptance bar, the dense-scan floor
+#: caps how much a prefilter that rejects nothing may cost.
+PREFILTER_SPARSE_FLOOR = 5.0
+PREFILTER_DENSE_FLOOR = 0.95
 
 PATTERNS = [
     "th(is|at|ose)",
@@ -269,12 +288,115 @@ def bench_observability_overhead(
     }
 
 
+def _mk_prefilter_corpus(
+    chunks: int, chunk_bytes: int, match_every: int
+) -> bytes:
+    """``chunks`` chunks of literal-free filler; every ``match_every``-th
+    chunk carries one occurrence of the bench pattern's match body."""
+    filler = (b"the quick crown fox jumped over the lazy dog 0123456789 "
+              .replace(b"a", b"o"))  # keep the filler free of 'a'
+    unit = (filler * (chunk_bytes // len(filler) + 1))[:chunk_bytes]
+    parts = []
+    for index in range(chunks):
+        if match_every and index % match_every == 0:
+            parts.append(b"aabby" + unit[5:])
+        else:
+            parts.append(unit)
+    return b"".join(parts)
+
+
+def _bench_prefilter_scan(
+    chunks: int, chunk_bytes: int, match_every: int, rounds: int = 3
+) -> Dict:
+    from repro.compiler import CompileOptions
+
+    pattern = "a(a|b)*by"
+    corpus = _mk_prefilter_corpus(chunks, chunk_bytes, match_every)
+    off = Engine(backend="cicero", options=CompileOptions(prefilter="off"))
+    auto = Engine(backend="cicero", options=CompileOptions(prefilter="auto"))
+    off.match(pattern, "warmup")  # compile outside the timed region
+    auto.match(pattern, "warmup")
+
+    off_s = auto_s = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        off_result = off.scan_corpus(pattern, corpus, chunk_bytes=chunk_bytes)
+        off_s = min(off_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        auto_result = auto.scan_corpus(pattern, corpus, chunk_bytes=chunk_bytes)
+        auto_s = min(auto_s, time.perf_counter() - started)
+
+    assert off_result.chunk_matches == auto_result.chunk_matches, (
+        "prefiltered and plain scans disagree on corpus verdicts"
+    )
+    return {
+        "pattern": pattern,
+        "chunks": off_result.chunks,
+        "chunk_bytes": chunk_bytes,
+        "matched_chunks": off_result.matched_chunks,
+        "matched_frac": off_result.matched_chunks / off_result.chunks,
+        "off_s": off_s,
+        "auto_s": auto_s,
+        "off_chars_per_sec": len(corpus) / off_s,
+        "auto_chars_per_sec": len(corpus) / auto_s,
+        "speedup": off_s / auto_s,
+    }
+
+
+def bench_prefilter_sparse_scan(chunks: int, chunk_bytes: int = 500) -> Dict:
+    """≤1% matching chunks: the prefilter's home turf (hard-gated)."""
+    return _bench_prefilter_scan(chunks, chunk_bytes, match_every=128)
+
+
+def bench_prefilter_dense_scan(chunks: int, chunk_bytes: int = 500) -> Dict:
+    """Every chunk matches: the prefilter rejects nothing, so the ratio
+    is filter overhead plus the lazy-DFA verify path."""
+    return _bench_prefilter_scan(chunks, chunk_bytes, match_every=1)
+
+
+def bench_lazy_dfa(text_chars: int, rounds: int) -> Dict:
+    """Bounded lazy DFA vs the NFA VM when the prefilter is inert."""
+    from repro.prefilter.lazydfa import LazyDFAMatcher
+
+    pattern = "[a-z][0-9][a-z]"  # no literal, >16 first bytes: inert
+    program = NewCompiler().compile(pattern).program
+    assert program.analysis is not None and program.analysis.inert
+    vm = ThompsonVM(program)
+    matcher = LazyDFAMatcher(program, vm=vm)
+    filler = b"nomatchhere " * (text_chars // 12 + 1)
+    text = filler[: text_chars - 3] + b"x4x"
+    assert matcher.match(text) == vm.run(text)
+    assert not matcher.blown
+
+    dfa_s = vm_s = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            matcher.match(text)
+        dfa_s = min(dfa_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            vm.run(text)
+        vm_s = min(vm_s, time.perf_counter() - started)
+    return {
+        "pattern": pattern,
+        "text_chars": text_chars,
+        "rounds": rounds,
+        "dfa_states": matcher.dfa.state_count,
+        "vm_s": vm_s,
+        "dfa_s": dfa_s,
+        "vm_chars_per_sec": text_chars * rounds / vm_s,
+        "dfa_chars_per_sec": text_chars * rounds / dfa_s,
+        "speedup": vm_s / dfa_s,
+    }
+
+
 def run_suite(quick: bool = False) -> Dict:
     scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100,
-                 sup_chars=100_000)
+                 sup_chars=100_000, pf_chunks=512)
     if quick:
         scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40,
-                     sup_chars=40_000)
+                     sup_chars=40_000, pf_chunks=256)
     return {
         "schema": 1,
         "quick": quick,
@@ -287,6 +409,13 @@ def run_suite(quick: bool = False) -> Dict:
         "observability_overhead": bench_observability_overhead(
             scale["vm_chars"], scale["vm_rounds"]
         ),
+        "prefilter_sparse_scan": bench_prefilter_sparse_scan(
+            scale["pf_chunks"]
+        ),
+        "prefilter_dense_scan": bench_prefilter_dense_scan(
+            scale["pf_chunks"] // 4
+        ),
+        "lazy_dfa": bench_lazy_dfa(scale["vm_chars"], scale["vm_rounds"]),
     }
 
 
@@ -363,11 +492,44 @@ def main(argv=None) -> int:
         f"{observability['overhead_frac']:+.1%} "
         f"(ceiling +{OVERHEAD_CEILING:.0%})"
     )
+    sparse = results["prefilter_sparse_scan"]
+    dense = results["prefilter_dense_scan"]
+    lazy = results["lazy_dfa"]
+    print(
+        f"prefilter-sparse : {sparse['auto_chars_per_sec']:,.0f} "
+        f"chars/s ({sparse['speedup']:.1f}x, "
+        f"{sparse['matched_frac']:.1%} chunks match)"
+    )
+    print(
+        f"prefilter-dense  : {dense['auto_chars_per_sec']:,.0f} "
+        f"chars/s ({dense['speedup']:.2f}x of unfiltered)"
+    )
+    print(
+        f"lazy-dfa         : {lazy['dfa_chars_per_sec']:,.0f} "
+        f"chars/s ({lazy['speedup']:.1f}x of the VM, "
+        f"{lazy['dfa_states']} states)"
+    )
     if observability["overhead_frac"] > OVERHEAD_CEILING:
         print(
             "REGRESSION: observability_overhead.overhead_frac "
             f"{observability['overhead_frac']:+.1%} exceeds the hard "
             f"+{OVERHEAD_CEILING:.0%} ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    if sparse["speedup"] < PREFILTER_SPARSE_FLOOR:
+        print(
+            "REGRESSION: prefilter_sparse_scan.speedup "
+            f"{sparse['speedup']:.2f}x is below the hard "
+            f"{PREFILTER_SPARSE_FLOOR:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if dense["speedup"] < PREFILTER_DENSE_FLOOR:
+        print(
+            "REGRESSION: prefilter_dense_scan.speedup "
+            f"{dense['speedup']:.2f}x is below the hard "
+            f"{PREFILTER_DENSE_FLOOR:.2f}x floor",
             file=sys.stderr,
         )
         return 1

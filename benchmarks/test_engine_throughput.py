@@ -25,6 +25,10 @@ OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
 MIN_REPEATED_SPEEDUP = 5.0
 MIN_CORPUS_SPEEDUP = 2.0
 
+#: The ISSUE-8 acceptance floors (prefilter + lazy DFA).
+MIN_PREFILTER_SPARSE_SPEEDUP = 5.0
+MIN_PREFILTER_DENSE_SPEEDUP = 0.95
+
 
 def test_engine_throughput_floors():
     results = run_suite(quick=False)
@@ -49,3 +53,19 @@ def test_engine_throughput_floors():
     )
     # The fast path must never be slower than the reference VM.
     assert fast_path["speedup"] >= 1.0
+
+    # Prefilter acceptance (ISSUE 8): sparse corpus scans must clear
+    # the order-of-magnitude bar, dense scans must stay ~free.
+    sparse = results["prefilter_sparse_scan"]
+    dense = results["prefilter_dense_scan"]
+    assert sparse["matched_frac"] <= 0.01, "sparse bench must stay sparse"
+    assert sparse["speedup"] >= MIN_PREFILTER_SPARSE_SPEEDUP, (
+        f"prefilter sparse-scan speedup {sparse['speedup']:.1f}x "
+        f"below the {MIN_PREFILTER_SPARSE_SPEEDUP}x floor"
+    )
+    assert dense["speedup"] >= MIN_PREFILTER_DENSE_SPEEDUP, (
+        f"prefilter dense-scan ratio {dense['speedup']:.2f}x "
+        f"below the {MIN_PREFILTER_DENSE_SPEEDUP}x floor"
+    )
+    # The lazy DFA exists to beat the VM when the prefilter is inert.
+    assert results["lazy_dfa"]["speedup"] >= 1.0

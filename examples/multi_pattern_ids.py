@@ -12,7 +12,8 @@ Run:  python examples/multi_pattern_ids.py
 
 from repro.arch import ArchConfig, CiceroSystem
 from repro.compiler import compile_regex
-from repro.multimatch import compile_multipattern
+from repro.multimatch import MultiMatchVM, compile_multipattern
+from repro.prefilter import PrefilteredMultiMatchVM
 
 RULES = {
     "sql-injection": "(UNION|union) (SELECT|select)",
@@ -58,6 +59,21 @@ def main() -> None:
     print(f"\ncombined multi-match scan : {total_combined:6d} cycles")
     print(f"separate per-rule scans   : {total_separate:6d} cycles "
           f"({total_separate / total_combined:.2f}x more)")
+
+    # PR-8: the software engine prunes rule candidates through an
+    # Aho-Corasick pass over each rule's compile-time literal, so most
+    # events enumerate only the rules whose literal actually occurs
+    # (or skip the VM outright when none does).
+    filtered = PrefilteredMultiMatchVM(combined)
+    bare = MultiMatchVM(combined)
+    print(f"\nliteral prefilter prunes {len(filtered.filtered_ids)} of "
+          f"{len(RULES)} rules (the rest have no usable literal)")
+    for event in EVENTS:
+        result = filtered.run(event)
+        assert result.matched_ids == bare.run(event).matched_ids
+        fired = [names[match_id - 1] for match_id in sorted(result.matched_ids)]
+        verdict = ", ".join(fired) if fired else "clean"
+        print(f"  [{verdict:45s}] {event[:48]}")
 
 
 if __name__ == "__main__":

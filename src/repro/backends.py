@@ -156,6 +156,12 @@ def program_from_regex_module(
         source_pattern=pattern,
         compiler=BACKEND_COMPILER_NAME,
     )
+    # Attach the compile-time prefilter facts here too, so programs
+    # built through the back-end seam (engine cache misses, fuzz
+    # oracles) carry the same metadata as NewCompiler output.
+    from .prefilter.analysis import analyze_module
+
+    program.analysis = analyze_module(module)
     budget.check_program_size(len(program), pattern)
     return program
 

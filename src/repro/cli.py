@@ -244,6 +244,7 @@ def _scan(args) -> int:
     engine = Engine(
         backend=args.backend,
         budget=budget,
+        options=CompileOptions(prefilter=args.prefilter),
         cache_size=DEFAULT_CACHE_SIZE
         if args.cache_size is None
         else args.cache_size,
@@ -708,6 +709,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="report per-chunk outcomes instead of "
                              "failing the whole scan on the first "
                              "chunk error")
+    scan_parser.add_argument("--prefilter", default="auto",
+                             choices=("off", "literal", "auto"),
+                             help="chunk prefiltering for the cicero "
+                             "backend: 'literal' rejects chunks missing "
+                             "required literals/first bytes, 'auto' adds "
+                             "the lazy-DFA verify path (default: auto)")
     scan_parser.add_argument("--mp-context", default=None,
                              choices=("fork", "forkserver", "spawn"),
                              help="multiprocessing start method for "
@@ -818,7 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "from it (default 0xC1CE40)")
     fuzz_parser.add_argument("--oracles", default=None,
                              help="comma-separated oracle subset "
-                             "(default: all ten)")
+                             "(default: all twelve)")
     fuzz_parser.add_argument("--max-cases", type=int, default=None,
                              help="stop after N cases even if time remains")
     fuzz_parser.add_argument("--no-shrink", action="store_true",

@@ -66,6 +66,16 @@ class CompileOptions:
     #: observational — the produced program is identical — so it is
     #: excluded from :meth:`cache_key`.
     trace: bool = False
+    #: Prefilter strategy the *execution* layers apply to this program:
+    #: ``"off"`` runs the bare VM, ``"literal"`` adds the literal /
+    #: first-byte chunk rejection in front of the VM, ``"auto"`` (the
+    #: default) additionally verifies candidates with the lazy DFA and
+    #: uses it for full scans of prefilter-inert patterns.  The
+    #: compile-time analysis itself is always performed and attached to
+    #: the program — this flag only selects how much of it runs at
+    #: match time, but it *does* change the matcher the engine builds,
+    #: so it participates in :meth:`cache_key`.
+    prefilter: str = "auto"
 
     def effective(self) -> "CompileOptions":
         """Options with the master switch folded into the per-pass flags."""
@@ -133,6 +143,11 @@ class CompilationResult:
     def degraded(self) -> bool:
         """Did this compilation lose optimizations to fit its budget?"""
         return bool(self.dropped_passes)
+
+    @property
+    def analysis(self):
+        """The attached :class:`~repro.prefilter.analysis.PrefilterAnalysis`."""
+        return self.program.analysis
 
     @property
     def total_seconds(self) -> float:
@@ -214,6 +229,21 @@ class NewCompiler:
                     stage_seconds["regex-transforms"], "regex-transforms"
                 )
 
+            # Imported lazily: repro.prefilter's execution layers import
+            # this module back (multimatch compiler), so a top-level
+            # import would be circular.  The module is cached after the
+            # first compile, making this a dict lookup thereafter.
+            from .prefilter.analysis import analyze_module
+
+            with tracer.span("prefilter-analysis") as span:
+                started = time.perf_counter()
+                analysis = analyze_module(regex_module)
+                stage_seconds["prefilter-analysis"] = (
+                    time.perf_counter() - started
+                )
+                if tracer.enabled:
+                    span.set(**analysis.to_dict())
+
             with tracer.span("lowering") as span:
                 started = time.perf_counter()
                 cicero_module = lower_to_cicero(
@@ -245,6 +275,10 @@ class NewCompiler:
                 program = generate_program(
                     program_op, source_pattern=pattern, compiler=self.name
                 )
+                # The analysis describes the *pattern*, not a transform
+                # of it, so it rides on the program: caches, pickles,
+                # and worker processes all see the same metadata.
+                program.analysis = analysis
                 stage_seconds["codegen"] = time.perf_counter() - started
                 if tracer.enabled:
                     metrics = static_metrics(program)

@@ -53,6 +53,8 @@ from ..observability import (
     as_tracer,
     default_tracer,
 )
+from ..prefilter.analysis import INERT_ANALYSIS
+from ..prefilter.scanner import PREFILTER_MODES, describe_plan
 from ..runtime.budget import Budget, DEFAULT_BUDGET
 from ..runtime.encoding import as_input_bytes
 from ..runtime.faults import ProcessFaultPlan
@@ -171,6 +173,11 @@ class Engine:
             )
         self.backend = backend
         self.options = options if options is not None else CompileOptions()
+        if self.options.prefilter not in PREFILTER_MODES:
+            raise ValueError(
+                f"prefilter must be one of {PREFILTER_MODES}, "
+                f"got {self.options.prefilter!r}"
+            )
         self.budget = budget if budget is not None else DEFAULT_BUDGET
         self.config = config
         self.max_dfa_states = max_dfa_states
@@ -232,7 +239,35 @@ class Engine:
             max_dfa_states=self.max_dfa_states,
         )
         payload = self._payload(matcher)
-        return _CacheEntry(matcher, payload, build_match_fn(payload))
+        # The in-process match_fn only takes the metrics registry when a
+        # prefilter stage is active (the ``repro_prefilter_*`` counters
+        # live there); the plain-VM path stays on its uninstrumented
+        # loop, preserving the observability-overhead gate.
+        match_fn = build_match_fn(
+            payload,
+            metrics=(
+                self.metrics
+                if payload.prefilter != "off" and self.metrics.enabled
+                else None
+            ),
+        )
+        if (
+            self.tracer.enabled
+            and isinstance(matcher, CiceroMatcher)
+            and payload.prefilter != "off"
+        ):
+            analysis = matcher.vm.program.analysis or INERT_ANALYSIS
+            plan = describe_plan(analysis, payload.prefilter)
+            with self.tracer.span(
+                "prefilter.plan",
+                pattern=pattern,
+                mode=plan["mode"],
+                stages=" -> ".join(plan["stages"]),
+                inert=plan["inert"],
+                inert_reason=plan["inert_reason"],
+            ):
+                pass
+        return _CacheEntry(matcher, payload, match_fn)
 
     def cache_stats(self) -> CacheStats:
         return self._cache.stats()
@@ -404,6 +439,8 @@ class Engine:
                 matcher.vm.program,
                 max_vm_steps,
                 collect_vm_metrics=collect,
+                prefilter=self.options.prefilter,
+                max_dfa_states=self.budget.max_dfa_states,
             )
         if isinstance(matcher, CiceroSimMatcher):
             return WorkerPayload(

@@ -83,6 +83,13 @@ class WorkerPayload:
     #: them into the parent registry).  Off by default: worker hot loops
     #: stay on their uninstrumented copies.
     collect_vm_metrics: bool = False
+    #: Prefilter mode for rebuilt ``cicero`` matchers (``off`` /
+    #: ``literal`` / ``auto``).  The compile-time analysis itself rides
+    #: on ``artifact`` (the pickled :class:`Program` carries it), so a
+    #: worker applies exactly the literals the parent extracted.
+    prefilter: str = "off"
+    #: ``Budget.max_dfa_states`` forwarded to the worker's lazy DFA.
+    max_dfa_states: Optional[int] = None
 
 
 def build_match_fn(
@@ -99,8 +106,19 @@ def build_match_fn(
     """
     backend = payload.backend
     if backend == "cicero":
-        vm = ThompsonVM(payload.artifact)
         max_steps = payload.max_vm_steps
+        if payload.prefilter != "off":
+            from ..prefilter.scanner import PrefilteredMatcher
+
+            matcher = PrefilteredMatcher(
+                payload.artifact,
+                mode=payload.prefilter,
+                max_dfa_states=payload.max_dfa_states,
+                max_vm_steps=max_steps,
+                metrics=metrics,
+            )
+            return lambda data: bool(matcher.match(data))
+        vm = ThompsonVM(payload.artifact)
         if metrics is not None:
             return lambda data: bool(
                 vm.run(data, max_steps=max_steps, metrics=metrics)

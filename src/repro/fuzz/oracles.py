@@ -8,6 +8,9 @@ execution path and diffs the verdicts:
 ============ =========================================================
 ``vm``        new compiler, optimized program, VM fast path
 ``vm-ref``    same program on :meth:`ThompsonVM.run_reference` (golden)
+``vm-pre``    the prefiltered path: literal/first-byte rejection, then
+              lazy-DFA verify with VM fallback (the engine's default)
+``lazydfa``   the bare lazy DFA, bounded; blowups abstain
 ``noopt``     new compiler with every optimization disabled
 ``old``       the paper's original direct-lowering compiler
 ``sim``       cycle-level :class:`~repro.arch.system.CiceroSystem`
@@ -40,6 +43,8 @@ miscompiles.
 from __future__ import annotations
 
 import re as _re
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +65,8 @@ from ..isa.instructions import Opcode
 from ..isa.program import Program
 from ..multimatch import MultiMatchVM, compile_multipattern
 from ..oldcompiler.compiler import OldCompiler
+from ..prefilter.lazydfa import LazyDFA, LazyDFABlowup
+from ..prefilter.scanner import PrefilteredMatcher
 from ..runtime.budget import DEFAULT_BUDGET, Budget
 from ..runtime.errors import ReproError
 from ..runtime.faults import InstructionFault, corrupt_program
@@ -71,6 +78,8 @@ from ..vm.thompson import ThompsonVM
 DEFAULT_ORACLES: Tuple[str, ...] = (
     "vm",
     "vm-ref",
+    "vm-pre",
+    "lazydfa",
     "noopt",
     "old",
     "sim",
@@ -154,6 +163,46 @@ def default_fault_for(program: Program) -> InstructionFault:
     return InstructionFault(0, operand=program.instructions[0].operand ^ 0x1)
 
 
+#: Per-probe wall-clock ceiling for the backtracking ``pyre`` oracle.
+#: Every in-tree engine is linear-time, but Python's ``re`` is not: a
+#: fuzzed pattern like ``(a+)+b`` backtracks exponentially and a single
+#: probe can stall a campaign for minutes.  CPython's sre loop checks
+#: pending signals, so an ITIMER_REAL alarm aborts the search cleanly.
+PYRE_TIMEOUT_SECONDS = 2.0
+
+
+class _OracleTimeout(Exception):
+    """Internal: a wall-clock-guarded oracle ran out of time (abstain)."""
+
+
+def _raise_oracle_timeout(signum, frame):
+    raise _OracleTimeout()
+
+
+def _with_deadline(
+    matcher: Callable[[str], bool], seconds: float
+) -> Callable[[str], bool]:
+    """Bound ``matcher`` by a real-time alarm; raises :class:`_OracleTimeout`.
+
+    Signal handlers only work on the main thread; elsewhere the matcher
+    runs unguarded (worker processes never execute fuzz oracles, and the
+    campaign runner is single-threaded).
+    """
+
+    def timed(text: str) -> bool:
+        if threading.current_thread() is not threading.main_thread():
+            return matcher(text)
+        previous_handler = signal.signal(signal.SIGALRM, _raise_oracle_timeout)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return matcher(text)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    return timed
+
+
 def _guarded(matcher: Callable[[str], bool]) -> Callable[[str], Verdict]:
     def runner(text: str) -> Verdict:
         try:
@@ -162,6 +211,10 @@ def _guarded(matcher: Callable[[str], bool]) -> Callable[[str], Verdict]:
             return ("skip", error.code)
         except DFASizeLimitExceeded:
             return ("skip", "dfa-size-limit")
+        except LazyDFABlowup:
+            return ("skip", "lazydfa-blowup")
+        except _OracleTimeout:
+            return ("skip", "oracle-timeout")
         except ReproError as error:
             return ("error", error.code)
         except Exception as error:  # a crashing oracle is itself a bug
@@ -277,6 +330,20 @@ class CompiledOracles:
                 self.runners["vm-ref"] = _guarded(
                     lambda t: bool(vm.run_reference(t))
                 )
+        if "vm-pre" in want:
+            # The engine's default path: literal/first-byte chunk
+            # rejection, lazy-DFA verify, VM fallback.  The analysis
+            # rides on the (possibly corrupted) program; a prefilter
+            # that disagrees with a corrupted VM is a *detection*.
+            prefiltered = PrefilteredMatcher(
+                self.program_opt, mode="auto", max_dfa_states=max_dfa_states
+            )
+            self.runners["vm-pre"] = _guarded(
+                lambda t: bool(prefiltered.match(t))
+            )
+        if "lazydfa" in want:
+            lazy = LazyDFA(self.program_opt, max_states=max_dfa_states)
+            self.runners["lazydfa"] = _guarded(lambda t: bool(lazy.run(t)))
         if "noopt" in want:
             vm_noopt = ThompsonVM(program_noopt)
             self.runners["noopt"] = _guarded(lambda t: bool(vm_noopt.run(t)))
@@ -321,6 +388,9 @@ class CompiledOracles:
         except DFASizeLimitExceeded:
             self.skips[name] = "dfa-size-limit"
             return
+        except LazyDFABlowup:
+            self.skips[name] = "lazydfa-blowup"
+            return
         except ReproError as error:
             self.runners[name] = _constant(("error", error.code))
             return
@@ -361,7 +431,14 @@ class CompiledOracles:
             # capacity limit, not a verdict.
             self.skips["pyre"] = f"re.error: {error}"
             return None
-        return _guarded(lambda t: bool(compiled.search(t)))
+        # Python's re backtracks; bound each probe so a catastrophic
+        # pattern abstains ("oracle-timeout") instead of stalling the
+        # whole campaign.
+        return _guarded(
+            _with_deadline(
+                lambda t: bool(compiled.search(t)), PYRE_TIMEOUT_SECONDS
+            )
+        )
 
     def _check_equivalence(
         self, name: str, left: Program, right: Program,

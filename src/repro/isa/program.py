@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional
 
 from ..ir.diagnostics import CodegenError
 from .instructions import Instruction, MAX_PROGRAM_LENGTH, Opcode
+
+if TYPE_CHECKING:  # circular at runtime: prefilter executes programs
+    from ..prefilter.analysis import PrefilterAnalysis
 
 
 @dataclass
@@ -18,13 +21,18 @@ class Program:
     (when present) gives, per instruction address, the source-regex
     fragment the instruction was lowered from — the attribution table
     :class:`repro.observability.VMProfile` maps hot PCs back through.
-    Entries may be ``None`` for synthesized glue.
+    Entries may be ``None`` for synthesized glue.  ``analysis`` carries
+    the compile-time :class:`~repro.prefilter.analysis.PrefilterAnalysis`
+    so cached and pickled programs ship their prefilter metadata to
+    worker processes unchanged; ``None`` means "not analyzed" and every
+    consumer treats it as inert.
     """
 
     instructions: List[Instruction] = field(default_factory=list)
     source_pattern: str = ""
     compiler: str = ""
     source_map: Optional[List[Optional[str]]] = None
+    analysis: Optional["PrefilterAnalysis"] = None
 
     def __post_init__(self):
         self.validate()
@@ -119,5 +127,6 @@ def program_from(
     source_pattern: str = "",
     compiler: str = "",
     source_map: Optional[List[Optional[str]]] = None,
+    analysis: Optional["PrefilterAnalysis"] = None,
 ) -> Program:
-    return Program(list(instructions), source_pattern, compiler, source_map)
+    return Program(list(instructions), source_pattern, compiler, source_map, analysis)

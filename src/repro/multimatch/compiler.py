@@ -36,10 +36,19 @@ from ..isa.program import Program
 
 @dataclass
 class MultiProgram:
-    """A combined program plus its id → pattern table."""
+    """A combined program plus its id → pattern table.
+
+    ``analyses`` maps each pattern id to the compile-time
+    :class:`~repro.prefilter.analysis.PrefilterAnalysis` of its body
+    (captured before composition — the combined program's own analysis
+    would be the useless union), feeding the Aho-Corasick candidate
+    pruning in :class:`~repro.prefilter.multi.PrefilteredMultiMatchVM`.
+    Missing ids are treated as inert.
+    """
 
     program: Program
     patterns: Dict[int, str] = field(default_factory=dict)
+    analyses: Dict[int, object] = field(default_factory=dict)
 
     @property
     def ids(self) -> List[int]:
@@ -93,11 +102,14 @@ class MultiPatternCompiler:
         bodies: List[List[Instruction]] = []
         body_maps: List[List[Optional[str]]] = []
         table: Dict[int, str] = {}
+        analyses: Dict[int, object] = {}
         for index, pattern in enumerate(patterns):
             match_id = index + 1
             compiled = self._compiler.compile(pattern)
             bodies.append(_tag_acceptances(list(compiled.program), match_id))
             table[match_id] = pattern
+            if compiled.program.analysis is not None:
+                analyses[match_id] = compiled.program.analysis
             # Per-pattern attribution survives composition: prefix each
             # body's source fragments with the pattern identifier.
             body_map = compiled.program.source_map
@@ -137,7 +149,7 @@ class MultiPatternCompiler:
                 else None
             ),
         )
-        return MultiProgram(program=program, patterns=table)
+        return MultiProgram(program=program, patterns=table, analyses=analyses)
 
 
 def compile_multipattern(

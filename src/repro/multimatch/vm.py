@@ -91,7 +91,17 @@ class MultiMatchVM:
         tracer=None,
         metrics=None,
         profile=None,
+        candidates: Optional[FrozenSet[int]] = None,
     ) -> MultiMatchResult:
+        """Collect every matching identifier.
+
+        ``candidates`` narrows the early-exit condition: when a caller
+        (the Aho-Corasick prefilter) has proven that only a subset of
+        ids can possibly match, the enumeration stops once that subset
+        has been seen instead of waiting for *all* ids — the pruning is
+        the caller's responsibility, the VM's verdicts stay exact for
+        every id it reports.
+        """
         data = text if isinstance(text, bytes) else as_input_bytes(
             text, what="input text"
         )
@@ -102,7 +112,7 @@ class MultiMatchVM:
                 or (metrics is not None and metrics.enabled)
             ):
                 return self._run_instrumented(
-                    data, max_steps, tracer, metrics, profile
+                    data, max_steps, tracer, metrics, profile, candidates
                 )
         opcodes = self._opcodes
         operands = self._operands
@@ -115,11 +125,15 @@ class MultiMatchVM:
         NOT_MATCH = int(Opcode.NOT_MATCH)
 
         matched: Set[int] = set()
-        all_ids = self._all_ids
+        targets = (
+            self._all_ids
+            if candidates is None
+            else frozenset(candidates) & self._all_ids
+        )
         frontier: List[int] = list(self._entry)
         executed = 0
         for position in range(length + 1):
-            if not frontier or matched == all_ids:
+            if not frontier or matched >= targets:
                 break
             has_char = position < length
             char = data[position] if has_char else -1
@@ -165,6 +179,7 @@ class MultiMatchVM:
         tracer,
         metrics,
         profile=None,
+        candidates: Optional[FrozenSet[int]] = None,
     ) -> MultiMatchResult:
         """The fast path plus telemetry (see ``ThompsonVM``'s twin).
 
@@ -194,6 +209,9 @@ class MultiMatchVM:
         closure_hits = 0
         matched: Set[int] = set()
         all_ids = self._all_ids
+        targets = (
+            all_ids if candidates is None else frozenset(candidates) & all_ids
+        )
         with active_tracer.span(
             "multimatch.run",
             program_size=len(opcodes),
@@ -204,7 +222,7 @@ class MultiMatchVM:
                 frontier: List[int] = list(self._entry)
                 executed = 0
                 for position in range(length + 1):
-                    if not frontier or matched == all_ids:
+                    if not frontier or matched >= targets:
                         break
                     has_char = position < length
                     char = data[position] if has_char else -1

@@ -1,0 +1,144 @@
+"""Byte-level Aho-Corasick automaton for multi-pattern prefiltering.
+
+The multimatch engine's IDS scenario carries one required literal per
+rule; the prefilter's job is "which rules' literals occur in this
+event?" so the VM only needs to verify that candidate subset.  A
+compiled :mod:`re` alternation answers the *boolean* version of that at
+C speed but cannot attribute hits per rule when literals overlap — in
+``b"aba"`` the alternation ``ab|ba`` reports only ``ab`` because the
+stdlib scanner resumes *after* each match, silently dropping ``ba``.
+Attribution needs the classic goto/fail/output automaton, which visits
+every position exactly once and reports every literal ending there
+(output links folded into each node at build time).
+
+The pure-Python per-byte walk would otherwise be slower than the VM it
+is meant to shortcut, so the automaton only walks bytes while *inside*
+a partial literal: whenever it sits at the root it jumps straight to
+the next occurrence of any literal's first byte with a compiled
+character-class :meth:`re.Pattern.search` — one C call per candidate
+region, which on sparse corpora skips essentially the whole input.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+
+def byte_class_pattern(byte_values: Iterable[int]) -> "re.Pattern[bytes]":
+    """Compile ``[...]`` over raw byte values (shared with scanner.py)."""
+    members = b"".join(re.escape(bytes((value,))) for value in sorted(set(byte_values)))
+    return re.compile(b"[" + members + b"]")
+
+
+class AhoCorasick:
+    """Multi-literal matcher with per-literal payload attribution.
+
+    Built from ``(literal, payload)`` pairs; :meth:`find_payloads`
+    returns the set of payloads whose literal occurs anywhere in the
+    input, overlaps included.  Payloads are opaque hashables (the
+    multimatch layer passes pattern ids).
+    """
+
+    def __init__(self, entries: Iterable[Tuple[bytes, object]]):
+        goto = [{}]
+        outputs = [set()]
+        literal_count = 0
+        for literal, payload in entries:
+            if not literal:
+                raise ValueError("Aho-Corasick literals must be non-empty")
+            literal_count += 1
+            node = 0
+            for byte in literal:
+                child = goto[node].get(byte)
+                if child is None:
+                    child = len(goto)
+                    goto[node][byte] = child
+                    goto.append({})
+                    outputs.append(set())
+                node = child
+            outputs[node].add(payload)
+
+        fail = [0] * len(goto)
+        queue = deque(goto[0].values())
+        while queue:
+            node = queue.popleft()
+            for byte, child in goto[node].items():
+                queue.append(child)
+                probe = fail[node]
+                while probe and byte not in goto[probe]:
+                    probe = fail[probe]
+                target = goto[probe].get(byte, 0)
+                fail[child] = target if target != child else 0
+                # Fold the fail chain's outputs in now so the search
+                # loop reads one set per node instead of chasing links.
+                outputs[child] |= outputs[fail[child]]
+
+        self._goto = goto
+        self._fail = fail
+        self._outputs = [frozenset(out) for out in outputs]
+        self.literal_count = literal_count
+        self.node_count = len(goto)
+        self.start_bytes: Tuple[int, ...] = tuple(sorted(goto[0]))
+        self._skip_search = (
+            byte_class_pattern(self.start_bytes).search if goto[0] else None
+        )
+
+    def find_payloads(
+        self, data: bytes, universe: Optional[FrozenSet] = None
+    ) -> FrozenSet:
+        """All payloads whose literal occurs in ``data``.
+
+        ``universe`` enables early exit: once every payload in it has
+        been seen there is nothing left to learn and the scan stops.
+        """
+        skip_search = self._skip_search
+        if skip_search is None:
+            return frozenset()
+        goto = self._goto
+        fail = self._fail
+        outputs = self._outputs
+        found: Set = set()
+        node = 0
+        position = 0
+        length = len(data)
+        while position < length:
+            if node == 0:
+                hit = skip_search(data, position)
+                if hit is None:
+                    break
+                position = hit.start()
+            byte = data[position]
+            while True:
+                child = goto[node].get(byte)
+                if child is not None:
+                    node = child
+                    break
+                if node == 0:
+                    break
+                node = fail[node]
+            out = outputs[node]
+            if out:
+                found |= out
+                if universe is not None and found >= universe:
+                    break
+            position += 1
+        return frozenset(found)
+
+    def contains_any(self, data: bytes) -> bool:
+        """Does any literal occur in ``data``? (boolean fast path)"""
+        if self._skip_search is None:
+            return False
+        return bool(self.find_payloads(data, universe=_FIRST_HIT))
+
+
+class _StopOnFirstHit(frozenset):
+    """A universe every non-empty found-set satisfies (>= any singleton
+    works because ``found >= frozenset()`` is checked only after a hit)."""
+
+
+_FIRST_HIT: FrozenSet = _StopOnFirstHit()
+
+
+__all__ = ["AhoCorasick", "byte_class_pattern"]

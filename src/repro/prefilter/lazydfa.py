@@ -1,0 +1,296 @@
+"""Budget-bounded lazy DFA over the Thompson program.
+
+The VM fast path pays a Python-level set expansion per input position;
+for scan-heavy workloads that is the dominant cost even when the
+frontier is tiny.  This module determinizes the same work-instruction
+model *on the fly*: a DFA state is the frozenset of work PCs the VM
+would hold in its frontier, and a transition row is filled in one byte
+class at a time, only for the (state, class) pairs the input actually
+exercises.  Once a transition is cached, re-traversing it costs two
+list indexings — roughly two orders of magnitude less than a VM
+position.
+
+Byte classes: every distinct ``MATCH``/``NOT_MATCH`` operand gets a
+singleton class and all remaining bytes share one residual class.  Two
+bytes in the same class are indistinguishable to the program (the only
+byte inspections are equality tests against those operands), so one
+cached transition covers the whole class; the input is mapped through
+the 256-byte class table with :meth:`bytes.translate` — one C-level
+pass — before the automaton loop runs.
+
+Subtlety the state graph must carry: ``NOT_MATCH`` is an ε-move
+*conditioned on the current byte*, and it can reach ``ACCEPT_PARTIAL``
+within a position.  Acceptance mid-input is therefore a property of the
+*transition* (state × byte class), not of the state alone, so cached
+transitions encode "match fires at this position" as a distinct
+sentinel rather than a successor state.
+
+The construction is strictly bounded: interning a state beyond
+``max_states`` raises :class:`LazyDFABlowup`, and
+:class:`LazyDFAMatcher` then falls back — permanently, for that
+pattern — to the NFA VM.  Blowup is a performance event, never a
+correctness event (acceptance criterion: pathological ``(a|aa){n}``
+patterns degrade with a ``repro_lazydfa_fallback_total`` increment,
+never an error or a wrong verdict).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from ..vm.thompson import MatchResult, ThompsonVM, _as_bytes
+
+#: Default cap on interned DFA states (also the `Budget.max_dfa_states`
+#: default).  64 states/row × a few hundred rows is a few MB at most;
+#: real-world literal-ish patterns determinize in well under 100 states.
+DEFAULT_MAX_DFA_STATES = 10_000
+
+# Transition-row sentinels (all < 0 so real state ids stay >= 0).
+_UNBUILT = -3
+_MATCHED = -2
+_DEAD = -1
+
+
+class LazyDFABlowup(Exception):
+    """The subset construction exceeded ``max_states``.
+
+    A plain exception (not a :class:`ReproError`): it never escapes to
+    users — :class:`LazyDFAMatcher` catches it and falls back to the
+    VM, and the fuzz oracle counts it as an abstain.
+    """
+
+    def __init__(self, max_states: int, pattern: Optional[str] = None):
+        self.max_states = max_states
+        self.pattern = pattern
+        super().__init__(
+            f"lazy DFA exceeded max_dfa_states={max_states}"
+            + (f" for pattern {pattern!r}" if pattern else "")
+        )
+
+
+class LazyDFA:
+    """On-the-fly determinization of one Thompson program.
+
+    Shares (or builds) a :class:`ThompsonVM` for its precomputed
+    ε-closure dispatch tables; the cached transition graph grows only as
+    inputs demand and is reused across :meth:`run` calls, so scan loops
+    amortize construction across the whole corpus.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: Optional[int] = DEFAULT_MAX_DFA_STATES,
+        vm: Optional[ThompsonVM] = None,
+    ):
+        self.program = program
+        #: ``None`` disables the cap (Budget.unlimited() semantics).
+        self.max_states = max_states
+        self._vm = vm if vm is not None else ThompsonVM(program)
+        self._opcodes = self._vm._opcodes
+        self._operands = self._vm._operands
+        self._successors = self._vm._successors
+        self._build_byte_classes()
+        accept = int(Opcode.ACCEPT)
+        accept_partial = int(Opcode.ACCEPT_PARTIAL)
+        self._accept_opcodes = (accept, accept_partial)
+        # State interning: id 0 is always the entry state.
+        self._ids: Dict[frozenset, int] = {}
+        self._states: List[frozenset] = []
+        self._rows: List[List[int]] = []
+        self._accept_end: List[bool] = []
+        self._intern(frozenset(self._vm._entry))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_byte_classes(self) -> None:
+        match_op = int(Opcode.MATCH)
+        not_match = int(Opcode.NOT_MATCH)
+        operand_bytes = sorted(
+            {
+                self._operands[pc]
+                for pc, opcode in enumerate(self._opcodes)
+                if opcode in (match_op, not_match)
+            }
+        )
+        class_of = [len(operand_bytes)] * 256  # residual class by default
+        for index, byte in enumerate(operand_bytes):
+            class_of[byte] = index
+        # One representative byte per class drives transition building;
+        # the residual class (if any byte falls in it) uses the smallest
+        # non-operand byte.
+        representatives = list(operand_bytes)
+        operand_set = set(operand_bytes)
+        residual = next(
+            (byte for byte in range(256) if byte not in operand_set), None
+        )
+        if residual is not None:
+            representatives.append(residual)
+        self.num_classes = len(representatives)
+        self._representatives = representatives
+        self._class_table = bytes(class_of)
+
+    def _intern(self, state: frozenset) -> int:
+        state_id = self._ids.get(state)
+        if state_id is not None:
+            return state_id
+        if self.max_states is not None and len(self._states) >= self.max_states:
+            raise LazyDFABlowup(self.max_states, self.program.source_pattern)
+        state_id = len(self._states)
+        self._ids[state] = state_id
+        self._states.append(state)
+        self._rows.append([_UNBUILT] * self.num_classes)
+        opcodes = self._opcodes
+        accepts = self._accept_opcodes
+        self._accept_end.append(any(opcodes[pc] in accepts for pc in state))
+        return state_id
+
+    def _build_transition(self, state_id: int, byte_class: int) -> int:
+        """One VM position, specialized to ``byte_class``'s bytes."""
+        char = self._representatives[byte_class]
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        accept_partial = int(Opcode.ACCEPT_PARTIAL)
+        match_any = int(Opcode.MATCH_ANY)
+        not_match = int(Opcode.NOT_MATCH)
+        match_op = int(Opcode.MATCH)
+
+        visited = set()
+        next_roots = []
+        worklist = list(self._states[state_id])
+        result = _DEAD
+        while worklist:
+            pc = worklist.pop()
+            if pc in visited:
+                continue
+            visited.add(pc)
+            opcode = opcodes[pc]
+            if opcode == not_match:
+                if char != operands[pc]:
+                    worklist.extend(successors[pc])
+            elif opcode == match_any:
+                next_roots.append(pc)
+            elif opcode == accept_partial:
+                result = _MATCHED
+                break
+            elif opcode == match_op:
+                if char == operands[pc]:
+                    next_roots.append(pc)
+            # ACCEPT needs end-of-input; with a byte in hand it is dead.
+        if result != _MATCHED:
+            next_state = frozenset(
+                pc
+                for root in next_roots
+                for pc in successors[root]
+            )
+            if next_state:
+                result = self._intern(next_state)
+        self._rows[state_id][byte_class] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._states)
+
+    def run(
+        self, text: Union[str, bytes], max_steps: Optional[int] = None
+    ) -> MatchResult:
+        """Execute over ``text``; verdicts equal :meth:`ThompsonVM.run`.
+
+        ``max_steps`` is accepted for interface parity with the VM and
+        ignored — the DFA does bounded work per byte by construction
+        (its own bound is ``max_states``, enforced during building).
+        Raises :class:`LazyDFABlowup` when the input drives the cache
+        past that bound; callers fall back to the VM.
+        """
+        data = text if isinstance(text, bytes) else _as_bytes(text)
+        translated = data.translate(self._class_table)
+        rows = self._rows
+        state_id = 0
+        row = rows[0]
+        build = self._build_transition
+        for position, byte_class in enumerate(translated):
+            next_id = row[byte_class]
+            if next_id < 0:
+                if next_id == _UNBUILT:
+                    next_id = build(state_id, byte_class)
+                if next_id == _MATCHED:
+                    return MatchResult(True, position)
+                if next_id == _DEAD:
+                    return MatchResult(False, None)
+            state_id = next_id
+            row = rows[state_id]
+        if self._accept_end[state_id]:
+            return MatchResult(True, len(data))
+        return MatchResult(False, None)
+
+
+class LazyDFAMatcher:
+    """Lazy DFA with a permanent, metered fallback to the NFA VM.
+
+    The first :class:`LazyDFABlowup` flips the matcher into VM mode for
+    good — a pattern that blows the state budget once will do so again,
+    and half-built caches are not worth re-probing per call.  The
+    fallback is observable (``repro_lazydfa_fallback_total``) but never
+    behavioral: both paths return identical :class:`MatchResult`s.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: Optional[int] = DEFAULT_MAX_DFA_STATES,
+        max_vm_steps: Optional[int] = None,
+        metrics=None,
+        vm: Optional[ThompsonVM] = None,
+    ):
+        self.vm = vm if vm is not None else ThompsonVM(program)
+        self.dfa = LazyDFA(program, max_states=max_states, vm=self.vm)
+        self.max_vm_steps = max_vm_steps
+        self.blown = False
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
+        self._runs = None
+        self._fallbacks = None
+        self._states_gauge = None
+        if metrics is not None and metrics.enabled:
+            self._runs = metrics.counter(
+                "repro_lazydfa_runs_total",
+                help_text="lazy-DFA executions (fallback runs excluded)",
+            )
+            self._fallbacks = metrics.counter(
+                "repro_lazydfa_fallback_total",
+                help_text="lazy-DFA state-budget blowups degraded to the NFA VM",
+            )
+            self._states_gauge = metrics.gauge(
+                "repro_lazydfa_states",
+                help_text="DFA states interned for the current pattern",
+            )
+
+    def match(self, text: Union[str, bytes]) -> MatchResult:
+        if not self.blown:
+            try:
+                result = self.dfa.run(text)
+            except LazyDFABlowup:
+                self.blown = True
+                if self._fallbacks is not None:
+                    self._fallbacks.inc()
+            else:
+                if self._runs is not None:
+                    self._runs.inc()
+                    self._states_gauge.set(self.dfa.state_count)
+                return result
+        return self.vm.run(text, self.max_vm_steps, metrics=self._metrics)
+
+
+__all__ = [
+    "DEFAULT_MAX_DFA_STATES",
+    "LazyDFA",
+    "LazyDFABlowup",
+    "LazyDFAMatcher",
+]

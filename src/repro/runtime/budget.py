@@ -53,6 +53,12 @@ class Budget:
     max_pass_seconds: Optional[float] = None
     #: Maximum instruction steps of one golden-model VM run.
     max_vm_steps: Optional[int] = 50_000_000
+    #: Maximum states the lazy DFA may intern for one pattern before it
+    #: abandons determinization and degrades to the NFA VM (a silent
+    #: performance event counted by ``repro_lazydfa_fallback_total``,
+    #: never an error).  ``None`` lets the subset construction grow
+    #: without bound.
+    max_dfa_states: Optional[int] = 10_000
     #: Maximum cycles of one simulator run; ``None`` uses the
     #: simulator's adaptive per-run formula (input × program sized).
     max_sim_cycles: Optional[int] = None

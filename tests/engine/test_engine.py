@@ -5,6 +5,7 @@ import pytest
 import repro
 from repro.arch.config import ConfigurationError
 from repro.backends import BACKENDS
+from repro.compiler import CompileOptions
 from repro.engine import Engine
 from repro.engine.core import resolve_jobs
 from repro.runtime.budget import Budget, DEFAULT_BUDGET
@@ -42,8 +43,12 @@ class TestMatch:
             Engine(backend="hyperscan")
 
     def test_vm_step_budget_enforced(self):
+        # Pin prefilter off: with it on, the literal stage (or the lazy
+        # DFA) legitimately answers without spending any VM steps.
         tight = DEFAULT_BUDGET.replace(max_vm_steps=10)
-        engine = Engine(budget=tight)
+        engine = Engine(
+            budget=tight, options=CompileOptions(prefilter="off")
+        )
         with pytest.raises(VMStepBudgetError):
             engine.match("(a|aa)*b", "a" * 200 + "c")
 

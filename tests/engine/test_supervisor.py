@@ -22,6 +22,7 @@ from repro.engine import (
     resolve_mp_context,
 )
 from repro.engine.supervisor import run_in_process, supervised_matches
+from repro.compiler import CompileOptions
 from repro.runtime.budget import DEFAULT_BUDGET
 from repro.runtime.errors import VMStepBudgetError
 
@@ -136,8 +137,10 @@ class TestOutcomeShapes:
 
 class TestPartialMode:
     def test_serial_partial_returns_report_with_verdicts(self):
+        # Prefilter off: the budget trip is the point of this test, and
+        # the literal/lazy-DFA stages would answer without VM steps.
         tight = DEFAULT_BUDGET.replace(max_vm_steps=200)
-        engine = Engine(budget=tight)
+        engine = Engine(budget=tight, options=CompileOptions(prefilter="off"))
         texts = ["abd", "a" * 150 + "x", "acd"]
         report = engine.match_many("a(b|c)d", texts, strict=False)
         assert isinstance(report, ScanReport)
@@ -150,7 +153,7 @@ class TestPartialMode:
 
     def test_serial_strict_raises_first_typed_error(self):
         tight = DEFAULT_BUDGET.replace(max_vm_steps=200)
-        engine = Engine(budget=tight)
+        engine = Engine(budget=tight, options=CompileOptions(prefilter="off"))
         with pytest.raises(VMStepBudgetError):
             engine.match_many("a(b|c)d", ["abd", "a" * 150 + "x"])
 

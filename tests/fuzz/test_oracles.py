@@ -113,3 +113,41 @@ def test_two_oracles_rejecting_with_same_code_agree():
     snowman = "ab☃"
     result = run_case("ab", [snowman], oracles=("vm", "noopt", "old"))
     assert result.ok, [d.to_dict() for d in result.disagreements]
+
+
+def test_pyre_catastrophic_backtracking_times_out_as_abstain():
+    """Python's re is the only non-linear oracle; a backtracking bomb
+    must abstain within PYRE_TIMEOUT_SECONDS, never stall the campaign
+    (fixed after a fuzzed ``(a*a+..){3,4}`` case ran for minutes)."""
+    import time
+
+    from repro.fuzz import oracles as oracles_mod
+
+    pattern = "(a+)+b"
+    bomb = "a" * 34 + "c"
+    started = time.monotonic()
+    result = run_case(
+        pattern, [bomb], oracles=("vm", "vm-ref", "pyre")
+    )
+    elapsed = time.monotonic() - started
+    assert result.ok, [d.to_dict() for d in result.disagreements]
+    assert elapsed < oracles_mod.PYRE_TIMEOUT_SECONDS * 4
+
+
+def test_with_deadline_restores_signal_state():
+    """The alarm guard must leave no timer or handler behind."""
+    import signal
+    import time
+
+    from repro.fuzz.oracles import _OracleTimeout, _with_deadline
+
+    before = signal.getsignal(signal.SIGALRM)
+    timed = _with_deadline(lambda _t: True, seconds=5.0)
+    assert timed("x") is True
+    slow = _with_deadline(
+        lambda _t: time.sleep(1.0) or True, seconds=0.05
+    )
+    with pytest.raises(_OracleTimeout):
+        slow("x")
+    assert signal.getsignal(signal.SIGALRM) is before
+    assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)

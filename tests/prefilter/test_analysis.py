@@ -1,0 +1,140 @@
+"""Unit coverage for the compile-time literal / first-byte analysis."""
+
+import pytest
+
+from repro.prefilter.analysis import (
+    INERT_ANALYSIS,
+    MAX_FIRST_BYTES,
+    PrefilterAnalysis,
+    analyze_pattern,
+)
+
+
+class TestLiteralExtraction:
+    def test_plain_literal_pattern(self):
+        analysis = analyze_pattern("abc")
+        assert analysis.literals == (b"abc",)
+        assert analysis.prefix == b"abc"
+        assert analysis.first_bytes == (ord("a"),)
+        assert not analysis.anchored_start
+        assert not analysis.inert
+
+    def test_one_literal_per_alternation_branch(self):
+        analysis = analyze_pattern("foo|bar")
+        assert analysis.literals == (b"foo", b"bar")
+
+    def test_required_separator_inside_variable_context(self):
+        # Both sides are unbounded classes; only the '@' is forced.
+        analysis = analyze_pattern("[a-z]+@[a-z]+")
+        assert analysis.literals == (b"@",)
+        assert analysis.first_bytes is None  # 26 > MAX_FIRST_BYTES
+
+    def test_counted_quantifier_forces_min_copies(self):
+        # The optimizer's boundary reduction rewrites a{2,4} to a{2}
+        # under unanchored search semantics, so the forced copies stay
+        # adjacent to the 'b' that follows.
+        analysis = analyze_pattern("a{2,4}b")
+        assert analysis.literals == (b"aab",)
+
+    def test_unoptimized_counted_quantifier_breaks_adjacency(self):
+        # Without the boundary pass the optional repeats sit between
+        # the forced 'aa' and the 'b': "aab" would be unsound.
+        analysis = analyze_pattern("a{2,4}b", optimize=False)
+        assert analysis.literals is not None
+        assert b"aab" not in analysis.literals
+        assert b"aa" in analysis.literals
+
+    def test_branch_without_forced_run_disables_literals(self):
+        # [ab][cd] has no single forced byte anywhere.
+        analysis = analyze_pattern("[ab][cd]")
+        assert analysis.literals is None
+        assert analysis.first_bytes == (ord("a"), ord("b"))
+        assert not analysis.inert  # first bytes still filter
+
+    def test_group_literal_contributes(self):
+        analysis = analyze_pattern("(foo|bar|baz)qux")
+        assert analysis.literals == (b"qux",)
+
+
+class TestAnchoringAndPrefix:
+    def test_start_anchor_yields_prefix(self):
+        analysis = analyze_pattern("^GET /admin")
+        assert analysis.anchored_start
+        assert analysis.prefix == b"GET /admin"
+        assert not analysis.inert
+
+    def test_unanchored_pattern_reports_no_anchor(self):
+        assert not analyze_pattern("abc").anchored_start
+
+
+class TestFirstBytes:
+    def test_union_across_branches(self):
+        analysis = analyze_pattern("[ab]x|cx")
+        assert analysis.first_bytes == tuple(ord(c) for c in "abc")
+
+    def test_oversized_set_is_dropped(self):
+        analysis = analyze_pattern("[a-z]x")
+        assert analysis.first_bytes is None
+        assert analysis.literals == (b"x",)  # the literal survives
+        assert len("abcdefghijklmnopqrstuvwxyz") > MAX_FIRST_BYTES
+
+
+class TestInertVerdicts:
+    def test_empty_matching_branch_is_inert(self):
+        analysis = analyze_pattern("(a|b)*")
+        assert analysis.inert
+        assert analysis.inert_reason == "a branch matches the empty string"
+        assert analysis.literals is None
+        assert analysis.first_bytes is None
+
+    def test_inert_constant_is_inert(self):
+        assert INERT_ANALYSIS.inert
+        assert INERT_ANALYSIS.inert_reason
+
+    def test_non_inert_analysis_has_no_reason(self):
+        analysis = analyze_pattern("abc")
+        assert analysis.inert_reason == ""
+
+
+class TestDataclassContract:
+    def test_to_dict_is_json_friendly_and_stable(self):
+        import json
+
+        analysis = analyze_pattern("foo|bar")
+        snapshot = analysis.to_dict()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["literals"] == ["foo", "bar"]
+        assert snapshot["inert"] is False
+
+    def test_min_literal_len(self):
+        assert analyze_pattern("foo|barbar").min_literal_len == 3
+        assert PrefilterAnalysis().min_literal_len == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            analyze_pattern("abc").literals = None
+
+
+class TestCorpusSoundness:
+    """For every corpus pattern, any matching input must contain the
+    advertised evidence (unit-level spot check; the Hypothesis suite
+    generalizes this against generated patterns)."""
+
+    def test_matching_inputs_carry_a_branch_literal(self, corpus_pattern):
+        import re
+
+        analysis = analyze_pattern(corpus_pattern)
+        if analysis.literals is None:
+            pytest.skip("no literal extracted")
+        gold = re.compile(corpus_pattern)
+        probes = [
+            "abcd", "xxabcdyy", "this", "that", "acccd", "ax",
+            "xaay", "aab", "abc", "ABCD", "fooqux", "a" * 8 + "b",
+            "LIVDER", "ab is", "cd", "efghh",
+        ]
+        for text in probes:
+            if gold.search(text):
+                data = text.encode()
+                assert any(lit in data for lit in analysis.literals), (
+                    corpus_pattern, text, analysis.literals
+                )
