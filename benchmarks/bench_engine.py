@@ -30,6 +30,15 @@ so future PRs have a perf trajectory:
 * **lazy-dfa** — the bounded lazy DFA vs the NFA VM on a
   prefilter-inert pattern (no literal, wide first-byte set), the path
   ``auto`` mode takes when chunk rejection has nothing to work with.
+* **streaming-vs-oneshot** — :class:`StreamingMatcher` fed
+  log-follower chunk splits vs one-shot ``vm.run`` on the identical
+  input; the price of resumable frontier state must stay bounded
+  (hard gate: ``STREAMING_FLOOR``, streaming keeps ≥ 0.8x of one-shot
+  throughput).
+* **service-throughput** — ``/match`` requests through the full
+  ``repro serve`` HTTP stack (admission gate, dispatch, executor hop)
+  vs calling the same warmed engine directly; the ratio tracks what
+  the service wrapper costs per request.
 
 Absolute throughputs are machine-dependent; the *speedup ratios* are
 not, so the regression gate (``--baseline`` + ``--max-regression``)
@@ -66,6 +75,8 @@ GATED_METRICS = (
     ("prefilter_sparse_scan", "speedup"),
     ("prefilter_dense_scan", "speedup"),
     ("lazy_dfa", "speedup"),
+    ("streaming_vs_oneshot", "speedup"),
+    ("service_throughput", "speedup"),
 )
 
 #: Hard ceiling on the disabled-telemetry overhead fraction: the no-op
@@ -77,6 +88,11 @@ OVERHEAD_CEILING = 0.05
 #: caps how much a prefilter that rejects nothing may cost.
 PREFILTER_SPARSE_FLOOR = 5.0
 PREFILTER_DENSE_FLOOR = 0.95
+
+#: Hard floor on streaming throughput: chunked execution with resumable
+#: frontier state must keep at least this fraction of the one-shot
+#: VM's throughput on the same input (the ISSUE-9 acceptance bar).
+STREAMING_FLOOR = 0.8
 
 PATTERNS = [
     "th(is|at|ose)",
@@ -391,12 +407,151 @@ def bench_lazy_dfa(text_chars: int, rounds: int) -> Dict:
     }
 
 
+def bench_streaming_vs_oneshot(
+    text_chars: int, rounds: int, chunk_bytes: int = 64, repeats: int = 5
+) -> Dict:
+    """Chunked :class:`StreamingMatcher` vs one-shot ``vm.run``.
+
+    Both sides walk the identical input with the identical program and
+    shared dispatch tables; the streaming side additionally saves and
+    restores the frontier at every ``chunk_bytes`` boundary — exactly
+    what the ``/stream`` endpoint pays per network read.  Interleaved
+    best-of-``repeats`` timing, hard-gated at :data:`STREAMING_FLOOR`.
+    """
+    from repro.vm import StreamingMatcher
+
+    pattern = "(a|ab|b)*c(d|e)f{2,4}"
+    program = NewCompiler().compile(pattern).program
+    vm = ThompsonVM(program)
+    text = (b"ab" * (text_chars // 2))[: text_chars - 4] + b"cdff"
+    chunks = [
+        text[i : i + chunk_bytes] for i in range(0, len(text), chunk_bytes)
+    ]
+
+    def _stream_once():
+        matcher = StreamingMatcher(program, vm=vm)
+        for chunk in chunks:
+            if matcher.feed(chunk) is not None:
+                break
+        return matcher.finish() if not matcher.settled else matcher.result
+
+    assert bool(_stream_once()) == bool(vm.run(text))
+    oneshot_s = streaming_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            vm.run(text)
+        oneshot_s = min(oneshot_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            _stream_once()
+        streaming_s = min(streaming_s, time.perf_counter() - started)
+    return {
+        "pattern": pattern,
+        "text_chars": len(text),
+        "chunk_bytes": chunk_bytes,
+        "chunks": len(chunks),
+        "rounds": rounds,
+        "oneshot_s": oneshot_s,
+        "streaming_s": streaming_s,
+        "oneshot_chars_per_sec": len(text) * rounds / oneshot_s,
+        "streaming_chars_per_sec": len(text) * rounds / streaming_s,
+        # >= 1.0 means chunking is free; the hard STREAMING_FLOOR bounds
+        # how much the resumable state may cost.
+        "speedup": oneshot_s / streaming_s,
+    }
+
+
+def bench_service_throughput(requests: int, concurrency: int = 4) -> Dict:
+    """``/match`` through the live HTTP service vs the engine directly.
+
+    One in-process :class:`MatchService` on an ephemeral port,
+    ``concurrency`` keep-alive connections each pumping sequential
+    requests; the same (pattern, text) then runs through a warmed
+    engine without the service wrapper.  The ratio is the per-request
+    price of HTTP parsing, admission control, and the executor hop.
+    """
+    import asyncio
+
+    from repro.service import MatchService, ServiceConfig
+
+    pattern = "a(b|c)+d"
+    text = "say xxabcbcd again"
+    per_conn = max(1, requests // concurrency)
+    total = per_conn * concurrency
+    payload = json.dumps({"pattern": pattern, "text": text}).encode()
+    head = (
+        f"POST /match HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode()
+
+    async def _pump(host: str, port: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for _ in range(per_conn):
+                writer.write(head + payload)
+                await writer.drain()
+                status = await reader.readline()
+                assert b" 200 " in status, status
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                await reader.readexactly(length)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def _run_http() -> float:
+        service = MatchService(
+            ServiceConfig(port=0, max_inflight=concurrency * 2)
+        )
+        await service.start()
+        try:
+            # Compile outside the timed region (the cache-hit steady
+            # state is what a long-lived daemon serves from).
+            service.engine.match(pattern, text)
+            started = time.perf_counter()
+            await asyncio.gather(
+                *[_pump(service.host, service.port)
+                  for _ in range(concurrency)]
+            )
+            return time.perf_counter() - started
+        finally:
+            await service.drain("bench")
+
+    http_s = asyncio.run(_run_http())
+
+    engine = Engine(backend="cicero")
+    assert engine.match(pattern, text)  # warm the cache
+    started = time.perf_counter()
+    for _ in range(total):
+        engine.match(pattern, text)
+    direct_s = time.perf_counter() - started
+
+    return {
+        "pattern": pattern,
+        "requests": total,
+        "concurrency": concurrency,
+        "direct_s": direct_s,
+        "http_s": http_s,
+        "direct_requests_per_sec": total / direct_s,
+        "http_requests_per_sec": total / http_s,
+        # < 1.0 by construction: the fraction of direct-call throughput
+        # that survives the full HTTP + admission + executor stack.
+        "speedup": direct_s / http_s,
+    }
+
+
 def run_suite(quick: bool = False) -> Dict:
     scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100,
-                 sup_chars=100_000, pf_chunks=512)
+                 sup_chars=100_000, pf_chunks=512, svc_requests=400)
     if quick:
         scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40,
-                     sup_chars=40_000, pf_chunks=256)
+                     sup_chars=40_000, pf_chunks=256, svc_requests=160)
     return {
         "schema": 1,
         "quick": quick,
@@ -416,6 +571,12 @@ def run_suite(quick: bool = False) -> Dict:
             scale["pf_chunks"] // 4
         ),
         "lazy_dfa": bench_lazy_dfa(scale["vm_chars"], scale["vm_rounds"]),
+        "streaming_vs_oneshot": bench_streaming_vs_oneshot(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
+        "service_throughput": bench_service_throughput(
+            scale["svc_requests"]
+        ),
     }
 
 
@@ -509,6 +670,17 @@ def main(argv=None) -> int:
         f"chars/s ({lazy['speedup']:.1f}x of the VM, "
         f"{lazy['dfa_states']} states)"
     )
+    streaming = results["streaming_vs_oneshot"]
+    service = results["service_throughput"]
+    print(
+        f"streaming        : {streaming['streaming_chars_per_sec']:,.0f} "
+        f"chars/s ({streaming['speedup']:.2f}x of one-shot, floor "
+        f"{STREAMING_FLOOR:.1f}x)"
+    )
+    print(
+        f"service          : {service['http_requests_per_sec']:,.0f} "
+        f"req/s over HTTP ({service['speedup']:.3f}x of direct calls)"
+    )
     if observability["overhead_frac"] > OVERHEAD_CEILING:
         print(
             "REGRESSION: observability_overhead.overhead_frac "
@@ -530,6 +702,14 @@ def main(argv=None) -> int:
             "REGRESSION: prefilter_dense_scan.speedup "
             f"{dense['speedup']:.2f}x is below the hard "
             f"{PREFILTER_DENSE_FLOOR:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if streaming["speedup"] < STREAMING_FLOOR:
+        print(
+            "REGRESSION: streaming_vs_oneshot.speedup "
+            f"{streaming['speedup']:.2f}x is below the hard "
+            f"{STREAMING_FLOOR:.1f}x floor",
             file=sys.stderr,
         )
         return 1

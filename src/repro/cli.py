@@ -9,6 +9,10 @@ Subcommands:
 * ``scan`` — high-throughput corpus scan through :mod:`repro.engine`:
   compiled-pattern cache, chunked input, optional ``--jobs`` worker
   sharding.
+* ``serve`` — long-lived HTTP match service: ``/compile``, ``/match``,
+  ``/scan``, ``/stream`` (chunked streaming input), health/readiness
+  probes and ``/metrics``, with bounded admission (429 + Retry-After),
+  per-request deadlines and graceful SIGTERM drain.
 * ``bench`` — a quick (benchmark × configuration) sweep printing the
   paper-style time/energy table.
 * ``configs`` — list the evaluated architecture configurations with
@@ -504,6 +508,36 @@ def _fuzz(args) -> int:
     return 0 if report.clean else 1
 
 
+def _serve(args) -> int:
+    """Run the long-lived match service until SIGTERM/SIGINT."""
+    from .runtime.budget import DEFAULT_BUDGET
+    from .service import ServiceConfig, serve
+
+    budget = DEFAULT_BUDGET
+    if args.timeout is not None or args.wall_timeout is not None:
+        budget = budget.replace(
+            max_task_seconds=args.timeout,
+            max_wall_seconds=args.wall_timeout,
+        )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        prefilter=args.prefilter,
+        budget=budget,
+        jobs=args.jobs,
+        max_inflight=args.max_inflight,
+        retry_after=args.retry_after,
+        request_seconds=args.request_timeout,
+        drain_seconds=args.drain_seconds,
+        stats_file=args.stats_file or default_stats_path(),
+        chaos=args.chaos,
+    )
+    if args.cache_size is not None:
+        config = config.replace(cache_size=args.cache_size)
+    return serve(config)
+
+
 def _trace(args) -> int:
     """Analyze a ``--trace-out`` JSON-lines span file."""
     import json
@@ -734,6 +768,54 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_STATS_FILE or ~/.repro/stats.json)")
     scan_parser.set_defaults(handler=_scan)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-lived HTTP match service (compile/match/scan/stream) "
+        "with admission control and graceful SIGTERM drain",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port; 0 picks an ephemeral port "
+                              "announced on stdout (default 8765)")
+    serve_parser.add_argument("--backend", default="cicero",
+                              choices=("cicero", "cicero-sim", "nfa", "dfa"))
+    serve_parser.add_argument("--prefilter", default="auto",
+                              choices=("off", "literal", "auto"),
+                              help="prefilter mode for the cicero backend "
+                              "(default: auto)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes behind /scan "
+                              "(0 = all cores; default: in-process)")
+    serve_parser.add_argument("--cache-size", type=int, default=None,
+                              help="compiled-pattern LRU capacity shared "
+                              "by every tenant (default 256)")
+    serve_parser.add_argument("--max-inflight", type=int, default=64,
+                              help="admitted requests in flight before the "
+                              "gate sheds 429 (default 64)")
+    serve_parser.add_argument("--retry-after", type=float, default=1.0,
+                              help="Retry-After seconds on shed responses "
+                              "(default 1)")
+    serve_parser.add_argument("--request-timeout", type=float, default=None,
+                              help="per-request deadline in seconds "
+                              "(default: budget wall clock, else 30)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-chunk timeout for parallel /scan")
+    serve_parser.add_argument("--wall-timeout", type=float, default=None,
+                              help="overall deadline for one parallel /scan")
+    serve_parser.add_argument("--drain-seconds", type=float, default=10.0,
+                              help="grace window on SIGTERM before "
+                              "in-flight requests are cancelled with "
+                              "typed 503s (default 10)")
+    serve_parser.add_argument("--stats-file", default=None,
+                              help="metrics snapshot written atomically at "
+                              "drain (default: $REPRO_STATS_FILE or "
+                              "~/.repro/stats.json)")
+    serve_parser.add_argument("--chaos", action="store_true",
+                              help="accept fault-injection fields on /scan "
+                              "(test harness only)")
+    serve_parser.set_defaults(handler=_serve)
+
     bench_parser = sub.add_parser("bench", help="quick benchmark sweep")
     bench_parser.add_argument("--benchmark", choices=BENCHMARK_NAMES,
                               default="protomata")
@@ -825,7 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "from it (default 0xC1CE40)")
     fuzz_parser.add_argument("--oracles", default=None,
                              help="comma-separated oracle subset "
-                             "(default: all twelve)")
+                             "(default: all thirteen)")
     fuzz_parser.add_argument("--max-cases", type=int, default=None,
                              help="stop after N cases even if time remains")
     fuzz_parser.add_argument("--no-shrink", action="store_true",

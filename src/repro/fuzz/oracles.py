@@ -19,6 +19,11 @@ execution path and diffs the verdicts:
 ``multi``     :class:`MultiMatchVM` fast path over a 1-pattern program
 ``multi-ref`` the multi-match golden-reference interpreter
 ``pyre``      Python :mod:`re` over the emitted pattern text
+``stream``    :class:`~repro.vm.streaming.StreamingMatcher` fed the
+              input in seeded pseudo-random chunks (1–8 bytes,
+              boundaries derived from ``crc32`` of the probe, DFA
+              acceleration toggled by the same seed) — the one-shot
+              equivalence contract of the match service's ``/stream``
 ============ =========================================================
 
 plus two *program-level* oracles that need no inputs at all: the
@@ -46,6 +51,7 @@ import re as _re
 import signal
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -71,7 +77,9 @@ from ..runtime.budget import DEFAULT_BUDGET, Budget
 from ..runtime.errors import ReproError
 from ..runtime.faults import InstructionFault, corrupt_program
 from ..runtime.guards import check_pattern_budget
+from ..runtime.encoding import as_input_bytes
 from ..verify.equivalence import EquivalenceCheckExceeded, check_equivalence
+from ..vm.streaming import StreamingMatcher
 from ..vm.thompson import ThompsonVM
 
 #: Every input-level oracle, in reporting order.
@@ -88,6 +96,7 @@ DEFAULT_ORACLES: Tuple[str, ...] = (
     "multi",
     "multi-ref",
     "pyre",
+    "stream",
 )
 
 #: A verdict is ``(kind, payload)``; only ``skip`` is excluded from the
@@ -372,6 +381,9 @@ class CompiledOracles:
             self._build("multi", lambda: self._multi_runners(want))
         if "pyre" in want:
             self._build("pyre", lambda: self._pyre_runner())
+        if "stream" in want:
+            self._max_dfa_states = max_dfa_states
+            self._build("stream", lambda: self._stream_runner())
 
         # -- program-level equivalence oracles --------------------------
         self._check_equivalence("equivalence-opt", self.program_opt,
@@ -439,6 +451,41 @@ class CompiledOracles:
                 lambda t: bool(compiled.search(t)), PYRE_TIMEOUT_SECONDS
             )
         )
+
+    def _stream_runner(self) -> Callable[[str], Verdict]:
+        """One-shot-equivalence oracle for the streaming matcher.
+
+        Chunk boundaries must vary per probe yet stay re-derivable from
+        the case alone (the campaign's replay contract bans global
+        randomness), so an LCG seeded with ``crc32(input)`` draws the
+        1–8 byte chunk lengths, and the seed's parity picks between the
+        plain-VM and DFA-accelerated streaming paths.
+        """
+        program = self.program_opt
+        vm = ThompsonVM(program)  # shared dispatch tables across probes
+        max_dfa_states = self._max_dfa_states
+
+        def matcher(text: str) -> bool:
+            data = as_input_bytes(text, what="stream oracle input")
+            state = zlib.crc32(data) & 0xFFFFFFFF
+            streamer = StreamingMatcher(
+                program,
+                use_dfa=bool(state & 1),
+                max_dfa_states=max_dfa_states,
+                vm=vm,
+            )
+            index = 0
+            settled = None
+            while index < len(data) and settled is None:
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                step = 1 + state % 8
+                settled = streamer.feed(data[index:index + step])
+                index += step
+            if settled is not None:
+                return bool(settled)
+            return bool(streamer.finish())
+
+        return _guarded(matcher)
 
     def _check_equivalence(
         self, name: str, left: Program, right: Program,

@@ -20,6 +20,7 @@ under a lock per update.  The canonical metric names are tabulated in
 from __future__ import annotations
 
 import json
+import os
 import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -329,13 +330,35 @@ class MetricsRegistry:
     def write_snapshot(
         self, path: str, extra: Optional[Dict[str, Any]] = None
     ) -> None:
-        """Persist :meth:`to_dict` (plus caller context) as JSON."""
+        """Persist :meth:`to_dict` (plus caller context) as JSON.
+
+        The write is atomic (temp file in the target directory, then
+        ``os.replace``): the match service flushes snapshots while
+        ``repro stats`` and scrapers may be mid-read, and a torn JSON
+        file would poison every later read.  ``os.replace`` is atomic
+        on POSIX and Windows when source and target share a filesystem,
+        which the same-directory temp file guarantees.
+        """
         payload: Dict[str, Any] = {"schema": 1, "metrics": self.to_dict()}
         if extra:
             payload.update(extra)
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        directory = os.path.dirname(os.path.abspath(path))
+        temp_path = os.path.join(
+            directory, f".{os.path.basename(path)}.{os.getpid()}.tmp"
+        )
+        try:
+            with open(temp_path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> None:
         with self._lock:

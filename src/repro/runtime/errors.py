@@ -24,6 +24,9 @@ Taxonomy (codes in parentheses)::
     ├── ShardFailedError (REPRO-SHARD-FAILED)
     ├── ShardQuarantinedError (REPRO-SHARD-QUARANTINED)
     ├── CircuitBreakerOpenError (REPRO-CIRCUIT-OPEN)
+    ├── ServiceOverloadError (REPRO-SERVICE-OVERLOAD)
+    ├── ServiceDrainingError (REPRO-SERVICE-DRAINING)
+    ├── UnknownPatternError (REPRO-SERVICE-UNKNOWN-PATTERN)
     └── BudgetExceeded (REPRO-BUDGET)
         ├── PatternNestingError (REPRO-BUDGET-NESTING)   [+RegexSyntaxError]
         ├── PatternLengthBudgetError (REPRO-BUDGET-PATTERN-LENGTH)
@@ -35,7 +38,8 @@ Taxonomy (codes in parentheses)::
         ├── WallClockBudgetError (REPRO-BUDGET-WALL-TIME)
         ├── SimulationCycleBudgetError (REPRO-BUDGET-SIM-CYCLES) [+SimulationError]
         ├── ThreadBudgetError (REPRO-BUDGET-SIM-THREADS)         [+SimulationError]
-        └── EquivalenceCheckExceeded (REPRO-BUDGET-EQUIV-STATES)
+        ├── EquivalenceCheckExceeded (REPRO-BUDGET-EQUIV-STATES)
+        └── RequestDeadlineError (REPRO-BUDGET-REQUEST-DEADLINE)
 
 The ``Worker*``/``Shard*``/``CircuitBreaker*`` errors belong to the
 fault-tolerant scan supervisor (:mod:`repro.engine.supervisor`); they are
@@ -313,6 +317,78 @@ class CircuitBreakerOpenError(ReproError):
         )
 
 
+class ServiceOverloadError(ReproError):
+    """The match service shed a request at the admission gate.
+
+    Raised (and rendered as ``429`` with ``Retry-After``) when accepting
+    the request would push the in-flight count past the configured
+    bound.  Shedding at admission is what keeps queue memory bounded
+    under flood: the alternative — buffering arbitrarily many pending
+    requests — turns overload into an OOM kill.
+    """
+
+    code = "REPRO-SERVICE-OVERLOAD"
+
+    def __init__(self, inflight: int, limit: int, retry_after: float = 1.0):
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"service at capacity ({inflight}/{limit} requests in flight); "
+            f"retry after {retry_after:g}s"
+        )
+
+
+class ServiceDrainingError(ReproError):
+    """The service is draining (SIGTERM received) and rejected new work.
+
+    In-flight requests at drain start still settle normally (or are
+    cancelled with a typed error at the drain deadline); this error is
+    only ever attached to work that arrived *after* the drain began.
+    """
+
+    code = "REPRO-SERVICE-DRAINING"
+
+    def __init__(self, detail: str = ""):
+        self.detail = detail
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"service is draining and no longer accepts new work{suffix}"
+        )
+
+
+class UnknownPatternError(ReproError):
+    """A service request referenced a tenant/rule name never registered.
+
+    A client addressing mistake (mapped to HTTP 404), typed so that
+    the exactly-one-settlement contract holds for bad requests too.
+    """
+
+    code = "REPRO-SERVICE-UNKNOWN-PATTERN"
+
+
+class RequestDeadlineError(BudgetExceeded):
+    """A service request ran past its per-request deadline.
+
+    The deadline maps to ``Budget.max_wall_seconds`` (request-scoped,
+    not scan-scoped): the handler is cancelled and the client receives
+    this typed error instead of holding a connection open indefinitely.
+    Also raised for every stream or request still in flight when the
+    drain deadline expires.
+    """
+
+    code = "REPRO-BUDGET-REQUEST-DEADLINE"
+
+    def __init__(self, endpoint: str, seconds: float, limit: float):
+        self.endpoint = endpoint
+        super().__init__(
+            f"request to {endpoint} exceeded its {limit:g}s deadline "
+            f"(ran {seconds:.3f}s)",
+            limit=limit,
+            spent=seconds,
+        )
+
+
 def _clip(text: str, limit: int = 60) -> str:
     """Clip long patterns so error messages stay loggable."""
     return text if len(text) <= limit else text[: limit - 1] + "…"
@@ -346,9 +422,13 @@ __all__ = [
     "ProgramSizeBudgetError",
     "RegexSyntaxError",
     "ReproError",
+    "RequestDeadlineError",
+    "ServiceDrainingError",
+    "ServiceOverloadError",
     "ShardFailedError",
     "ShardQuarantinedError",
     "TaskTimeoutError",
+    "UnknownPatternError",
     "UnsupportedRegexError",
     "VMStepBudgetError",
     "VerificationError",

@@ -1,0 +1,27 @@
+"""Long-lived HTTP+JSON match service over :mod:`repro.engine`.
+
+The paper's architecture targets continuous high-throughput matching;
+this package is the serving front end that makes the one-shot engine
+long-lived: an asyncio daemon (``repro serve``) exposing compile /
+match / scan / stream endpoints with per-tenant pattern namespaces
+over the shared LRU :class:`~repro.engine.PatternCache`, admission
+control and load shedding wired to :class:`~repro.runtime.Budget`,
+the PR 4 supervisor behind every parallel scan, true streaming match
+via :class:`~repro.vm.StreamingMatcher`, and graceful SIGTERM drain
+with an atomic metrics-snapshot flush.
+
+See ``docs/service.md`` for the endpoint and backpressure contract.
+"""
+
+from .app import MatchService, serve
+from .config import DEFAULT_HOST, DEFAULT_PORT, ServiceConfig
+from .tenants import TenantRegistry
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MatchService",
+    "ServiceConfig",
+    "TenantRegistry",
+    "serve",
+]

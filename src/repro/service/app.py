@@ -1,0 +1,677 @@
+"""The asyncio match service: routes, admission, drain, metrics.
+
+Life of a request::
+
+    accept → parse head (slow-loris bounded) → route
+      health/metrics      → answer immediately, never shed
+      POST endpoints      → admission gate:
+         draining?        → 503 ServiceDrainingError
+         inflight full?   → 429 + Retry-After, ServiceOverloadError
+         admitted         → handler under the per-request deadline
+                            (Budget.max_wall_seconds), CPU-bound work
+                            on the executor, parallel scans behind the
+                            PR 4 supervisor → exactly one JSON verdict
+                            or one typed REPRO-* error
+
+Drain (SIGTERM): stop accepting, flip ``/readyz`` to 503, give
+in-flight work ``drain_seconds`` to settle, cancel the rest (each
+cancelled request still writes a typed 503 before its connection
+closes), flush the metrics snapshot atomically, report
+``repro_service_drain_seconds``.
+
+Every admitted or shed request increments
+``repro_service_requests_total{endpoint,status}`` exactly once, at the
+single point where its response bytes are written — the invariant the
+chaos suite reconciles against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Set, Tuple
+
+from ..compiler import CompileOptions
+from ..engine import Engine
+from ..runtime.errors import (
+    BudgetExceeded,
+    ReproError,
+    RequestDeadlineError,
+    ServiceDrainingError,
+    ServiceOverloadError,
+    UnknownPatternError,
+)
+from ..runtime.faults import ProcessFaultPlan
+from ..vm.streaming import StreamingMatcher
+from .config import ServiceConfig
+from .http import (
+    HttpProtocolError,
+    Request,
+    read_request,
+    render_response,
+)
+from .tenants import TenantRegistry
+
+#: Endpoints exempt from admission control — probes and scrapers must
+#: keep answering while the service sheds matching work.
+EXEMPT_PATHS = ("/healthz", "/readyz", "/metrics")
+
+_STATUS_BY_CODE = {
+    "REPRO-SERVICE-OVERLOAD": 429,
+    "REPRO-SERVICE-DRAINING": 503,
+    "REPRO-SERVICE-UNKNOWN-PATTERN": 404,
+    "REPRO-BUDGET-REQUEST-DEADLINE": 504,
+}
+
+
+def _status_for(error: ReproError) -> int:
+    return _STATUS_BY_CODE.get(error.code, 422)
+
+
+class MatchService:
+    """One long-lived service instance (start / serve / drain)."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        metrics=None,
+        log=None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        if metrics is None:
+            from ..observability import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._log = log if log is not None else sys.stderr
+        self.engine = Engine(
+            backend=self.config.backend,
+            options=CompileOptions(prefilter=self.config.prefilter),
+            budget=self.config.budget,
+            cache_size=self.config.cache_size,
+            jobs=self.config.jobs,
+            metrics=metrics,
+        )
+        self.tenants = TenantRegistry(self.config.max_patterns_per_tenant)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, min(32, self.config.max_inflight)),
+            thread_name_prefix="repro-serve",
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.host = self.config.host
+        self.port = self.config.port
+        self._inflight = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._connections: Set[asyncio.Task] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        # Pre-resolved instruments (the engine does the same).
+        self._requests_total = lambda endpoint, status: metrics.counter(
+            "repro_service_requests_total",
+            labels={"endpoint": endpoint, "status": str(status)},
+            help_text="service responses by endpoint and HTTP status",
+        )
+        self._shed_total = metrics.counter(
+            "repro_service_shed_total",
+            help_text="requests shed 429 at the admission gate",
+        )
+        self._inflight_gauge = metrics.gauge(
+            "repro_service_inflight",
+            help_text="admitted requests currently in flight",
+        )
+        self._drain_gauge = metrics.gauge(
+            "repro_service_drain_seconds",
+            help_text="how long the last graceful drain took",
+        )
+        self._stream_bytes = metrics.counter(
+            "repro_service_stream_bytes_total",
+            help_text="bytes fed through streaming matchers",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (port 0 → ephemeral, see ``port``)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.host, self.port = sock.getsockname()[:2]
+            break
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def drain(self, reason: str = "SIGTERM") -> float:
+        """Graceful shutdown; returns how long it took (also gauged)."""
+        started = time.monotonic()
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._inflight == 0:
+            self._drained.set()
+        else:
+            self._drained.clear()
+            try:
+                await asyncio.wait_for(
+                    self._drained.wait(), self.config.drain_seconds
+                )
+            except asyncio.TimeoutError:
+                # Deadline: cancel stragglers; each writes its typed
+                # 503 on the way out (see _run_admitted).
+                for task in list(self._request_tasks):
+                    task.cancel()
+                for task in list(self._request_tasks):
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+        for task in list(self._connections):
+            task.cancel()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+        elapsed = time.monotonic() - started
+        self._drain_gauge.set(elapsed)
+        if self.config.stats_file:
+            try:
+                self.metrics.write_snapshot(
+                    self.config.stats_file,
+                    extra={"command": "serve", "drain_reason": reason},
+                )
+            except OSError as error:
+                print(
+                    f"warning: could not write {self.config.stats_file}: "
+                    f"{error}",
+                    file=self._log,
+                )
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except Exception as error:  # connection-level failures stay local
+            print(f"connection error: {error!r}", file=self._log)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        config = self.config
+        while True:
+            try:
+                request = await read_request(
+                    reader,
+                    head_timeout=config.header_seconds,
+                    idle_timeout=config.idle_seconds,
+                    body_timeout=config.header_seconds,
+                    max_body_bytes=config.max_body_bytes,
+                )
+            except HttpProtocolError as error:
+                self._write(
+                    writer,
+                    "protocol",
+                    error.status,
+                    json.dumps({"error": {"code": "HTTP", "message":
+                                          error.detail}}).encode(),
+                    keep_alive=False,
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            keep_alive = await self._dispatch(request, writer)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+            if not keep_alive:
+                return
+
+    # ------------------------------------------------------------------
+    # Routing + admission
+    # ------------------------------------------------------------------
+    def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        endpoint: str,
+        status: int,
+        body: bytes,
+        *,
+        keep_alive: bool = True,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        """The single response-writing point: one call, one count."""
+        self._requests_total(endpoint, status).inc()
+        try:
+            writer.write(
+                render_response(
+                    status,
+                    body,
+                    content_type=content_type,
+                    extra_headers=extra_headers,
+                    keep_alive=keep_alive,
+                )
+            )
+        except ConnectionError:
+            pass
+
+    def _error_body(self, error: ReproError) -> bytes:
+        return json.dumps({"error": error.to_dict()},
+                          sort_keys=True).encode()
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        endpoint = request.path
+        keep_alive = request.keep_alive and not self._draining
+
+        if endpoint in EXEMPT_PATHS:
+            if request.method != "GET":
+                self._write(writer, endpoint, 405,
+                            b'{"error": {"message": "GET only"}}',
+                            keep_alive=keep_alive)
+                return keep_alive
+            await request.drain_body()
+            self._handle_exempt(request, writer, endpoint, keep_alive)
+            return keep_alive
+
+        if endpoint not in ("/compile", "/match", "/scan", "/stream"):
+            await request.drain_body()
+            self._write(writer, endpoint, 404,
+                        b'{"error": {"message": "unknown endpoint"}}',
+                        keep_alive=keep_alive)
+            return keep_alive
+        if request.method != "POST":
+            await request.drain_body()
+            self._write(writer, endpoint, 405,
+                        b'{"error": {"message": "POST only"}}',
+                        keep_alive=keep_alive)
+            return keep_alive
+
+        # --- admission gate -------------------------------------------
+        if self._draining:
+            error = ServiceDrainingError("rejected at admission")
+            self._write(writer, endpoint, 503, self._error_body(error),
+                        keep_alive=False)
+            return False
+        if self._inflight >= self.config.max_inflight:
+            error = ServiceOverloadError(
+                self._inflight,
+                self.config.max_inflight,
+                self.config.retry_after,
+            )
+            self._shed_total.inc()
+            self._write(
+                writer, endpoint, 429, self._error_body(error),
+                keep_alive=keep_alive,
+                extra_headers=(
+                    ("Retry-After", f"{self.config.retry_after:g}"),
+                ),
+            )
+            return keep_alive
+
+        self._inflight += 1
+        self._inflight_gauge.set(self._inflight)
+        task = asyncio.current_task()
+        if task is not None:
+            self._request_tasks.add(task)
+        try:
+            return await self._run_admitted(request, writer, endpoint,
+                                            keep_alive)
+        finally:
+            if task is not None:
+                self._request_tasks.discard(task)
+            self._inflight -= 1
+            self._inflight_gauge.set(self._inflight)
+            if self._draining and self._inflight == 0:
+                self._drained.set()
+
+    async def _run_admitted(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        endpoint: str,
+        keep_alive: bool,
+    ) -> bool:
+        deadline = self.config.effective_request_seconds()
+        requested = request.headers.get("x-repro-deadline")
+        if requested is not None:
+            try:
+                deadline = min(deadline, float(requested))
+            except ValueError:
+                pass
+        started = time.monotonic()
+        try:
+            status, body = await asyncio.wait_for(
+                self._route(request, endpoint), deadline
+            )
+        except asyncio.TimeoutError:
+            error = RequestDeadlineError(
+                endpoint, time.monotonic() - started, deadline
+            )
+            self._write(writer, endpoint, 504, self._error_body(error),
+                        keep_alive=False)
+            return False
+        except asyncio.CancelledError:
+            # Drain-deadline cancellation: settle with a typed error
+            # before the connection closes — never a silent drop.
+            error = ServiceDrainingError("cancelled at drain deadline")
+            self._write(writer, endpoint, 503, self._error_body(error),
+                        keep_alive=False)
+            try:
+                await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            raise
+        except HttpProtocolError as error:
+            self._write(
+                writer, endpoint, error.status,
+                json.dumps({"error": {"code": "HTTP",
+                                      "message": error.detail}}).encode(),
+                keep_alive=False,
+            )
+            return False
+        except ReproError as error:
+            self._write(writer, endpoint, _status_for(error),
+                        self._error_body(error), keep_alive=keep_alive)
+            return keep_alive
+        except Exception as error:  # defensive: never a hung client
+            print(f"handler error on {endpoint}: {error!r}", file=self._log)
+            body = json.dumps(
+                {"error": {"code": "REPRO-INTERNAL",
+                           "message": repr(error)}}
+            ).encode()
+            self._write(writer, endpoint, 500, body, keep_alive=False)
+            return False
+        self._write(writer, endpoint, status, body, keep_alive=keep_alive)
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_exempt(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        endpoint: str,
+        keep_alive: bool,
+    ) -> None:
+        if endpoint == "/metrics":
+            text = self.metrics.render_prometheus()
+            self._write(writer, endpoint, 200, text.encode(),
+                        content_type="text/plain; version=0.0.4",
+                        keep_alive=keep_alive)
+            return
+        if endpoint == "/readyz":
+            status = 503 if self._draining else 200
+            body = json.dumps({"ready": not self._draining}).encode()
+            self._write(writer, endpoint, status, body,
+                        keep_alive=keep_alive)
+            return
+        stats = self.engine.cache_stats()
+        body = json.dumps(
+            {
+                "status": "draining" if self._draining else "ok",
+                "inflight": self._inflight,
+                "max_inflight": self.config.max_inflight,
+                "backend": self.config.backend,
+                "tenants": self.tenants.tenants(),
+                "cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                },
+            },
+            sort_keys=True,
+        ).encode()
+        self._write(writer, endpoint, 200, body, keep_alive=keep_alive)
+
+    async def _json_body(self, request: Request) -> dict:
+        raw = await request.body()
+        if not raw:
+            raise HttpProtocolError(400, "empty JSON body")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise HttpProtocolError(400, "body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise HttpProtocolError(400, "JSON body must be an object")
+        return payload
+
+    def _resolve_pattern(self, payload: dict) -> str:
+        pattern = payload.get("pattern")
+        if pattern is not None:
+            if not isinstance(pattern, str):
+                raise HttpProtocolError(422, "pattern must be a string")
+            return pattern
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise HttpProtocolError(
+                422, "provide either 'pattern' or 'tenant'+'name'"
+            )
+        return self.tenants.resolve(payload.get("tenant"), name)
+
+    async def _in_executor(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def _route(
+        self, request: Request, endpoint: str
+    ) -> Tuple[int, bytes]:
+        if endpoint == "/stream":
+            return await self._handle_stream(request)
+        payload = await self._json_body(request)
+        if endpoint == "/compile":
+            return await self._handle_compile(payload)
+        if endpoint == "/match":
+            return await self._handle_match(payload)
+        return await self._handle_scan(payload)
+
+    async def _handle_compile(self, payload: dict) -> Tuple[int, bytes]:
+        pattern = payload.get("pattern")
+        if not isinstance(pattern, str):
+            raise HttpProtocolError(422, "'pattern' (string) is required")
+        # Compile (or hit) through the shared cache off-loop.
+        await self._in_executor(self.engine.matcher, pattern)
+        tenant = payload.get("tenant")
+        name = payload.get("name")
+        registered = False
+        if name is not None:
+            if not isinstance(name, str):
+                raise HttpProtocolError(422, "'name' must be a string")
+            registered = self.tenants.register(tenant, name, pattern)
+        stats = self.engine.cache_stats()
+        body = json.dumps(
+            {
+                "ok": True,
+                "pattern": pattern,
+                "tenant": tenant or TenantRegistry.DEFAULT_TENANT
+                if name is not None
+                else None,
+                "name": name,
+                "registered": registered,
+                "cache": {"hits": stats.hits, "misses": stats.misses},
+            },
+            sort_keys=True,
+        ).encode()
+        return 200, body
+
+    async def _handle_match(self, payload: dict) -> Tuple[int, bytes]:
+        pattern = self._resolve_pattern(payload)
+        text = payload.get("text")
+        if not isinstance(text, str):
+            raise HttpProtocolError(422, "'text' (string) is required")
+        matched = await self._in_executor(self.engine.match, pattern, text)
+        return 200, json.dumps({"matched": bool(matched)}).encode()
+
+    async def _handle_scan(self, payload: dict) -> Tuple[int, bytes]:
+        pattern = self._resolve_pattern(payload)
+        text = payload.get("text")
+        if not isinstance(text, str):
+            raise HttpProtocolError(422, "'text' (string) is required")
+        chunk_bytes = payload.get("chunk_bytes", 500)
+        jobs = payload.get("jobs")
+        partial = bool(payload.get("partial", False))
+        fault_plan = None
+        fault = payload.get("fault")
+        if fault is not None:
+            if not self.config.chaos:
+                raise HttpProtocolError(
+                    422, "fault injection requires --chaos"
+                )
+            fault_plan = ProcessFaultPlan.single(
+                int(fault.get("index", 0)),
+                str(fault.get("kind", "raise")),
+                times=fault.get("times"),
+                marker_dir=fault.get("marker_dir"),
+                hang_seconds=float(fault.get("hang_seconds", 3600.0)),
+            )
+
+        def _scan():
+            return self.engine.scan_corpus(
+                pattern,
+                text,
+                chunk_bytes=int(chunk_bytes),
+                jobs=jobs,
+                strict=not partial,
+                fault_plan=fault_plan,
+            )
+
+        result = await self._in_executor(_scan)
+        response = {
+            "matched": result.matched,
+            "chunks": result.chunks,
+            "matched_chunks": result.matched_chunks,
+            "bytes": result.bytes_scanned,
+        }
+        if partial:
+            response["complete"] = result.complete
+            response["retries"] = result.retries
+            response["breaker_tripped"] = result.breaker_tripped
+            response["outcomes"] = [
+                {
+                    "index": outcome.index,
+                    "status": outcome.status,
+                    "verdict": outcome.verdict,
+                    "error": outcome.error.to_dict()
+                    if outcome.error is not None
+                    else None,
+                }
+                for outcome in result.outcomes
+                if not outcome.ok
+            ]
+        return 200, json.dumps(response, sort_keys=True).encode()
+
+    async def _handle_stream(self, request: Request) -> Tuple[int, bytes]:
+        headers = request.headers
+        pattern = headers.get("x-repro-pattern")
+        if pattern is None:
+            name = headers.get("x-repro-name")
+            if name is None:
+                raise HttpProtocolError(
+                    422,
+                    "provide X-Repro-Pattern or X-Repro-Tenant/X-Repro-Name",
+                )
+            pattern = self.tenants.resolve(headers.get("x-repro-tenant"),
+                                           name)
+        use_dfa = headers.get("x-repro-dfa", "on").lower() not in (
+            "off", "0", "false",
+        )
+        matcher = await self._in_executor(self.engine.matcher, pattern)
+        vm = getattr(matcher, "vm", None)
+        if vm is None:
+            raise HttpProtocolError(
+                422,
+                f"/stream requires the cicero backend "
+                f"(configured: {self.config.backend})",
+            )
+        streamer = StreamingMatcher(
+            vm.program,
+            max_steps=self.config.budget.max_vm_steps,
+            use_dfa=use_dfa,
+            max_dfa_states=self.config.budget.max_dfa_states,
+            vm=vm,
+        )
+        settled = None
+        fed = 0
+        async for piece in request.iter_body():
+            fed += len(piece)
+            if settled is None:
+                settled = await self._in_executor(streamer.feed, piece)
+        self._stream_bytes.inc(fed)
+        result = settled if settled is not None else streamer.finish()
+        body = json.dumps(
+            {
+                "matched": result.matched,
+                "position": result.position,
+                "bytes": fed,
+                "settled_early": settled is not None,
+                "accelerated": streamer.accelerated,
+                "dfa_fallbacks": streamer.dfa_fallbacks,
+            },
+            sort_keys=True,
+        ).encode()
+        return 200, body
+
+
+async def _serve_async(config: ServiceConfig) -> int:
+    service = MatchService(config)
+    await service.start()
+    print(f"repro-serve listening on {service.host}:{service.port}",
+          flush=True)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    reason = {"signal": "stop"}
+
+    def _signal(name: str) -> None:
+        reason["signal"] = name
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _signal, sig.name)
+        except NotImplementedError:  # non-POSIX event loops
+            pass
+    await stop.wait()
+    elapsed = await service.drain(reason["signal"])
+    print(f"repro-serve drained in {elapsed:.3f}s", flush=True)
+    return 0
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+    return asyncio.run(_serve_async(config))
+
+
+__all__ = ["EXEMPT_PATHS", "MatchService", "serve"]

@@ -1,0 +1,267 @@
+"""Minimal HTTP/1.1 over asyncio streams — zero dependencies.
+
+The service speaks just enough HTTP for its JSON endpoints and the
+chunk-at-a-time ``/stream`` body: request line + headers bounded in
+size and read under a slow-loris deadline, bodies by ``Content-Length``
+or ``chunked`` transfer coding, keep-alive by default.  This is *not*
+a general server — it is the narrow, testable waist the chaos suite
+beats on (oversized heads, trickled bytes, half-closed sockets all
+settle with one well-formed response or a clean close, never a hang).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: Bound on the request head (request line + headers).  Oversized heads
+#: are a classic memory-DoS vector; 16 KiB fits every legitimate client.
+MAX_HEAD_BYTES = 16 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(Exception):
+    """Malformed or over-limit request; carries the status to answer."""
+
+    def __init__(self, status: int, detail: str):
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+@dataclass
+class Request:
+    """One parsed request head plus a handle to read its body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    reader: asyncio.StreamReader
+    body_timeout: Optional[float] = None
+    max_body_bytes: int = 64 * 1024 * 1024
+    _body: Optional[bytes] = field(default=None, repr=False)
+    _consumed: bool = field(default=False, repr=False)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if connection == "close":
+            return False
+        return True  # HTTP/1.1 default
+
+    def content_length(self) -> Optional[int]:
+        raw = self.headers.get("content-length")
+        if raw is None:
+            return None
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpProtocolError(400, f"bad Content-Length {raw!r}")
+        if length < 0:
+            raise HttpProtocolError(400, f"bad Content-Length {raw!r}")
+        return length
+
+    @property
+    def chunked(self) -> bool:
+        coding = self.headers.get("transfer-encoding", "").lower()
+        return "chunked" in coding
+
+    async def _read_exactly(self, count: int) -> bytes:
+        try:
+            return await asyncio.wait_for(
+                self.reader.readexactly(count), self.body_timeout
+            )
+        except asyncio.IncompleteReadError:
+            raise HttpProtocolError(400, "connection closed mid-body")
+        except asyncio.TimeoutError:
+            raise HttpProtocolError(408, "timed out reading request body")
+
+    async def _read_line(self) -> bytes:
+        try:
+            line = await asyncio.wait_for(
+                self.reader.readline(), self.body_timeout
+            )
+        except asyncio.TimeoutError:
+            raise HttpProtocolError(408, "timed out reading request body")
+        if not line.endswith(b"\n"):
+            raise HttpProtocolError(400, "connection closed mid-body")
+        return line
+
+    async def iter_body(
+        self, chunk_bytes: int = 64 * 1024
+    ) -> AsyncIterator[bytes]:
+        """Yield body chunks as they arrive (the ``/stream`` feed).
+
+        Honors ``Content-Length`` or ``chunked`` transfer coding; total
+        size is bounded by ``max_body_bytes`` (413 past it).  Chunks
+        are yielded as read, so a matcher downstream sees data with
+        exactly the chunk boundaries the network produced.
+        """
+        self._consumed = True
+        total = 0
+        if self.chunked:
+            while True:
+                size_line = await self._read_line()
+                try:
+                    size = int(size_line.split(b";", 1)[0].strip(), 16)
+                except ValueError:
+                    raise HttpProtocolError(400, "bad chunk size")
+                if size < 0:
+                    raise HttpProtocolError(400, "bad chunk size")
+                if size == 0:
+                    await self._read_line()  # trailing CRLF (no trailers)
+                    return
+                total += size
+                if total > self.max_body_bytes:
+                    raise HttpProtocolError(413, "request body too large")
+                remaining = size
+                while remaining:
+                    piece = await self._read_exactly(
+                        min(remaining, chunk_bytes)
+                    )
+                    remaining -= len(piece)
+                    yield piece
+                await self._read_exactly(2)  # chunk CRLF
+            return
+        length = self.content_length()
+        if length is None or length == 0:
+            return
+        if length > self.max_body_bytes:
+            raise HttpProtocolError(413, "request body too large")
+        remaining = length
+        while remaining:
+            piece = await self._read_exactly(min(remaining, chunk_bytes))
+            remaining -= len(piece)
+            yield piece
+
+    async def body(self) -> bytes:
+        """The whole body (cached; JSON endpoints use this)."""
+        if self._body is None:
+            parts = []
+            async for piece in self.iter_body():
+                parts.append(piece)
+            self._body = b"".join(parts)
+        return self._body
+
+    async def drain_body(self) -> None:
+        """Consume an unread body so keep-alive framing stays aligned."""
+        if self._consumed:
+            return
+        async for _ in self.iter_body():
+            pass
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    head_timeout: Optional[float] = None,
+    idle_timeout: Optional[float] = None,
+    body_timeout: Optional[float] = None,
+    max_body_bytes: int = 64 * 1024 * 1024,
+) -> Optional[Request]:
+    """Parse one request head; ``None`` on clean connection close.
+
+    ``idle_timeout`` bounds the wait for the *first* byte (keep-alive
+    idling); ``head_timeout`` bounds the read of the rest of the head
+    — a slow-loris client trickling header bytes gets a 408, not a
+    held socket.
+    """
+    try:
+        first = await asyncio.wait_for(reader.readline(), idle_timeout)
+    except asyncio.TimeoutError:
+        return None  # idle keep-alive connection: just close it
+    if not first:
+        return None
+    if not first.endswith(b"\n"):
+        if len(first) >= MAX_HEAD_BYTES:
+            raise HttpProtocolError(400, "request line too long")
+        return None  # closed mid-line
+
+    async def _head_line() -> bytes:
+        try:
+            line = await asyncio.wait_for(reader.readline(), head_timeout)
+        except asyncio.TimeoutError:
+            raise HttpProtocolError(408, "timed out reading request head")
+        if not line.endswith(b"\n"):
+            raise HttpProtocolError(400, "connection closed mid-head")
+        return line
+
+    try:
+        method, target, version = first.decode("latin-1").split()
+    except ValueError:
+        raise HttpProtocolError(400, f"bad request line {first!r}")
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    head_bytes = len(first)
+    while True:
+        line = await _head_line()
+        head_bytes += len(line)
+        if head_bytes > MAX_HEAD_BYTES:
+            raise HttpProtocolError(400, "request head too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        try:
+            name, value = line.decode("latin-1").split(":", 1)
+        except ValueError:
+            raise HttpProtocolError(400, f"bad header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=query,
+        headers=headers,
+        reader=reader,
+        body_timeout=body_timeout,
+        max_body_bytes=max_body_bytes,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+__all__ = [
+    "MAX_HEAD_BYTES",
+    "HttpProtocolError",
+    "Request",
+    "read_request",
+    "render_response",
+]

@@ -1,0 +1,73 @@
+"""Per-tenant pattern namespaces over the shared compiled cache.
+
+Tenancy here is a *naming* layer, not an isolation layer: each tenant
+maps its own rule names to pattern strings, while every compiled
+artifact lives in the engine's process-wide LRU
+:class:`~repro.engine.PatternCache` keyed by the pattern text itself —
+two tenants registering the same regex share one compilation (that is
+the point of the cache, and the ISSUE's "per-tenant pattern namespaces
+sharing the LRU PatternCache").  Budget-style bounds apply per tenant
+so one noisy tenant cannot squat unbounded registry memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..runtime.errors import ReproError, UnknownPatternError
+
+
+class TenantRegistry:
+    """Thread-safe name → pattern mapping, namespaced by tenant."""
+
+    DEFAULT_TENANT = "default"
+
+    def __init__(self, max_patterns_per_tenant: int = 4096):
+        self.max_patterns_per_tenant = max_patterns_per_tenant
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Dict[str, str]] = {}
+
+    def register(self, tenant: Optional[str], name: str, pattern: str) -> bool:
+        """Bind ``name`` to ``pattern`` for ``tenant``.
+
+        Returns ``True`` when the binding is new or changed.  Raises
+        :class:`ReproError` when the tenant's namespace is full —
+        re-registering an existing name never counts against the bound.
+        """
+        tenant = tenant or self.DEFAULT_TENANT
+        with self._lock:
+            namespace = self._tenants.setdefault(tenant, {})
+            existing = namespace.get(name)
+            if existing is None and (
+                len(namespace) >= self.max_patterns_per_tenant
+            ):
+                raise ReproError(
+                    f"tenant {tenant!r} is at its "
+                    f"{self.max_patterns_per_tenant}-pattern limit"
+                )
+            namespace[name] = pattern
+            return existing != pattern
+
+    def resolve(self, tenant: Optional[str], name: str) -> str:
+        tenant = tenant or self.DEFAULT_TENANT
+        with self._lock:
+            namespace = self._tenants.get(tenant, {})
+            pattern = namespace.get(name)
+        if pattern is None:
+            raise UnknownPatternError(
+                f"tenant {tenant!r} has no pattern named {name!r}; "
+                "register it via /compile first"
+            )
+        return pattern
+
+    def tenants(self) -> Dict[str, int]:
+        """Tenant → registered-pattern count (for /healthz)."""
+        with self._lock:
+            return {
+                tenant: len(namespace)
+                for tenant, namespace in sorted(self._tenants.items())
+            }
+
+
+__all__ = ["TenantRegistry", "UnknownPatternError"]

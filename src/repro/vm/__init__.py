@@ -1,5 +1,13 @@
 """Functional golden-model execution of Cicero programs."""
 
+from .streaming import StreamingMatcher, StreamingMultiMatcher
 from .thompson import MatchResult, ThompsonVM, VMStatistics, run_program
 
-__all__ = ["MatchResult", "ThompsonVM", "VMStatistics", "run_program"]
+__all__ = [
+    "MatchResult",
+    "StreamingMatcher",
+    "StreamingMultiMatcher",
+    "ThompsonVM",
+    "VMStatistics",
+    "run_program",
+]

@@ -1,0 +1,517 @@
+"""Incremental (streaming) execution of Cicero programs.
+
+The breadth-first VM's entire between-position state is its *frontier*
+— the deduplicated set of work-instruction PCs that survived the last
+consumed byte — plus the executed-step count the budget accounting
+carries.  That makes true streaming a state-carry refactor rather than
+a new machine: :class:`StreamingMatcher.feed` runs the exact
+:meth:`~repro.vm.thompson.ThompsonVM._run_fast` inner loop over one
+chunk with ``has_char=True`` for every byte, and :meth:`finish` runs
+the single end-of-input position (``has_char=False``) where ``ACCEPT``
+fires.  The concatenation of any chunk split therefore performs the
+same per-position transitions, in the same order, with the same
+per-position budget checks, as one-shot execution over the joined
+input (property-tested against ``run_reference`` for arbitrary
+splits, including 1-byte chunks).
+
+Early settlement mirrors the one-shot loop: ``ACCEPT_PARTIAL`` settles
+``True`` at its absolute position mid-chunk; an empty frontier settles
+``False`` immediately (no suffix can revive a dead enumeration).  Once
+settled, further ``feed`` calls are no-ops returning the verdict.
+
+Lazy-DFA acceleration (PR 8) streams the same way: a
+:class:`~repro.prefilter.lazydfa.LazyDFA` state *is* the frozenset of
+work PCs the VM frontier would hold, so the carried state is one
+integer, and a mid-stream :class:`~repro.prefilter.lazydfa.LazyDFABlowup`
+degrades permanently to the VM by seeding the frontier from the
+current DFA state's PC set — continuing at the current byte without
+re-reading history.  While the DFA holds state 0 (the entry closure),
+runs of bytes whose transition provably self-loops on state 0 are
+skipped with a compiled byte-class search (the streaming analog of the
+PR 8 chunk prefilter; sound because a self-loop byte can neither match
+nor change state).  Step budgets follow
+:class:`~repro.prefilter.lazydfa.LazyDFAMatcher` semantics: DFA-mode
+bytes cost no VM steps (the DFA's own bound is ``max_states``); after
+a fallback the VM budget applies from the fallback point onward.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Optional, Set, Union
+
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from ..runtime.errors import VMStepBudgetError
+from .thompson import MatchResult, ThompsonVM, _as_bytes
+
+__all__ = ["StreamingMatcher", "StreamingMultiMatcher"]
+
+
+class StreamingMatcher:
+    """Single-pattern matcher fed arbitrary chunks of one logical input.
+
+    Usage::
+
+        matcher = StreamingMatcher(program)
+        for chunk in source:
+            verdict = matcher.feed(chunk)
+            if verdict is not None:      # settled early
+                break
+        else:
+            verdict = matcher.finish()   # end-of-input position
+
+    ``feed`` returns ``None`` while the verdict is still open and the
+    settled :class:`MatchResult` as soon as it is decided; positions in
+    results are absolute offsets into the concatenated input, exactly
+    as one-shot :meth:`ThompsonVM.run` reports them.
+
+    ``use_dfa=True`` routes chunks through a lazy DFA bounded by
+    ``max_dfa_states`` with a permanent VM fallback on blowup (never a
+    correctness event).  ``vm``/``dfa`` allow sharing prebuilt engines
+    across matchers for the same program (the service does this so a
+    thousand concurrent streams pay one dispatch-table build).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        max_steps: Optional[int] = None,
+        use_dfa: bool = False,
+        max_dfa_states: Optional[int] = None,
+        vm: Optional[ThompsonVM] = None,
+        dfa=None,
+    ):
+        self.program = program
+        self.vm = vm if vm is not None else ThompsonVM(program)
+        self.max_steps = max_steps
+        self._opcodes = self.vm._opcodes
+        self._operands = self.vm._operands
+        self._successors = self.vm._successors
+        self._frontier: List[int] = list(self.vm._entry)
+        self._executed = 0
+        self._consumed = 0
+        self._result: Optional[MatchResult] = None
+        self._error: Optional[BaseException] = None
+        self._finished = False
+        self.dfa_fallbacks = 0
+
+        self._dfa = None
+        self._dfa_state = 0
+        self._skip_ready = False
+        self._skip_re: Optional[re.Pattern] = None
+        self._skip_all = False
+        if use_dfa:
+            from ..prefilter.lazydfa import DEFAULT_MAX_DFA_STATES, LazyDFA
+
+            if dfa is not None:
+                self._dfa = dfa
+            else:
+                self._dfa = LazyDFA(
+                    program,
+                    max_states=(
+                        max_dfa_states
+                        if max_dfa_states is not None
+                        else DEFAULT_MAX_DFA_STATES
+                    ),
+                    vm=self.vm,
+                )
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def settled(self) -> bool:
+        """True once the verdict can no longer change."""
+        return self._result is not None or self._error is not None
+
+    @property
+    def result(self) -> Optional[MatchResult]:
+        """The settled verdict, or ``None`` while still open."""
+        return self._result
+
+    @property
+    def bytes_consumed(self) -> int:
+        return self._consumed
+
+    @property
+    def accelerated(self) -> bool:
+        """True while chunks are walking the lazy DFA."""
+        return self._dfa is not None
+
+    def _settle(self, result: MatchResult) -> MatchResult:
+        self._result = result
+        return result
+
+    def _raise_settled_error(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, chunk: Union[str, bytes]) -> Optional[MatchResult]:
+        """Consume one chunk; returns the verdict iff it settled."""
+        if self._finished:
+            raise RuntimeError("feed() after finish() on StreamingMatcher")
+        self._raise_settled_error()
+        if self._result is not None:
+            return self._result
+        data = chunk if isinstance(chunk, bytes) else _as_bytes(chunk)
+        if not data:
+            return None
+        if self._dfa is not None:
+            return self._feed_dfa(data)
+        return self._feed_vm(data, 0)
+
+    def finish(self) -> MatchResult:
+        """Process the end-of-input position and return the verdict."""
+        self._raise_settled_error()
+        if self._result is not None:
+            self._finished = True
+            return self._result
+        self._finished = True
+        if self._dfa is not None:
+            if self._dfa._accept_end[self._dfa_state]:
+                return self._settle(MatchResult(True, self._consumed))
+            return self._settle(MatchResult(False, None))
+
+        opcodes = self._opcodes
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        visited: Set[int] = set()
+        for pc in self._frontier:
+            if pc in visited:
+                continue
+            visited.add(pc)
+            opcode = opcodes[pc]
+            if opcode == ACCEPT_PARTIAL or opcode == ACCEPT:
+                return self._settle(MatchResult(True, self._consumed))
+            # NOT_MATCH / MATCH / MATCH_ANY all require a character.
+        self._frontier = []
+        if self.max_steps is not None:
+            self._executed += len(visited)
+            if self._executed > self.max_steps:
+                return self._budget_error()
+        return self._settle(MatchResult(False, None))
+
+    # ------------------------------------------------------------------
+    # VM path
+    # ------------------------------------------------------------------
+    def _budget_error(self):
+        error = VMStepBudgetError(
+            self._executed, self.max_steps, self.program.source_pattern
+        )
+        self._error = error
+        raise error
+
+    def _feed_vm(self, data: bytes, start: int) -> Optional[MatchResult]:
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        max_steps = self.max_steps
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        frontier = self._frontier
+        base = self._consumed - start
+        for index in range(start, len(data)):
+            if not frontier:
+                self._frontier = frontier
+                self._consumed = base + len(data)
+                return self._settle(MatchResult(False, None))
+            char = data[index]
+            visited: Set[int] = set()
+            next_roots: Set[int] = set()
+            worklist = frontier
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == NOT_MATCH:
+                    if char != operands[pc]:
+                        worklist.extend(successors[pc])
+                elif opcode == MATCH_ANY:
+                    next_roots.add(pc)
+                elif opcode == ACCEPT_PARTIAL:
+                    self._frontier = []
+                    self._consumed = base + index
+                    return self._settle(MatchResult(True, base + index))
+                elif opcode == ACCEPT:
+                    pass  # needs end-of-input; dead with a byte in hand
+                else:  # MATCH
+                    if char == operands[pc]:
+                        next_roots.add(pc)
+            if max_steps is not None:
+                self._executed += len(visited)
+                if self._executed > max_steps:
+                    self._frontier = []
+                    self._consumed = base + index + 1
+                    return self._budget_error()
+            frontier = []
+            for root in next_roots:
+                frontier.extend(successors[root])
+        self._frontier = frontier
+        self._consumed = base + len(data)
+        if not frontier:
+            return self._settle(MatchResult(False, None))
+        return None
+
+    # ------------------------------------------------------------------
+    # Lazy-DFA path
+    # ------------------------------------------------------------------
+    def _prepare_skip(self) -> None:
+        """Precompute which raw bytes self-loop on the entry state.
+
+        Builds every state-0 transition (at most ``num_classes`` rows —
+        bounded by the distinct operand bytes plus one residual class)
+        and compiles a byte-class regex matching the first *non*
+        self-loop byte.  While the DFA sits in state 0, everything
+        before that byte can be skipped at C speed: a self-loop byte
+        cannot fire a match (its transition is state 0, not the match
+        sentinel) and cannot change state, by construction.
+        """
+        self._skip_ready = True
+        dfa = self._dfa
+        transitions = []
+        for byte_class in range(dfa.num_classes):
+            next_id = dfa._rows[0][byte_class]
+            if next_id == -3:  # _UNBUILT
+                next_id = dfa._build_transition(0, byte_class)
+            transitions.append(next_id)
+        class_table = dfa._class_table
+        stop_bytes = [
+            byte for byte in range(256) if transitions[class_table[byte]] != 0
+        ]
+        if len(stop_bytes) == 256:
+            return  # nothing skippable
+        if not stop_bytes:
+            self._skip_all = True  # state 0 self-loops on every byte
+            return
+        self._skip_re = re.compile(
+            b"[" + b"".join(re.escape(bytes([b])) for b in stop_bytes) + b"]"
+        )
+
+    def _feed_dfa(self, data: bytes) -> Optional[MatchResult]:
+        from ..prefilter.lazydfa import LazyDFABlowup
+
+        dfa = self._dfa
+        state_id = self._dfa_state
+        index = 0
+        try:
+            if not self._skip_ready:
+                self._prepare_skip()
+            rows = dfa._rows
+            build = dfa._build_transition
+            translated = data.translate(dfa._class_table)
+            length = len(data)
+            while index < length:
+                if state_id == 0:
+                    if self._skip_all:
+                        index = length
+                        break
+                    if self._skip_re is not None:
+                        found = self._skip_re.search(data, index)
+                        if found is None:
+                            index = length
+                            break
+                        index = found.start()
+                byte_class = translated[index]
+                next_id = rows[state_id][byte_class]
+                if next_id < 0:
+                    if next_id == -3:  # _UNBUILT
+                        next_id = build(state_id, byte_class)
+                    if next_id == -2:  # _MATCHED
+                        position = self._consumed + index
+                        self._consumed = position
+                        self._dfa_state = state_id
+                        return self._settle(MatchResult(True, position))
+                    if next_id == -1:  # _DEAD
+                        self._consumed += length
+                        return self._settle(MatchResult(False, None))
+                state_id = next_id
+                index += 1
+            self._dfa_state = state_id
+            self._consumed += length
+            return None
+        except LazyDFABlowup:
+            # Permanent degradation: the DFA state's PC set is exactly
+            # the VM frontier at this position — resume byte-for-byte
+            # from the chunk byte whose transition blew the budget.
+            self.dfa_fallbacks += 1
+            self._frontier = list(dfa._states[state_id])
+            self._dfa = None
+            self._dfa_state = 0
+            self._consumed += index
+            return self._feed_vm(data, index)
+
+
+class StreamingMultiMatcher:
+    """Multi-pattern streaming twin over :class:`MultiMatchVM`.
+
+    Carries the frontier *and* the matched-id set across chunks;
+    settles early once every target id has been seen (or the frontier
+    dies), mirroring the one-shot loop's top-of-position early exit.
+    ``candidates`` narrows the target set exactly as
+    :meth:`MultiMatchVM.run` does for the Aho-Corasick prefilter.
+    """
+
+    def __init__(
+        self,
+        multi_program,
+        *,
+        max_steps: Optional[int] = None,
+        candidates: Optional[FrozenSet[int]] = None,
+        vm=None,
+    ):
+        from ..multimatch.vm import MultiMatchVM
+
+        self.multi_program = multi_program
+        self.vm = vm if vm is not None else MultiMatchVM(multi_program)
+        self.max_steps = max_steps
+        self._opcodes = self.vm._opcodes
+        self._operands = self.vm._operands
+        self._successors = self.vm._successors
+        self._targets = (
+            self.vm._all_ids
+            if candidates is None
+            else frozenset(candidates) & self.vm._all_ids
+        )
+        self._matched: Set[int] = set()
+        self._frontier: List[int] = list(self.vm._entry)
+        self._executed = 0
+        self._consumed = 0
+        self._settled = False
+        self._error: Optional[BaseException] = None
+        self._finished = False
+
+    @property
+    def settled(self) -> bool:
+        return self._settled
+
+    @property
+    def bytes_consumed(self) -> int:
+        return self._consumed
+
+    @property
+    def matched_ids(self) -> FrozenSet[int]:
+        """Ids matched so far (monotone; final after :meth:`finish`)."""
+        return frozenset(self._matched)
+
+    def _result(self):
+        from ..multimatch.vm import MultiMatchResult
+
+        return MultiMatchResult(
+            matched_ids=frozenset(self._matched),
+            patterns=dict(self.multi_program.patterns),
+        )
+
+    def _budget_error(self):
+        error = VMStepBudgetError(self._executed, self.max_steps)
+        self._error = error
+        raise error
+
+    def feed(self, chunk: Union[str, bytes]):
+        """Consume one chunk; returns the result iff enumeration settled."""
+        if self._finished:
+            raise RuntimeError("feed() after finish() on StreamingMultiMatcher")
+        if self._error is not None:
+            raise self._error
+        if self._settled:
+            return self._result()
+        data = chunk if isinstance(chunk, bytes) else _as_bytes(chunk)
+        if not data:
+            return None
+
+        opcodes = self._opcodes
+        operands = self._operands
+        successors = self._successors
+        max_steps = self.max_steps
+        matched = self._matched
+        targets = self._targets
+
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        MATCH_ANY = int(Opcode.MATCH_ANY)
+        NOT_MATCH = int(Opcode.NOT_MATCH)
+
+        frontier = self._frontier
+        base = self._consumed
+        for index in range(len(data)):
+            if not frontier or matched >= targets:
+                self._frontier = frontier
+                self._consumed = base + index
+                self._settled = True
+                return self._result()
+            char = data[index]
+            visited: Set[int] = set()
+            next_roots: Set[int] = set()
+            worklist = frontier
+            while worklist:
+                pc = worklist.pop()
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == NOT_MATCH:
+                    if char != operands[pc]:
+                        worklist.extend(successors[pc])
+                elif opcode == MATCH_ANY:
+                    next_roots.add(pc)
+                elif opcode == ACCEPT_PARTIAL:
+                    matched.add(operands[pc])
+                elif opcode == ACCEPT:
+                    pass  # needs end-of-input
+                else:  # MATCH
+                    if char == operands[pc]:
+                        next_roots.add(pc)
+            if max_steps is not None:
+                self._executed += len(visited)
+                if self._executed > max_steps:
+                    self._frontier = []
+                    self._consumed = base + index + 1
+                    return self._budget_error()
+            frontier = []
+            for root in next_roots:
+                frontier.extend(successors[root])
+        self._frontier = frontier
+        self._consumed = base + len(data)
+        if not frontier or matched >= targets:
+            self._settled = True
+            return self._result()
+        return None
+
+    def finish(self):
+        """Process end-of-input (where ``ACCEPT(id)`` fires); final result."""
+        if self._error is not None:
+            raise self._error
+        self._finished = True
+        if self._settled:
+            return self._result()
+
+        opcodes = self._opcodes
+        operands = self._operands
+        ACCEPT = int(Opcode.ACCEPT)
+        ACCEPT_PARTIAL = int(Opcode.ACCEPT_PARTIAL)
+        if self._frontier and not (self._matched >= self._targets):
+            visited: Set[int] = set()
+            for pc in self._frontier:
+                if pc in visited:
+                    continue
+                visited.add(pc)
+                opcode = opcodes[pc]
+                if opcode == ACCEPT_PARTIAL or opcode == ACCEPT:
+                    self._matched.add(operands[pc])
+            if self.max_steps is not None:
+                self._executed += len(visited)
+                if self._executed > self.max_steps:
+                    return self._budget_error()
+        self._frontier = []
+        self._settled = True
+        return self._result()

@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry and its export surfaces."""
 
+import json
+
 import pytest
 
 from repro.observability import (
@@ -127,6 +129,57 @@ class TestRegistryExport:
         assert payload["schema"] == 1
         assert payload["command"] == "scan"
         assert payload["metrics"] == registry.to_dict()
+
+    def test_snapshot_write_is_atomic(self, tmp_path, monkeypatch):
+        """Readers racing a snapshot flush must never see torn JSON:
+        the payload lands in a same-directory temp file and is moved
+        into place with one ``os.replace``."""
+        import os as os_module
+
+        registry = self._populated()
+        path = tmp_path / "stats.json"
+        path.write_text('{"schema": 1, "metrics": {}, "marker": "old"}\n')
+
+        observed = {}
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            # At the instant of the swap the target still holds the old
+            # complete document and the temp file holds the new one.
+            observed["src_dir"] = os_module.path.dirname(src)
+            observed["old"] = load_snapshot(str(path))
+            observed["new"] = json.loads(open(src).read())
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.observability.metrics.os.replace",
+                            spying_replace)
+        registry.write_snapshot(str(path), extra={"command": "serve"})
+        assert observed["old"]["marker"] == "old"
+        assert observed["new"]["command"] == "serve"
+        assert observed["src_dir"] == str(tmp_path)
+        assert load_snapshot(str(path))["metrics"] == registry.to_dict()
+        leftovers = [p for p in os_module.listdir(tmp_path)
+                     if p.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_failed_snapshot_leaves_target_and_no_temp(self, tmp_path,
+                                                       monkeypatch):
+        registry = self._populated()
+        path = tmp_path / "stats.json"
+        path.write_text('{"schema": 1, "metrics": {}}\n')
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.observability.metrics.os.replace",
+                            exploding_replace)
+        with pytest.raises(OSError):
+            registry.write_snapshot(str(path))
+        assert load_snapshot(str(path)) == {"schema": 1, "metrics": {}}
+        import os as os_module
+        leftovers = [p for p in os_module.listdir(tmp_path)
+                     if p.endswith(".tmp")]
+        assert leftovers == []
 
     def test_clear_empties_registry(self):
         registry = self._populated()

@@ -41,9 +41,13 @@ from repro.runtime.errors import (
     PassBudgetError,
     PatternLengthBudgetError,
     ProgramSizeBudgetError,
+    RequestDeadlineError,
+    ServiceDrainingError,
+    ServiceOverloadError,
     ShardFailedError,
     ShardQuarantinedError,
     TaskTimeoutError,
+    UnknownPatternError,
     VMStepBudgetError,
     WallClockBudgetError,
     WorkerCrashError,
@@ -88,6 +92,12 @@ SAMPLES = {
         4, 3, VMStepBudgetError(120, 100, "a*b")
     ),
     CircuitBreakerOpenError: lambda: CircuitBreakerOpenError(6, 8, 0.5),
+    ServiceOverloadError: lambda: ServiceOverloadError(64, 64, 0.5),
+    ServiceDrainingError: lambda: ServiceDrainingError("SIGTERM received"),
+    RequestDeadlineError: lambda: RequestDeadlineError("/scan", 2.73, 2.0),
+    UnknownPatternError: lambda: UnknownPatternError(
+        "tenant 'acme' has no pattern named 'rule7'"
+    ),
 }
 
 

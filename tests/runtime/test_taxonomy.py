@@ -30,9 +30,13 @@ from repro.runtime.errors import (
     PassBudgetError,
     PatternLengthBudgetError,
     ProgramSizeBudgetError,
+    RequestDeadlineError,
+    ServiceDrainingError,
+    ServiceOverloadError,
     ShardFailedError,
     ShardQuarantinedError,
     TaskTimeoutError,
+    UnknownPatternError,
     VMStepBudgetError,
     WallClockBudgetError,
     WorkerCrashError,
@@ -69,6 +73,10 @@ ALL_ERROR_TYPES = [
     ShardFailedError,
     ShardQuarantinedError,
     CircuitBreakerOpenError,
+    ServiceOverloadError,
+    ServiceDrainingError,
+    UnknownPatternError,
+    RequestDeadlineError,
 ]
 
 
@@ -92,12 +100,16 @@ CODE_SNAPSHOT = {
     "PatternNestingError": "REPRO-BUDGET-NESTING",
     "ProgramSizeBudgetError": "REPRO-BUDGET-PROGRAM-SIZE",
     "RegexSyntaxError": "REPRO-SYNTAX",
+    "RequestDeadlineError": "REPRO-BUDGET-REQUEST-DEADLINE",
+    "ServiceDrainingError": "REPRO-SERVICE-DRAINING",
+    "ServiceOverloadError": "REPRO-SERVICE-OVERLOAD",
     "ShardFailedError": "REPRO-SHARD-FAILED",
     "ShardQuarantinedError": "REPRO-SHARD-QUARANTINED",
     "SimulationCycleBudgetError": "REPRO-BUDGET-SIM-CYCLES",
     "SimulationError": "REPRO-SIM",
     "TaskTimeoutError": "REPRO-BUDGET-TASK-TIMEOUT",
     "ThreadBudgetError": "REPRO-BUDGET-SIM-THREADS",
+    "UnknownPatternError": "REPRO-SERVICE-UNKNOWN-PATTERN",
     "UnsupportedRegexError": "REPRO-UNSUPPORTED",
     "VMStepBudgetError": "REPRO-BUDGET-VM-STEPS",
     "VerificationError": "REPRO-IR-VERIFY",
@@ -245,6 +257,18 @@ def test_quarantine_error_nests_the_last_failure():
     assert payload["code"] == "REPRO-SHARD-QUARANTINED"
     assert payload["last_error"]["code"] == "REPRO-BUDGET-VM-STEPS"
     assert error.attempts == 3 and error.last_error is inner
+
+
+def test_service_errors_carry_backpressure_fields():
+    """The admission gate's 429 rendering needs the retry hint, and the
+    per-request deadline joins the BudgetExceeded family."""
+    shed = ServiceOverloadError(64, 64, retry_after=0.5)
+    assert shed.retry_after == 0.5 and shed.inflight == 64
+    drain = ServiceDrainingError("SIGTERM received")
+    assert "draining" in str(drain)
+    deadline = RequestDeadlineError("/scan", 2.73, 2.0)
+    assert isinstance(deadline, BudgetExceeded)
+    assert deadline.limit == 2.0 and deadline.endpoint == "/scan"
 
 
 def test_syntax_error_location_survives():

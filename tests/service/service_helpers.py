@@ -1,0 +1,151 @@
+"""Raw asyncio HTTP client bits shared by the service/chaos tests.
+
+Deliberately *not* a nice client: the chaos suite needs byte-level
+control (partial heads, trickled bodies, half-closed sockets) that a
+high-level HTTP library would hide.
+"""
+
+import asyncio
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+Response = Tuple[int, Dict[str, str], bytes]
+
+
+class RawConnection:
+    """One client connection speaking just enough HTTP/1.1."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def open(self) -> "RawConnection":
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def send(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def send_head(
+        self,
+        method: str,
+        path: str,
+        headers: Sequence[Tuple[str, str]] = (),
+        content_length: Optional[int] = None,
+    ) -> None:
+        lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+        if content_length is not None:
+            lines.append(f"Content-Length: {content_length}")
+        for name, value in headers:
+            lines.append(f"{name}: {value}")
+        await self.send(("\r\n".join(lines) + "\r\n\r\n").encode())
+
+    async def read_response(
+        self, timeout: Optional[float] = 30.0
+    ) -> Optional[Response]:
+        """One response, or ``None`` if the server closed instead."""
+
+        async def _read() -> Optional[Response]:
+            status_line = await self.reader.readline()
+            if not status_line:
+                return None
+            status = int(status_line.split()[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await self.reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            body = await self.reader.readexactly(length) if length else b""
+            return status, headers, body
+
+        return await asyncio.wait_for(_read(), timeout)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> Optional[Response]:
+        await self.send_head(method, path, headers, content_length=len(body))
+        if body:
+            await self.send(body)
+        return await self.read_response()
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: Sequence[Tuple[str, str]] = (),
+) -> Optional[Response]:
+    """One request on a fresh connection."""
+    conn = await RawConnection(host, port).open()
+    try:
+        return await conn.request(method, path, body, headers)
+    finally:
+        await conn.close()
+
+
+async def post_json(host, port, path, payload, headers=()) -> Response:
+    return await fetch(
+        host, port, "POST", path, json.dumps(payload).encode(), headers
+    )
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """Prometheus exposition text → {series: value} (labels included)."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return samples
+
+
+class HeldStream:
+    """A ``/stream`` request that occupies one admission slot until
+    released — the deterministic way to fill the in-flight gauge."""
+
+    def __init__(self, host: str, port: int, pattern: str = "zzz9q"):
+        self.conn = RawConnection(host, port)
+        self.pattern = pattern
+
+    async def start(self) -> "HeldStream":
+        await self.conn.open()
+        await self.conn.send_head(
+            "POST",
+            "/stream",
+            headers=[("X-Repro-Pattern", self.pattern)],
+            content_length=8,
+        )
+        await self.conn.send(b"xx")  # trickle: handler now waits on us
+        return self
+
+    async def release(self) -> Optional[Response]:
+        await self.conn.send(b"x" * 6)
+        response = await self.conn.read_response()
+        await self.conn.close()
+        return response
+
+    async def abort(self) -> None:
+        await self.conn.close()

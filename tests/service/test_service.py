@@ -1,0 +1,342 @@
+"""Functional contract of the match service (ISSUE 9 tentpole).
+
+In-process: each test spins up a :class:`MatchService` on an ephemeral
+port inside ``asyncio.run`` (no pytest-asyncio in the image) and talks
+to it over real sockets with the raw client from ``service_helpers``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import MatchService, ServiceConfig
+from service_helpers import (
+    HeldStream,
+    RawConnection,
+    fetch,
+    parse_metrics,
+    post_json,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started(**overrides) -> MatchService:
+    service = MatchService(ServiceConfig(port=0).replace(**overrides))
+    await service.start()
+    return service
+
+
+async def wait_for(predicate, timeout=5.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.005)
+
+
+def test_compile_match_scan_roundtrip():
+    async def scenario():
+        service = await started()
+        try:
+            host, port = service.host, service.port
+            status, _, body = await post_json(
+                host, port, "/compile",
+                {"pattern": "a(b|c)+d", "tenant": "acme", "name": "r1"},
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["registered"] is True
+
+            status, _, body = await post_json(
+                host, port, "/match",
+                {"tenant": "acme", "name": "r1", "text": "xxabcbcd!"},
+            )
+            assert (status, json.loads(body)["matched"]) == (200, True)
+
+            # Same compiled artifact: the second tenant's hit lands in
+            # the shared LRU cache.
+            before = service.engine.cache_stats().hits
+            status, _, _ = await post_json(
+                host, port, "/compile",
+                {"pattern": "a(b|c)+d", "tenant": "other", "name": "same"},
+            )
+            assert status == 200
+            assert service.engine.cache_stats().hits == before + 1
+
+            status, _, body = await post_json(
+                host, port, "/scan",
+                {"pattern": "ab+", "text": "xx abbb yy " * 40,
+                 "chunk_bytes": 64},
+            )
+            assert status == 200
+            report = json.loads(body)
+            assert report["matched"] and report["chunks"] > 1
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_stream_settles_like_one_shot():
+    async def scenario():
+        service = await started()
+        try:
+            host, port = service.host, service.port
+            status, _, body = await fetch(
+                host, port, "POST", "/stream", b"xxxabcbcdyyy",
+                headers=[("X-Repro-Pattern", "a(b|c)+d")],
+            )
+            assert status == 200
+            verdict = json.loads(body)
+            assert verdict["matched"] and verdict["bytes"] == 12
+            assert verdict["settled_early"]
+
+            status, _, body = await fetch(
+                host, port, "POST", "/stream", b"no such thing",
+                headers=[("X-Repro-Pattern", "a(b|c)+d"),
+                         ("X-Repro-Dfa", "off")],
+            )
+            assert status == 200
+            verdict = json.loads(body)
+            assert not verdict["matched"] and not verdict["accelerated"]
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_probes_errors_and_metrics():
+    async def scenario():
+        service = await started()
+        try:
+            host, port = service.host, service.port
+            status, _, body = await fetch(host, port, "GET", "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok" and health["inflight"] == 0
+
+            status, _, _ = await fetch(host, port, "GET", "/readyz")
+            assert status == 200
+
+            # Unknown name → typed 404; bad JSON → 400; bad syntax → 422.
+            status, _, body = await post_json(
+                host, port, "/match", {"name": "ghost", "text": "x"})
+            assert status == 404
+            assert json.loads(body)["error"]["code"] == \
+                "REPRO-SERVICE-UNKNOWN-PATTERN"
+            status, _, _ = await fetch(host, port, "POST", "/match",
+                                       b"not json")
+            assert status == 400
+            status, _, body = await post_json(
+                host, port, "/match", {"pattern": "a(((", "text": "x"})
+            assert status == 422
+            assert json.loads(body)["error"]["code"].startswith("REPRO-")
+            status, _, _ = await fetch(host, port, "GET", "/nope")
+            assert status == 404
+            status, _, _ = await fetch(host, port, "POST", "/healthz")
+            assert status == 405
+
+            status, _, body = await fetch(host, port, "GET", "/metrics")
+            assert status == 200
+            samples = parse_metrics(body.decode())
+            assert samples[
+                'repro_service_requests_total'
+                '{endpoint="/match",status="404"}'] == 1.0
+            assert samples["repro_service_inflight"] == 0.0
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_overload_sheds_429_and_metrics_reconcile():
+    async def scenario():
+        service = await started(max_inflight=2, retry_after=0.25)
+        try:
+            host, port = service.host, service.port
+            held = [await HeldStream(host, port).start() for _ in range(2)]
+            await wait_for(lambda: service.inflight == 2)
+
+            shed_statuses = []
+            for _ in range(5):
+                status, headers, body = await post_json(
+                    host, port, "/match", {"pattern": "a", "text": "a"})
+                shed_statuses.append(status)
+                assert headers.get("retry-after") == "0.25"
+                assert json.loads(body)["error"]["code"] == \
+                    "REPRO-SERVICE-OVERLOAD"
+            assert shed_statuses == [429] * 5
+
+            for stream in held:
+                response = await stream.release()
+                assert response[0] == 200
+
+            status, _, _ = await post_json(
+                host, port, "/match", {"pattern": "a", "text": "a"})
+            assert status == 200
+
+            _, _, body = await fetch(host, port, "GET", "/metrics")
+            samples = parse_metrics(body.decode())
+            assert samples["repro_service_shed_total"] == 5.0
+            assert samples[
+                'repro_service_requests_total'
+                '{endpoint="/match",status="429"}'] == 5.0
+            assert samples[
+                'repro_service_requests_total'
+                '{endpoint="/match",status="200"}'] == 1.0
+            assert samples[
+                'repro_service_requests_total'
+                '{endpoint="/stream",status="200"}'] == 2.0
+            assert samples["repro_service_inflight"] == 0.0
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_request_deadline_maps_to_504():
+    async def scenario():
+        service = await started(request_seconds=0.25)
+        try:
+            host, port = service.host, service.port
+            conn = await RawConnection(host, port).open()
+            await conn.send_head(
+                "POST", "/stream",
+                headers=[("X-Repro-Pattern", "ab")],
+                content_length=100,
+            )
+            await conn.send(b"ab")  # then stall past the deadline
+            status, _, body = await conn.read_response(timeout=10.0)
+            assert status == 504
+            error = json.loads(body)["error"]
+            assert error["code"] == "REPRO-BUDGET-REQUEST-DEADLINE"
+            await conn.close()
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_client_deadline_header_tightens_only():
+    async def scenario():
+        service = await started()  # default 30s budget
+        try:
+            host, port = service.host, service.port
+            conn = await RawConnection(host, port).open()
+            await conn.send_head(
+                "POST", "/stream",
+                headers=[("X-Repro-Pattern", "ab"),
+                         ("X-Repro-Deadline", "0.2")],
+                content_length=100,
+            )
+            await conn.send(b"ab")
+            status, _, _ = await conn.read_response(timeout=10.0)
+            assert status == 504
+            await conn.close()
+        finally:
+            await service.drain("test")
+
+    run(scenario())
+
+
+def test_drain_rejects_new_work_but_finishes_inflight():
+    async def scenario():
+        service = await started(drain_seconds=5.0)
+        host, port = service.host, service.port
+        held = await HeldStream(host, port).start()
+        await wait_for(lambda: service.inflight == 1)
+        probe = await RawConnection(host, port).open()  # pre-drain conn
+
+        drain_task = asyncio.ensure_future(service.drain("test"))
+        await wait_for(lambda: service.draining)
+
+        # Existing keep-alive connections see typed rejections...
+        status, _, body = await probe.request(
+            "POST", "/match",
+            json.dumps({"pattern": "a", "text": "a"}).encode())
+        assert status == 503
+        assert json.loads(body)["error"]["code"] == "REPRO-SERVICE-DRAINING"
+        await probe.close()
+
+        # ...while admitted work runs to completion with its verdict.
+        response = await held.release()
+        assert response[0] == 200 and json.loads(response[2])["matched"] is \
+            False
+        elapsed = await drain_task
+        assert elapsed < 5.0
+        assert service.inflight == 0
+
+    run(scenario())
+
+
+def test_drain_writes_atomic_snapshot(tmp_path):
+    stats = tmp_path / "deep" / "stats.json"
+    stats.parent.mkdir()
+
+    async def scenario():
+        service = MatchService(
+            ServiceConfig(port=0, stats_file=str(stats)))
+        await service.start()
+        host, port = service.host, service.port
+        status, _, _ = await post_json(
+            host, port, "/match", {"pattern": "a", "text": "a"})
+        assert status == 200
+        await service.drain("SIGTERM")
+
+    run(scenario())
+    snapshot = json.loads(stats.read_text())
+    assert snapshot["drain_reason"] == "SIGTERM"
+    assert any("repro_service_requests_total" in key
+               for key in snapshot["metrics"])
+    assert not list(stats.parent.glob(".*tmp"))
+
+
+def test_readyz_flips_503_while_draining():
+    async def scenario():
+        service = await started(drain_seconds=2.0)
+        host, port = service.host, service.port
+        held = await HeldStream(host, port).start()
+        await wait_for(lambda: service.inflight == 1)
+        # Connections close after one response during drain (keep-alive
+        # off), so each probe needs its own pre-drain connection.
+        ready_probe = await RawConnection(host, port).open()
+        live_probe = await RawConnection(host, port).open()
+        drain_task = asyncio.ensure_future(service.drain("test"))
+        await wait_for(lambda: service.draining)
+        status, _, _ = await ready_probe.request("GET", "/readyz")
+        assert status == 503
+        # Liveness stays green during drain.
+        status, _, body = await live_probe.request("GET", "/healthz")
+        assert status == 200 and json.loads(body)["status"] == "draining"
+        await ready_probe.close()
+        await live_probe.close()
+        await held.release()
+        await drain_task
+
+    run(scenario())
+
+
+def test_tenant_namespace_limit_is_typed():
+    async def scenario():
+        service = await started(max_patterns_per_tenant=2)
+        try:
+            host, port = service.host, service.port
+            for index in range(2):
+                status, _, _ = await post_json(
+                    host, port, "/compile",
+                    {"pattern": f"a{{{index + 1}}}", "tenant": "t",
+                     "name": f"r{index}"})
+                assert status == 200
+            status, _, body = await post_json(
+                host, port, "/compile",
+                {"pattern": "zzz", "tenant": "t", "name": "r9"})
+            assert status == 422
+            assert "limit" in json.loads(body)["error"]["message"]
+        finally:
+            await service.drain("test")
+
+    run(scenario())

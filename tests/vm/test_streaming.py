@@ -1,0 +1,246 @@
+"""StreamingMatcher: chunked execution ≡ one-shot, plus lifecycle."""
+
+import pytest
+
+from repro.compiler import compile_regex
+from repro.multimatch import MultiMatchVM, compile_multipattern
+from repro.runtime.errors import VMStepBudgetError
+from repro.vm import StreamingMatcher, StreamingMultiMatcher, ThompsonVM
+
+PATTERNS = [
+    "abc",
+    "a(b|c)+d",
+    "[a-f]{2,4}g",
+    "x.*y",
+    "(ab|a)c*d?e",
+    "[^x]+z",
+]
+INPUTS = [
+    "",
+    "abc",
+    "abcd",
+    "xaybz",
+    "abbbcccd",
+    "aaff g",
+    "abcde" * 7,
+    "zzzzabczzzz",
+    "x" + "q" * 30 + "y",
+]
+
+
+def _program(pattern):
+    return compile_regex(pattern).program
+
+
+def _splits(text):
+    """A deterministic set of chunkings: whole, per-char, and a few
+    uneven cuts."""
+    yield [text]
+    yield list(text)
+    for width in (2, 3, 5):
+        yield [text[i:i + width] for i in range(0, len(text), width)]
+
+
+def _stream(program, chunks, **kwargs):
+    matcher = StreamingMatcher(program, **kwargs)
+    for chunk in chunks:
+        verdict = matcher.feed(chunk)
+        if verdict is not None:
+            return verdict
+    return matcher.finish()
+
+
+@pytest.mark.parametrize("use_dfa", [False, True])
+def test_every_split_matches_one_shot(use_dfa):
+    for pattern in PATTERNS:
+        program = _program(pattern)
+        vm = ThompsonVM(program)
+        for text in INPUTS:
+            expected = vm.run_reference(text)
+            for chunks in _splits(text):
+                got = _stream(program, chunks, use_dfa=use_dfa)
+                assert bool(got) == bool(expected), (pattern, text, chunks)
+                if expected.matched:
+                    assert got.position == expected.position
+
+
+def test_positions_are_absolute_across_chunks():
+    # ACCEPT_PARTIAL fires while processing the position *after* the
+    # final matched byte, exactly as in one-shot execution — so the
+    # settlement arrives on the next feed, at the one-shot offset.
+    program = _program("ab")
+    matcher = StreamingMatcher(program)
+    assert matcher.feed("xxxx") is None
+    assert matcher.feed("ab") is None
+    verdict = matcher.feed("zz")
+    assert verdict is not None and verdict.matched
+    assert verdict.position == ThompsonVM(program).run("xxxxabzz").position
+
+
+def test_early_settle_is_sticky_and_feed_becomes_noop():
+    matcher = StreamingMatcher(_program("ab"))
+    assert matcher.feed("zab") is None
+    verdict = matcher.feed("tail")
+    assert verdict is not None and matcher.settled
+    # Further chunks return the same settled result without running.
+    consumed = matcher.bytes_consumed
+    again = matcher.feed("anything at all")
+    assert again == verdict
+    assert matcher.bytes_consumed == consumed
+    assert matcher.finish() == verdict
+
+
+def test_feed_after_finish_raises():
+    matcher = StreamingMatcher(_program("ab"))
+    matcher.finish()
+    with pytest.raises(RuntimeError):
+        matcher.feed("ab")
+
+
+def test_empty_chunks_are_free():
+    matcher = StreamingMatcher(_program("ab"))
+    assert matcher.feed("") is None
+    assert matcher.feed(b"") is None
+    assert matcher.bytes_consumed == 0
+    assert matcher.feed("a") is None
+    assert matcher.bytes_consumed == 1
+
+
+def test_bytes_and_str_chunks_mix():
+    matcher = StreamingMatcher(_program("abc"))
+    matcher.feed(b"a")
+    verdict = matcher.feed("bc")
+    assert verdict is None  # ACCEPT needs end-of-input
+    assert matcher.finish().matched
+
+
+def test_budget_error_matches_one_shot_and_is_sticky():
+    program = _program("a*b")
+    text = "a" * 50
+    with pytest.raises(VMStepBudgetError):
+        ThompsonVM(program).run(text, max_steps=20)
+    matcher = StreamingMatcher(program, max_steps=20)
+    with pytest.raises(VMStepBudgetError):
+        for chunk in (text[i:i + 7] for i in range(0, len(text), 7)):
+            matcher.feed(chunk)
+        matcher.finish()
+    assert matcher.settled
+    with pytest.raises(VMStepBudgetError):
+        matcher.feed("more")
+
+
+def test_budget_charges_identical_steps_per_split():
+    """The per-position accounting must not depend on chunk geometry."""
+    program = _program("(a|b)*c")
+    text = "ababab"
+    charged = []
+    for chunks in _splits(text):
+        matcher = StreamingMatcher(program, max_steps=10_000)
+        for chunk in chunks:
+            matcher.feed(chunk)
+        matcher.finish()
+        charged.append(matcher._executed)
+    assert len(set(charged)) == 1
+
+
+def test_dfa_path_accelerates_and_reports():
+    matcher = StreamingMatcher(_program("needle"), use_dfa=True)
+    assert matcher.accelerated
+    assert matcher.feed("hay " * 100) is None
+    assert matcher.feed("needle") is None
+    verdict = matcher.feed(" more hay")  # match surfaces one byte later
+    assert verdict is not None and verdict.matched
+    assert matcher.accelerated and matcher.dfa_fallbacks == 0
+
+
+def test_dfa_end_acceptance_at_finish():
+    matcher = StreamingMatcher(_program("needle"), use_dfa=True)
+    matcher.feed("hay needle")
+    assert matcher.finish().matched
+
+
+def test_dfa_blowup_mid_stream_falls_back_to_vm():
+    # max_dfa_states=2 cannot hold this pattern's subset states, so the
+    # walk blows up mid-chunk and must continue on the VM with no
+    # verdict change.
+    program = _program("a(b|c)+d")
+    for text in INPUTS:
+        expected = ThompsonVM(program).run_reference(text)
+        matcher = StreamingMatcher(program, use_dfa=True, max_dfa_states=2)
+        verdict = None
+        for chunk in (text[i:i + 3] for i in range(0, len(text), 3)):
+            verdict = matcher.feed(chunk)
+            if verdict is not None:
+                break
+        if verdict is None:
+            verdict = matcher.finish()
+        assert bool(verdict) == bool(expected), text
+        assert not matcher.accelerated or matcher.dfa_fallbacks == 0
+
+
+def test_shared_vm_reuses_dispatch_tables():
+    program = _program("ab+c")
+    vm = ThompsonVM(program)
+    left = StreamingMatcher(program, vm=vm)
+    right = StreamingMatcher(program, vm=vm)
+    assert left._successors is right._successors
+    left.feed("ab")
+    assert right.bytes_consumed == 0  # state is per-matcher
+
+
+# ----------------------------------------------------------------------
+# StreamingMultiMatcher
+# ----------------------------------------------------------------------
+MULTI_SETS = [
+    ["abc", "ab+d", "xyz"],
+    ["a", "aa", "aaa"],
+    ["cat|dog", "do.", "[a-c]+t"],
+]
+
+
+def _multi_stream(multi, chunks, **kwargs):
+    matcher = StreamingMultiMatcher(multi, **kwargs)
+    for chunk in chunks:
+        result = matcher.feed(chunk)
+        if result is not None:
+            return result
+    return matcher.finish()
+
+
+def test_multi_matches_one_shot_for_every_split():
+    for patterns in MULTI_SETS:
+        multi = compile_multipattern(patterns)
+        vm = MultiMatchVM(multi)
+        for text in INPUTS + ["catdogcat", "aaab"]:
+            expected = vm.run_reference(text).matched_ids
+            for chunks in _splits(text):
+                got = _multi_stream(multi, chunks)
+                assert got.matched_ids == expected, (patterns, text, chunks)
+
+
+def test_multi_settles_early_once_all_targets_match():
+    multi = compile_multipattern(["a", "b"])
+    matcher = StreamingMultiMatcher(multi)
+    result = matcher.feed("ab" + "z" * 100)
+    assert result is not None and matcher.settled
+    assert result.matched_ids == frozenset({1, 2})
+    # The tail after settlement was never walked.
+    assert matcher.bytes_consumed < 102
+
+
+def test_multi_candidates_narrow_targets():
+    multi = compile_multipattern(["a", "b", "c"])
+    expected = MultiMatchVM(multi).run("abc", candidates=frozenset({2})
+                                      ).matched_ids
+    got = _multi_stream(multi, ["a", "bc"], candidates=frozenset({2}))
+    assert got.matched_ids == expected
+
+
+def test_multi_budget_error_is_sticky():
+    multi = compile_multipattern(["(a|b)*c", "a+b"])
+    matcher = StreamingMultiMatcher(multi, max_steps=10)
+    with pytest.raises(VMStepBudgetError):
+        for _ in range(50):
+            matcher.feed("ab")
+    with pytest.raises(VMStepBudgetError):
+        matcher.finish()
