@@ -39,6 +39,17 @@ so future PRs have a perf trajectory:
   ``repro serve`` HTTP stack (admission gate, dispatch, executor hop)
   vs calling the same warmed engine directly; the ratio tracks what
   the service wrapper costs per request.
+* **tuned-vs-default** — the shipped fingerprint-keyed tuned profiles
+  (``src/repro/tuning/profiles/``) vs the hand-ordered default
+  pipeline on the canonical tuner suites, as a composite-cost ratio
+  (Eq. 1 ``D_offset`` + code size + simulated cycles; deterministic,
+  not wall-clock).  Hard floor :data:`TUNED_FLOOR`: a shipped profile
+  may never cost more than the default it was tuned against.
+
+Every section is declared once in the :data:`SECTIONS` registry, which
+drives ``run_suite`` (including ``--quick``), the summary printout, the
+hard floors/ceilings, the ``--baseline`` gate and the ``--history``
+time series — adding a section here is the whole registration.
 
 Absolute throughputs are machine-dependent; the *speedup ratios* are
 not, so the regression gate (``--baseline`` + ``--max-regression``)
@@ -54,9 +65,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.backends import compile_with_backend
 from repro.compiler import NewCompiler
@@ -64,20 +77,6 @@ from repro.engine import Engine, supervised_matches
 from repro.engine.parallel import WorkerPayload, parallel_matches
 from repro.runtime.budget import DEFAULT_BUDGET
 from repro.vm.thompson import ThompsonVM
-
-#: Ratio metrics the regression gate compares (machine-independent).
-GATED_METRICS = (
-    ("repeated_pattern", "speedup"),
-    ("corpus_scan", "speedup"),
-    ("vm_fast_path", "speedup"),
-    ("supervisor_overhead", "speedup"),
-    ("observability_overhead", "speedup"),
-    ("prefilter_sparse_scan", "speedup"),
-    ("prefilter_dense_scan", "speedup"),
-    ("lazy_dfa", "speedup"),
-    ("streaming_vs_oneshot", "speedup"),
-    ("service_throughput", "speedup"),
-)
 
 #: Hard ceiling on the disabled-telemetry overhead fraction: the no-op
 #: tracer/metrics path may cost at most this much over the bare VM call.
@@ -93,6 +92,12 @@ PREFILTER_DENSE_FLOOR = 0.95
 #: frontier state must keep at least this fraction of the one-shot
 #: VM's throughput on the same input (the ISSUE-9 acceptance bar).
 STREAMING_FLOOR = 0.8
+
+#: Hard floor on the tuned-profile composite-cost ratio: the tuner only
+#: ever advances its incumbent on strict improvement over the default
+#: pipeline, so a shipped profile scoring worse than the default means
+#: the profile went stale (pass semantics drifted since it was tuned).
+TUNED_FLOOR = 1.0
 
 PATTERNS = [
     "th(is|at|ose)",
@@ -546,38 +551,229 @@ def bench_service_throughput(requests: int, concurrency: int = 4) -> Dict:
     }
 
 
+def bench_tuned_vs_default() -> Dict:
+    """Shipped tuned profiles vs the default pipeline, per tuner suite.
+
+    Deterministic composite-cost evaluation (no wall-clock timing): the
+    checked-in ``src/repro/tuning/profiles/<suite>.json`` pipelines are
+    re-scored on the canonical suite pattern sets with the profile's
+    own weights and compared to the hand-ordered default pipeline on
+    the same sets.  ``speedup`` is the *minimum* per-suite
+    default/tuned ratio — the conservative number the hard
+    :data:`TUNED_FLOOR` and the baseline gate watch.
+    """
+    from repro.tuning import (
+        PROFILES_DIR,
+        TUNER_SUITES,
+        TunedProfile,
+        evaluate_profile,
+        group_by_fingerprint,
+        suite_patterns,
+        suite_probe_text,
+    )
+    from repro.tuning.cost import CostModel
+    from repro.tuning.search import DEFAULT_SPEC
+
+    suites: Dict[str, Dict] = {}
+    for name in TUNER_SUITES:
+        profile = TunedProfile.load(os.path.join(PROFILES_DIR, f"{name}.json"))
+        patterns = suite_patterns(name)
+        probe = suite_probe_text(name)
+        groups = group_by_fingerprint(patterns)
+        model = CostModel(weights=profile.weights, probe_text=probe)
+        default_cost = model.evaluate(patterns, DEFAULT_SPEC).composite
+        tuned_scores = evaluate_profile(profile, groups, probe_text=probe)
+        tuned_cost = sum(score.composite for score in tuned_scores.values())
+        suites[name] = {
+            "patterns": len(patterns),
+            "groups": len(groups),
+            "default_composite": default_cost,
+            "tuned_composite": tuned_cost,
+            "ratio": default_cost / tuned_cost if tuned_cost else 1.0,
+        }
+    best_suite = max(suites, key=lambda name: suites[name]["ratio"])
+    return {
+        "suites": suites,
+        "best_suite": best_suite,
+        "best_ratio": suites[best_suite]["ratio"],
+        "speedup": min(entry["ratio"] for entry in suites.values()),
+    }
+
+
+def _floor_check(
+    key: str, floor: float
+) -> Callable[[Dict], Optional[str]]:
+    """Hard baseline-independent floor on a section's ``speedup``."""
+
+    def check(results: Dict) -> Optional[str]:
+        if results["speedup"] < floor - 1e-9:
+            return (
+                f"{key}.speedup {results['speedup']:.2f}x is below the "
+                f"hard {floor:.2f}x floor"
+            )
+        return None
+
+    return check
+
+
+def _observability_check(results: Dict) -> Optional[str]:
+    if results["overhead_frac"] > OVERHEAD_CEILING:
+        return (
+            "observability_overhead.overhead_frac "
+            f"{results['overhead_frac']:+.1%} exceeds the hard "
+            f"+{OVERHEAD_CEILING:.0%} ceiling"
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class Section:
+    """One bench section: measurement, summary line, optional hard gate.
+
+    ``key`` doubles as the results/baseline/history section name;
+    ``gated_metric`` is what the ``--baseline`` gate and the history
+    detector compare.  Registering a :data:`SECTIONS` entry is all it
+    takes for a new section to run under ``--quick``, print in the
+    summary, gate against the baseline and record into the history.
+    """
+
+    key: str
+    label: str
+    run: Callable[[Dict], Dict]
+    summarize: Callable[[Dict], str]
+    check: Optional[Callable[[Dict], Optional[str]]] = None
+    gated_metric: str = "speedup"
+
+
+SECTIONS = (
+    Section(
+        "repeated_pattern",
+        "repeated-pattern",
+        lambda scale: bench_repeated_patterns(scale["repeats"]),
+        lambda r: (
+            f"{r['engine_patterns_per_sec']:,.0f} req/s "
+            f"({r['speedup']:.1f}x, cache hit rate "
+            f"{r['cache']['hit_rate']:.0%})"
+        ),
+    ),
+    Section(
+        "corpus_scan",
+        "corpus-scan",
+        lambda scale: bench_corpus_scan(scale["corpus_chars"]),
+        lambda r: f"{r['engine_chars_per_sec']:,.0f} chars/s "
+        f"({r['speedup']:.1f}x)",
+    ),
+    Section(
+        "vm_fast_path",
+        "vm-fast-path",
+        lambda scale: bench_vm_fast_path(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
+        lambda r: f"{r['fast_chars_per_sec']:,.0f} chars/s "
+        f"({r['speedup']:.1f}x)",
+    ),
+    Section(
+        "supervisor_overhead",
+        "supervisor",
+        lambda scale: bench_supervisor_overhead(scale["sup_chars"]),
+        lambda r: (
+            f"{r['supervisor_chars_per_sec']:,.0f} chars/s "
+            f"({r['speedup']:.2f}x of pool.map)"
+        ),
+    ),
+    Section(
+        "observability_overhead",
+        "observability",
+        lambda scale: bench_observability_overhead(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
+        lambda r: (
+            f"disabled-tracer overhead {r['overhead_frac']:+.1%} "
+            f"(ceiling +{OVERHEAD_CEILING:.0%})"
+        ),
+        check=_observability_check,
+    ),
+    Section(
+        "prefilter_sparse_scan",
+        "prefilter-sparse",
+        lambda scale: bench_prefilter_sparse_scan(scale["pf_chunks"]),
+        lambda r: (
+            f"{r['auto_chars_per_sec']:,.0f} chars/s "
+            f"({r['speedup']:.1f}x, {r['matched_frac']:.1%} chunks match)"
+        ),
+        check=_floor_check("prefilter_sparse_scan", PREFILTER_SPARSE_FLOOR),
+    ),
+    Section(
+        "prefilter_dense_scan",
+        "prefilter-dense",
+        lambda scale: bench_prefilter_dense_scan(scale["pf_chunks"] // 4),
+        lambda r: (
+            f"{r['auto_chars_per_sec']:,.0f} chars/s "
+            f"({r['speedup']:.2f}x of unfiltered)"
+        ),
+        check=_floor_check("prefilter_dense_scan", PREFILTER_DENSE_FLOOR),
+    ),
+    Section(
+        "lazy_dfa",
+        "lazy-dfa",
+        lambda scale: bench_lazy_dfa(scale["vm_chars"], scale["vm_rounds"]),
+        lambda r: (
+            f"{r['dfa_chars_per_sec']:,.0f} chars/s "
+            f"({r['speedup']:.1f}x of the VM, {r['dfa_states']} states)"
+        ),
+    ),
+    Section(
+        "streaming_vs_oneshot",
+        "streaming",
+        lambda scale: bench_streaming_vs_oneshot(
+            scale["vm_chars"], scale["vm_rounds"]
+        ),
+        lambda r: (
+            f"{r['streaming_chars_per_sec']:,.0f} chars/s "
+            f"({r['speedup']:.2f}x of one-shot, floor "
+            f"{STREAMING_FLOOR:.1f}x)"
+        ),
+        check=_floor_check("streaming_vs_oneshot", STREAMING_FLOOR),
+    ),
+    Section(
+        "service_throughput",
+        "service",
+        lambda scale: bench_service_throughput(scale["svc_requests"]),
+        lambda r: (
+            f"{r['http_requests_per_sec']:,.0f} req/s over HTTP "
+            f"({r['speedup']:.3f}x of direct calls)"
+        ),
+    ),
+    Section(
+        "tuned_vs_default",
+        "tuned-vs-default",
+        lambda scale: bench_tuned_vs_default(),
+        lambda r: (
+            f"min {r['speedup']:.3f}x composite cost vs default "
+            f"(best {r['best_ratio']:.3f}x on {r['best_suite']}, floor "
+            f"{TUNED_FLOOR:.1f}x)"
+        ),
+        check=_floor_check("tuned_vs_default", TUNED_FLOOR),
+    ),
+)
+
+#: Ratio metrics the regression gate compares (machine-independent) —
+#: derived from the registry, never hand-maintained.
+GATED_METRICS = tuple(
+    (section.key, section.gated_metric) for section in SECTIONS
+)
+
+
 def run_suite(quick: bool = False) -> Dict:
     scale = dict(repeats=20, corpus_chars=50_000, vm_chars=800, vm_rounds=100,
                  sup_chars=100_000, pf_chunks=512, svc_requests=400)
     if quick:
         scale = dict(repeats=8, corpus_chars=15_000, vm_chars=400, vm_rounds=40,
                      sup_chars=40_000, pf_chunks=256, svc_requests=160)
-    return {
-        "schema": 1,
-        "quick": quick,
-        "repeated_pattern": bench_repeated_patterns(scale["repeats"]),
-        "corpus_scan": bench_corpus_scan(scale["corpus_chars"]),
-        "vm_fast_path": bench_vm_fast_path(
-            scale["vm_chars"], scale["vm_rounds"]
-        ),
-        "supervisor_overhead": bench_supervisor_overhead(scale["sup_chars"]),
-        "observability_overhead": bench_observability_overhead(
-            scale["vm_chars"], scale["vm_rounds"]
-        ),
-        "prefilter_sparse_scan": bench_prefilter_sparse_scan(
-            scale["pf_chunks"]
-        ),
-        "prefilter_dense_scan": bench_prefilter_dense_scan(
-            scale["pf_chunks"] // 4
-        ),
-        "lazy_dfa": bench_lazy_dfa(scale["vm_chars"], scale["vm_rounds"]),
-        "streaming_vs_oneshot": bench_streaming_vs_oneshot(
-            scale["vm_chars"], scale["vm_rounds"]
-        ),
-        "service_throughput": bench_service_throughput(
-            scale["svc_requests"]
-        ),
-    }
+    results: Dict = {"schema": 1, "quick": quick}
+    for section in SECTIONS:
+        results[section.key] = section.run(scale)
+    return results
 
 
 def check_regression(
@@ -625,93 +821,20 @@ def main(argv=None) -> int:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    repeated = results["repeated_pattern"]
-    corpus = results["corpus_scan"]
-    vm = results["vm_fast_path"]
     print(f"wrote {args.out}")
-    print(
-        f"repeated-pattern : {repeated['engine_patterns_per_sec']:,.0f} "
-        f"req/s ({repeated['speedup']:.1f}x, cache hit rate "
-        f"{repeated['cache']['hit_rate']:.0%})"
-    )
-    print(
-        f"corpus-scan      : {corpus['engine_chars_per_sec']:,.0f} "
-        f"chars/s ({corpus['speedup']:.1f}x)"
-    )
-    print(
-        f"vm-fast-path     : {vm['fast_chars_per_sec']:,.0f} "
-        f"chars/s ({vm['speedup']:.1f}x)"
-    )
-    supervisor = results["supervisor_overhead"]
-    print(
-        f"supervisor       : {supervisor['supervisor_chars_per_sec']:,.0f} "
-        f"chars/s ({supervisor['speedup']:.2f}x of pool.map)"
-    )
-    observability = results["observability_overhead"]
-    print(
-        f"observability    : disabled-tracer overhead "
-        f"{observability['overhead_frac']:+.1%} "
-        f"(ceiling +{OVERHEAD_CEILING:.0%})"
-    )
-    sparse = results["prefilter_sparse_scan"]
-    dense = results["prefilter_dense_scan"]
-    lazy = results["lazy_dfa"]
-    print(
-        f"prefilter-sparse : {sparse['auto_chars_per_sec']:,.0f} "
-        f"chars/s ({sparse['speedup']:.1f}x, "
-        f"{sparse['matched_frac']:.1%} chunks match)"
-    )
-    print(
-        f"prefilter-dense  : {dense['auto_chars_per_sec']:,.0f} "
-        f"chars/s ({dense['speedup']:.2f}x of unfiltered)"
-    )
-    print(
-        f"lazy-dfa         : {lazy['dfa_chars_per_sec']:,.0f} "
-        f"chars/s ({lazy['speedup']:.1f}x of the VM, "
-        f"{lazy['dfa_states']} states)"
-    )
-    streaming = results["streaming_vs_oneshot"]
-    service = results["service_throughput"]
-    print(
-        f"streaming        : {streaming['streaming_chars_per_sec']:,.0f} "
-        f"chars/s ({streaming['speedup']:.2f}x of one-shot, floor "
-        f"{STREAMING_FLOOR:.1f}x)"
-    )
-    print(
-        f"service          : {service['http_requests_per_sec']:,.0f} "
-        f"req/s over HTTP ({service['speedup']:.3f}x of direct calls)"
-    )
-    if observability["overhead_frac"] > OVERHEAD_CEILING:
+    for section in SECTIONS:
         print(
-            "REGRESSION: observability_overhead.overhead_frac "
-            f"{observability['overhead_frac']:+.1%} exceeds the hard "
-            f"+{OVERHEAD_CEILING:.0%} ceiling",
-            file=sys.stderr,
+            f"{section.label:17s}: {section.summarize(results[section.key])}"
         )
-        return 1
-    if sparse["speedup"] < PREFILTER_SPARSE_FLOOR:
-        print(
-            "REGRESSION: prefilter_sparse_scan.speedup "
-            f"{sparse['speedup']:.2f}x is below the hard "
-            f"{PREFILTER_SPARSE_FLOOR:.1f}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    if dense["speedup"] < PREFILTER_DENSE_FLOOR:
-        print(
-            "REGRESSION: prefilter_dense_scan.speedup "
-            f"{dense['speedup']:.2f}x is below the hard "
-            f"{PREFILTER_DENSE_FLOOR:.2f}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    if streaming["speedup"] < STREAMING_FLOOR:
-        print(
-            "REGRESSION: streaming_vs_oneshot.speedup "
-            f"{streaming['speedup']:.2f}x is below the hard "
-            f"{STREAMING_FLOOR:.1f}x floor",
-            file=sys.stderr,
-        )
+    hard_failed = False
+    for section in SECTIONS:
+        if section.check is None:
+            continue
+        failure = section.check(results[section.key])
+        if failure is not None:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+            hard_failed = True
+    if hard_failed:
         return 1
 
     if args.baseline:

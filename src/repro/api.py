@@ -46,7 +46,7 @@ from .vm.thompson import MatchResult, ThompsonVM
 def compile_pattern(
     pattern: str,
     compiler: str = "new",
-    optimize: bool = True,
+    optimize: Union[bool, str] = True,
     options: Optional[CompileOptions] = None,
     budget: Optional[Budget] = None,
     degrade: bool = True,
@@ -58,6 +58,17 @@ def compile_pattern(
     ``"old"`` (the single-IR baseline, §2.1).  ``options`` overrides the
     new compiler's per-pass flags; ``optimize`` is the master switch for
     both.
+
+    ``optimize="auto"`` (new pipeline only) resolves the pass pipeline
+    through the shipped tuned profiles (:mod:`repro.tuning`): the
+    pattern's structural fingerprint is looked up in the profile store
+    and, on a hit, the tuned pass order is injected; on a miss (or an
+    unparseable pattern) compilation proceeds with the default
+    hand-ordered pipeline.  Boolean values keep their exact previous
+    semantics.  A stale profile whose pass names no longer exist
+    degrades gracefully: the tuned pipeline is dropped (recorded as
+    ``"tuned-pipeline"`` in ``result.dropped_passes``) and the default
+    pipeline compiles the pattern.
 
     ``budget`` overrides the enforced resource limits (defaults to
     :data:`~repro.runtime.budget.DEFAULT_BUDGET`).  With ``degrade``
@@ -71,18 +82,35 @@ def compile_pattern(
     codegen — surfaced as ``result.trace``
     (a :class:`~repro.observability.TraceReport`).
     """
+    if isinstance(optimize, str) and optimize != "auto":
+        raise ValueError(
+            f"optimize must be a bool or 'auto', got {optimize!r}"
+        )
+    auto = optimize == "auto"
     if compiler == "new":
         if options is None:
-            options = CompileOptions(optimize=optimize)
+            options = CompileOptions(optimize=True if auto else optimize)
         if budget is not None:
             options = replace(options, budget=budget)
         if trace and not options.trace:
             options = replace(options, trace=True)
+        if (
+            auto
+            and options.regex_pipeline is None
+            and options.cicero_pipeline is None
+        ):
+            from .tuning.profiles import default_store
+
+            options = default_store().resolve_options(
+                pattern, options, budget=options.budget
+            )
         if degrade:
             return compile_with_degradation(pattern, options)
         return NewCompiler(options).compile(pattern)
     if compiler == "old":
-        return OldCompiler(optimize=optimize, budget=budget).compile(pattern)
+        return OldCompiler(optimize=bool(optimize), budget=budget).compile(
+            pattern
+        )
     raise ValueError(f"unknown compiler {compiler!r}; use 'new' or 'old'")
 
 

@@ -51,7 +51,7 @@ from .dialects.cicero.transforms.jump_simplification import JumpSimplificationPa
 from .dialects.regex.from_ast import pattern_to_regex_dialect
 from .dialects.regex.transforms.pipeline import regex_optimization_passes
 from .frontend.parser import parse_regex
-from .ir.pass_manager import PassManager
+from .ir.pass_manager import PassManager, pipeline_from_names
 from .isa.program import Program
 from .runtime.budget import DEFAULT_BUDGET
 from .runtime.guards import check_pattern_budget
@@ -121,14 +121,19 @@ def _optimized_regex_module(pattern: str, options: CompileOptions):
     ast = parse_regex(pattern, max_depth=budget.max_nesting_depth)
     check_pattern_budget(ast, budget)
     module = pattern_to_regex_dialect(ast)
-    pipeline = PassManager(verify_each=False)
     effective = options.effective()
-    for transform in regex_optimization_passes(
-        enable_simplify_subregex=effective.simplify_subregex,
-        enable_factorize=effective.factorize_alternations,
-        enable_boundary_quantifier=effective.boundary_quantifier,
-    ):
-        pipeline.add(transform)
+    if effective.regex_pipeline is not None:
+        pipeline = pipeline_from_names(
+            effective.regex_pipeline, require_prefix="regex-"
+        )
+    else:
+        pipeline = PassManager(verify_each=False)
+        for transform in regex_optimization_passes(
+            enable_simplify_subregex=effective.simplify_subregex,
+            enable_factorize=effective.factorize_alternations,
+            enable_boundary_quantifier=effective.boundary_quantifier,
+        ):
+            pipeline.add(transform)
     pipeline.run(module)
     return module
 
@@ -145,11 +150,16 @@ def program_from_regex_module(
     effective = options.effective()
     budget = options.budget if options.budget is not None else DEFAULT_BUDGET
     cicero_module = lower_to_cicero(module)
-    lowlevel = PassManager(verify_each=False)
-    if effective.jump_simplification:
-        lowlevel.add(JumpSimplificationPass())
-    if effective.dead_code_elimination:
-        lowlevel.add(DeadCodeEliminationPass())
+    if effective.cicero_pipeline is not None:
+        lowlevel = pipeline_from_names(
+            effective.cicero_pipeline, require_prefix="cicero-"
+        )
+    else:
+        lowlevel = PassManager(verify_each=False)
+        if effective.jump_simplification:
+            lowlevel.add(JumpSimplificationPass())
+        if effective.dead_code_elimination:
+            lowlevel.add(DeadCodeEliminationPass())
     lowlevel.run(cicero_module)
     program = generate_program(
         cicero_module.body.operations[0],

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .dialects.cicero.codegen import generate_program
 from .dialects.cicero.lowering import lower_to_cicero
@@ -30,7 +30,7 @@ from .dialects.regex.from_ast import pattern_to_regex_dialect
 from .dialects.regex.transforms.pipeline import regex_optimization_passes
 from .frontend.parser import parse_regex
 from .ir.operation import ModuleOp
-from .ir.pass_manager import PassManager
+from .ir.pass_manager import PassManager, pipeline_from_names
 from .isa.metrics import StaticMetrics, static_metrics
 from .isa.program import Program
 from .observability import NULL_TRACER, TraceReport, Tracer, ir_stats
@@ -66,6 +66,19 @@ class CompileOptions:
     #: observational — the produced program is identical — so it is
     #: excluded from :meth:`cache_key`.
     trace: bool = False
+    #: Explicit pass pipelines (registered pass names, in run order)
+    #: replacing the per-flag defaults — the seam the pass-pipeline
+    #: auto-tuner injects tuned orders through (``docs/tuning.md``).
+    #: ``None`` keeps the paper's hand-ordered pipeline built from the
+    #: booleans above; a tuple (possibly empty, possibly repeating a
+    #: pass) overrides that half of the pipeline entirely and wins over
+    #: the ``optimize`` master switch.  Names must belong to the
+    #: matching dialect (``regex-*`` / ``cicero-*``); an unknown name
+    #: raises :class:`~repro.ir.diagnostics.IRError` at compile time,
+    #: which graceful degradation turns into a fall-back to the default
+    #: pipeline (see :func:`repro.runtime.degrade.compile_with_degradation`).
+    regex_pipeline: Optional[Tuple[str, ...]] = None
+    cicero_pipeline: Optional[Tuple[str, ...]] = None
     #: Prefilter strategy the *execution* layers apply to this program:
     #: ``"off"`` runs the bare VM, ``"literal"`` adds the literal /
     #: first-byte chunk rejection in front of the VM, ``"auto"`` (the
@@ -213,13 +226,20 @@ class NewCompiler:
                 if tracer.enabled:
                     span.set(**_suffixed(ir_stats(regex_module), "_after"))
 
-            highlevel = PassManager(verify_each=options.verify_each)
-            for regex_pass in regex_optimization_passes(
-                enable_simplify_subregex=options.simplify_subregex,
-                enable_factorize=options.factorize_alternations,
-                enable_boundary_quantifier=options.boundary_quantifier,
-            ):
-                highlevel.add(regex_pass)
+            if options.regex_pipeline is not None:
+                highlevel = pipeline_from_names(
+                    options.regex_pipeline,
+                    require_prefix="regex-",
+                    verify_each=options.verify_each,
+                )
+            else:
+                highlevel = PassManager(verify_each=options.verify_each)
+                for regex_pass in regex_optimization_passes(
+                    enable_simplify_subregex=options.simplify_subregex,
+                    enable_factorize=options.factorize_alternations,
+                    enable_boundary_quantifier=options.boundary_quantifier,
+                ):
+                    highlevel.add(regex_pass)
             with tracer.span("regex-transforms", passes=len(highlevel.passes)):
                 started = time.perf_counter()
                 highlevel.run(regex_module, tracer=tracer, span_attrs=ir_stats)
@@ -253,11 +273,18 @@ class NewCompiler:
                 if tracer.enabled:
                     span.set(**_suffixed(ir_stats(cicero_module), "_after"))
 
-            lowlevel = PassManager(verify_each=options.verify_each)
-            if options.jump_simplification:
-                lowlevel.add(JumpSimplificationPass())
-            if options.dead_code_elimination:
-                lowlevel.add(DeadCodeEliminationPass())
+            if options.cicero_pipeline is not None:
+                lowlevel = pipeline_from_names(
+                    options.cicero_pipeline,
+                    require_prefix="cicero-",
+                    verify_each=options.verify_each,
+                )
+            else:
+                lowlevel = PassManager(verify_each=options.verify_each)
+                if options.jump_simplification:
+                    lowlevel.add(JumpSimplificationPass())
+                if options.dead_code_elimination:
+                    lowlevel.add(DeadCodeEliminationPass())
             with tracer.span("cicero-transforms", passes=len(lowlevel.passes)):
                 started = time.perf_counter()
                 lowlevel.run(cicero_module, tracer=tracer, span_attrs=ir_stats)

@@ -86,8 +86,35 @@ def create_pass(name: str) -> Pass:
     return factory()
 
 
-def registered_pass_names() -> List[str]:
-    return sorted(_PASS_REGISTRY)
+def registered_pass_names(prefix: Optional[str] = None) -> List[str]:
+    names = sorted(_PASS_REGISTRY)
+    if prefix is None:
+        return names
+    return [name for name in names if name.startswith(prefix)]
+
+
+def pipeline_from_names(
+    names, require_prefix: Optional[str] = None, verify_each: bool = False
+) -> "PassManager":
+    """Build a :class:`PassManager` from registered pass names.
+
+    The injection seam for tuned pipelines: names run in the given
+    order, duplicates are allowed (a pass may pay off twice once an
+    earlier pass exposed new opportunities).  ``require_prefix``
+    rejects names from the wrong dialect — a ``cicero-*`` pass can
+    never run on a ``regex``-dialect module — with the same
+    :class:`~repro.ir.diagnostics.IRError` an unregistered name raises,
+    so callers need one fallback path for both corruptions.
+    """
+    manager = PassManager(verify_each=verify_each)
+    for name in names:
+        if require_prefix is not None and not name.startswith(require_prefix):
+            raise IRError(
+                f"pass '{name}' does not belong to the '{require_prefix}*' "
+                f"pipeline stage"
+            )
+        manager.add(name)
+    return manager
 
 
 class PassManager:

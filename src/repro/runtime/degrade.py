@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..compiler import CompilationResult, CompileOptions, NewCompiler
-from ..ir.diagnostics import BudgetExceeded
+from ..ir.diagnostics import BudgetExceeded, IRError
 
 #: Pass flags disabled per degradation rung, most-expensive first: the
 #: §3.2 high-level rewrites dominate compile time (greedy fixpoint
@@ -30,6 +30,16 @@ DEGRADATION_LADDER = (
     ("simplify_subregex", "boundary_quantifier"),
     ("jump_simplification", "dead_code_elimination"),
 )
+
+#: ``dropped_passes`` marker recorded when an injected (tuned) pipeline
+#: had to be abandoned for the default pass order — either one of its
+#: pass names is no longer registered (a stale profile outliving a pass
+#: rename) or the injected order itself tripped a recoverable budget.
+TUNED_PIPELINE_MARKER = "tuned-pipeline"
+
+
+def _strip_pipeline(options: CompileOptions) -> CompileOptions:
+    return replace(options, regex_pipeline=None, cicero_pipeline=None)
 
 
 def compile_with_degradation(
@@ -45,6 +55,22 @@ def compile_with_degradation(
     the error is not recoverable by dropping passes.
     """
     options = options.effective()
+    if options.regex_pipeline is not None or options.cicero_pipeline is not None:
+        # Rung zero of the ladder: drop the injected (tuned) pipeline.
+        # An unregistered or wrong-dialect pass name (stale profile)
+        # surfaces as IRError; a recoverable budget trip means the
+        # tuned order itself did not fit.  Both fall back to the
+        # default pipeline and continue down the normal ladder.
+        try:
+            return NewCompiler(options).compile(pattern)
+        except IRError:
+            pass
+        except BudgetExceeded as error:
+            if not error.recoverable:
+                raise
+        result = compile_with_degradation(pattern, _strip_pipeline(options))
+        result.dropped_passes = [TUNED_PIPELINE_MARKER] + result.dropped_passes
+        return result
     try:
         return NewCompiler(options).compile(pattern)
     except BudgetExceeded as error:
@@ -71,4 +97,8 @@ def compile_with_degradation(
     raise failure
 
 
-__all__ = ["DEGRADATION_LADDER", "compile_with_degradation"]
+__all__ = [
+    "DEGRADATION_LADDER",
+    "TUNED_PIPELINE_MARKER",
+    "compile_with_degradation",
+]

@@ -1,0 +1,112 @@
+"""Search-based pass-pipeline auto-tuning (``docs/tuning.md``).
+
+The paper hand-orders its passes (§3.2 high-level rewrites, then the §5
+low-level cleanups).  This package treats that ordering as a *search
+space*: a seeded, deterministic search (random sampling or hill
+climbing behind a pluggable :class:`~repro.tuning.search.SearchStrategy`)
+scores candidate pipelines with a composite cost model — Eq. 1
+``D_offset`` + emitted code size + simulated Cicero cycles — and caches
+the winners in fingerprint-keyed JSON profiles that
+``compile_pattern(optimize="auto")`` resolves at compile time.
+
+Entry points:
+
+* :func:`~repro.tuning.search.tune` — one search over one pattern set;
+* :func:`~repro.tuning.profiles.tune_patterns` — a full suite into a
+  shippable :class:`~repro.tuning.profiles.TunedProfile`;
+* :func:`~repro.tuning.profiles.default_store` — the process-wide
+  lookup over the shipped profiles in ``tuning/profiles/``;
+* ``repro tune`` — the CLI wrapper (see ``repro tune --help``).
+"""
+
+from .cost import (
+    CostBreakdown,
+    CostModel,
+    CostWeights,
+    DEFAULT_WEIGHTS,
+    MAX_PROBE_BYTES,
+)
+from .fingerprint import (
+    FINGERPRINT_SCHEMA,
+    PatternFingerprint,
+    fingerprint_ast,
+    fingerprint_pattern,
+)
+from .profiles import (
+    PROFILES_DIR,
+    PROFILE_SCHEMA,
+    ProfileEntry,
+    ProfileStore,
+    TunedProfile,
+    TunedProfileRun,
+    default_store,
+    discover_profiles,
+    evaluate_profile,
+    group_by_fingerprint,
+    reset_default_store,
+    tune_patterns,
+)
+from .search import (
+    DEFAULT_CICERO_PIPELINE,
+    DEFAULT_REGEX_PIPELINE,
+    DEFAULT_SPEC,
+    HillClimbSearch,
+    PipelineSpec,
+    RandomSearch,
+    STRATEGIES,
+    SearchStrategy,
+    TuningResult,
+    available_passes,
+    make_strategy,
+    tune,
+)
+from .suites import (
+    SUITE_NUM_RES,
+    SUITE_SEED,
+    TUNER_SUITES,
+    all_suites,
+    suite_patterns,
+    suite_probe_text,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "CostWeights",
+    "DEFAULT_CICERO_PIPELINE",
+    "DEFAULT_REGEX_PIPELINE",
+    "DEFAULT_SPEC",
+    "DEFAULT_WEIGHTS",
+    "FINGERPRINT_SCHEMA",
+    "HillClimbSearch",
+    "MAX_PROBE_BYTES",
+    "PROFILES_DIR",
+    "PROFILE_SCHEMA",
+    "PatternFingerprint",
+    "PipelineSpec",
+    "ProfileEntry",
+    "ProfileStore",
+    "RandomSearch",
+    "STRATEGIES",
+    "SUITE_NUM_RES",
+    "SUITE_SEED",
+    "SearchStrategy",
+    "TUNER_SUITES",
+    "TunedProfile",
+    "TunedProfileRun",
+    "TuningResult",
+    "all_suites",
+    "available_passes",
+    "default_store",
+    "discover_profiles",
+    "evaluate_profile",
+    "fingerprint_ast",
+    "fingerprint_pattern",
+    "group_by_fingerprint",
+    "make_strategy",
+    "reset_default_store",
+    "suite_patterns",
+    "suite_probe_text",
+    "tune",
+    "tune_patterns",
+]

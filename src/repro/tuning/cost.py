@@ -1,0 +1,172 @@
+"""Composite cost model driving the pass-pipeline search.
+
+Three ingredients, each already surfaced by the repo's own
+instrumentation (the per-pass trace spans record the first two as
+before/after deltas):
+
+* **Eq. 1 ``D_offset``** — the paper's code-locality proxy (lower is
+  better; §6.1, Fig. 10);
+* **code size** — emitted instruction count (Fig. 8), which bounds both
+  instruction-memory pressure and cache working-set;
+* **simulated cycles** — :class:`~repro.arch.simulator.CiceroSimulator`
+  cycles over a small deterministic probe input, the dynamic term that
+  catches orderings whose static metrics tie.
+
+The composite is a weighted sum over a pattern *set* (a fingerprint
+group or a whole suite), so the tuner optimizes the class, not one
+member.  Weights are configurable; the defaults put the two static
+terms on comparable footing and damp the noisier cycle term.  Every
+term is deterministic — same patterns, same pipeline, same probe text
+→ bit-identical cost — which is what makes the search reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from ..arch.config import ArchConfig
+from ..arch.simulator import CiceroSimulator
+from ..compiler import CompileOptions, NewCompiler
+from ..runtime.budget import Budget
+
+#: Probe inputs longer than this are truncated: the cycle term only has
+#: to *rank* pipelines, and a few cache lines of input already exposes
+#: the locality differences the static terms cannot see.
+MAX_PROBE_BYTES = 192
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights of the composite; all terms are "lower is better"."""
+
+    d_offset: float = 1.0
+    code_size: float = 1.0
+    cycles: float = 0.05
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "d_offset": self.d_offset,
+            "code_size": self.code_size,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "CostWeights":
+        return cls(
+            d_offset=float(payload.get("d_offset", 1.0)),
+            code_size=float(payload.get("code_size", 1.0)),
+            cycles=float(payload.get("cycles", 0.05)),
+        )
+
+
+DEFAULT_WEIGHTS = CostWeights()
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One pipeline's cost over one pattern set, term by term."""
+
+    d_offset: int
+    code_size: int
+    cycles: int
+    composite: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "d_offset": self.d_offset,
+            "code_size": self.code_size,
+            "cycles": self.cycles,
+            "composite": self.composite,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "CostBreakdown":
+        return cls(
+            d_offset=int(payload["d_offset"]),
+            code_size=int(payload["code_size"]),
+            cycles=int(payload["cycles"]),
+            composite=float(payload["composite"]),
+        )
+
+
+class CostModel:
+    """Evaluates a pipeline spec over a fixed pattern set.
+
+    ``probe_text`` feeds the simulated-cycles term; ``None`` (or a zero
+    cycle weight) skips simulation entirely, leaving a purely static
+    cost.  Compilation runs *without* graceful degradation: a candidate
+    pipeline that cannot compile the set must be reported to the
+    search as invalid, never silently scored on a weaker pipeline.
+    """
+
+    def __init__(
+        self,
+        weights: CostWeights = DEFAULT_WEIGHTS,
+        probe_text: Optional[bytes] = None,
+        config: Optional[ArchConfig] = None,
+        budget: Optional[Budget] = None,
+        options: Optional[CompileOptions] = None,
+    ):
+        self.weights = weights
+        self.probe_text = (
+            probe_text[:MAX_PROBE_BYTES] if probe_text else None
+        )
+        self.config = config if config is not None else ArchConfig.new(16)
+        self.budget = budget
+        self.base_options = options if options is not None else CompileOptions()
+
+    def options_for(self, spec) -> CompileOptions:
+        """The injected-pipeline options one candidate compiles under."""
+        options = replace(
+            self.base_options,
+            regex_pipeline=tuple(spec.regex_passes),
+            cicero_pipeline=tuple(spec.cicero_passes),
+        )
+        if self.budget is not None and options.budget is None:
+            options = replace(options, budget=self.budget)
+        return options
+
+    def evaluate(self, patterns: Sequence[str], spec) -> CostBreakdown:
+        """Compile (and optionally simulate) every pattern under ``spec``.
+
+        Raises the compiler's typed errors for invalid candidates
+        (unknown pass, budget trip) — the search loop catches
+        :class:`~repro.ir.diagnostics.ReproError` and discards the
+        candidate.
+        """
+        compiler = NewCompiler(self.options_for(spec))
+        total_d_offset = 0
+        total_code = 0
+        total_cycles = 0
+        simulate = self.weights.cycles > 0 and self.probe_text is not None
+        for pattern in patterns:
+            result = compiler.compile(pattern)
+            metrics = result.metrics
+            total_d_offset += metrics.d_offset
+            total_code += metrics.code_size
+            if simulate:
+                simulation = CiceroSimulator(self.config).run(
+                    result.program, self.probe_text
+                )
+                total_cycles += simulation.cycles
+        composite = (
+            self.weights.d_offset * total_d_offset
+            + self.weights.code_size * total_code
+            + self.weights.cycles * total_cycles
+        )
+        return CostBreakdown(
+            d_offset=total_d_offset,
+            code_size=total_code,
+            cycles=total_cycles,
+            composite=composite,
+        )
+
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "CostWeights",
+    "DEFAULT_WEIGHTS",
+    "MAX_PROBE_BYTES",
+]

@@ -1,0 +1,194 @@
+"""Pattern-shape fingerprints: the tuner's cache key.
+
+A fingerprint captures the *structural class* of a pattern — the
+features that determine how the pass pipeline interacts with it — while
+deliberately ignoring which concrete bytes it matches.  Two patterns
+that differ only by a renaming of their literals (``abc`` vs ``xyz``,
+``[abc]`` vs ``[qrs]``) get the same fingerprint, so one tuned pipeline
+serves the whole equivalence class.  That is exactly the granularity at
+which pass ordering matters: Eq. 1 ``D_offset`` and emitted code size
+are functions of alternation arity, quantifier shapes, literal density
+and anchoring — never of the byte values themselves.
+
+Features are *bucketed* (arity capped, density in deciles, depth
+capped) so a suite of structurally similar generated patterns collapses
+onto a handful of fingerprints and a shipped profile generalizes beyond
+the exact seed it was tuned on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..frontend.ast_nodes import (
+    Alternation,
+    AnyChar,
+    Char,
+    CharClass,
+    Dollar,
+    Pattern,
+    SubRegex,
+    UNBOUNDED,
+)
+from ..frontend.parser import parse_regex
+from ..runtime.budget import Budget, DEFAULT_BUDGET
+
+#: Fingerprint schema version — bump when the feature set changes so a
+#: stale profile can never silently key a new-format lookup.
+FINGERPRINT_SCHEMA = 1
+
+#: Quantifier shape classes, in canonical order.
+QUANTIFIER_KINDS = ("opt", "star", "plus", "at-least", "exact", "bounded")
+
+
+def _quantifier_kind(minimum: int, maximum: int) -> Optional[str]:
+    """Classify a quantifier; ``None`` for the unquantified ``(1, 1)``."""
+    if (minimum, maximum) == (1, 1):
+        return None
+    if maximum == UNBOUNDED:
+        if minimum == 0:
+            return "star"
+        if minimum == 1:
+            return "plus"
+        return "at-least"
+    if (minimum, maximum) == (0, 1):
+        return "opt"
+    if minimum == maximum:
+        return "exact"
+    return "bounded"
+
+
+@dataclass(frozen=True)
+class PatternFingerprint:
+    """The bucketed structural features plus their stable digest."""
+
+    #: Widest alternation in the pattern, capped at 6 (6 == "6 or more").
+    max_alternation_arity: int
+    #: Total alternation branches across the AST, capped at 32.
+    total_branches: int
+    #: Canonical sorted tuple of quantifier shape classes present.
+    quantifier_kinds: Tuple[str, ...]
+    #: ``round(10 * literal_atoms / atoms)`` — 0 (no literals) to 10.
+    literal_density_decile: int
+    #: Character classes + wildcards per ten atoms, capped at 10.
+    class_density_decile: int
+    #: Group-nesting depth, capped at 4 (4 == "4 or deeper").
+    depth: int
+    #: ``^`` anchoring (paper §3.1: disables the implicit ``.*`` prefix).
+    anchored_start: bool
+    #: ``$`` anchoring (disables the implicit ``.*`` suffix).
+    anchored_end: bool
+
+    @property
+    def digest(self) -> str:
+        """Stable 16-hex-character key for profile lookup."""
+        canonical = (
+            FINGERPRINT_SCHEMA,
+            self.max_alternation_arity,
+            self.total_branches,
+            self.quantifier_kinds,
+            self.literal_density_decile,
+            self.class_density_decile,
+            self.depth,
+            self.anchored_start,
+            self.anchored_end,
+        )
+        return hashlib.sha256(repr(canonical).encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FINGERPRINT_SCHEMA,
+            "digest": self.digest,
+            "max_alternation_arity": self.max_alternation_arity,
+            "total_branches": self.total_branches,
+            "quantifier_kinds": list(self.quantifier_kinds),
+            "literal_density_decile": self.literal_density_decile,
+            "class_density_decile": self.class_density_decile,
+            "depth": self.depth,
+            "anchored_start": self.anchored_start,
+            "anchored_end": self.anchored_end,
+        }
+
+
+class _Features:
+    """Mutable accumulator for one AST walk."""
+
+    def __init__(self) -> None:
+        self.atoms = 0
+        self.literal_atoms = 0
+        self.class_atoms = 0
+        self.max_arity = 1
+        self.total_branches = 0
+        self.quantifiers: set = set()
+        self.max_depth = 0
+
+
+def _walk(alternation: Alternation, depth: int, features: _Features) -> None:
+    features.max_depth = max(features.max_depth, depth)
+    arity = len(alternation.branches)
+    features.max_arity = max(features.max_arity, arity)
+    features.total_branches += arity
+    for branch in alternation.branches:
+        for piece in branch.pieces:
+            kind = _quantifier_kind(piece.min, piece.max)
+            if kind is not None:
+                features.quantifiers.add(kind)
+            atom = piece.atom
+            features.atoms += 1
+            if isinstance(atom, Char):
+                features.literal_atoms += 1
+            elif isinstance(atom, (CharClass, AnyChar)):
+                # Renaming-invariant: a class contributes its *presence*
+                # (and the wildcard counts as the widest class), never
+                # its member identities.
+                features.class_atoms += 1
+            elif isinstance(atom, SubRegex):
+                _walk(atom.body, depth + 1, features)
+            elif isinstance(atom, Dollar):
+                pass
+
+
+def fingerprint_ast(pattern: Pattern) -> PatternFingerprint:
+    """Fingerprint a parsed :class:`~repro.frontend.ast_nodes.Pattern`."""
+    features = _Features()
+    _walk(pattern.root, 0, features)
+    atoms = max(features.atoms, 1)
+    return PatternFingerprint(
+        max_alternation_arity=min(features.max_arity, 6),
+        total_branches=min(features.total_branches, 32),
+        quantifier_kinds=tuple(
+            kind for kind in QUANTIFIER_KINDS if kind in features.quantifiers
+        ),
+        literal_density_decile=round(10 * features.literal_atoms / atoms),
+        class_density_decile=min(
+            round(10 * features.class_atoms / atoms), 10
+        ),
+        depth=min(features.max_depth, 4),
+        anchored_start=not pattern.has_prefix,
+        anchored_end=not pattern.has_suffix,
+    )
+
+
+def fingerprint_pattern(
+    pattern: str, budget: Optional[Budget] = None
+) -> PatternFingerprint:
+    """Parse ``pattern`` and fingerprint it.
+
+    Raises the frontend's typed errors for malformed patterns — callers
+    resolving ``optimize="auto"`` catch them and fall back to the
+    default pipeline, letting the compiler proper report the rejection.
+    """
+    effective = budget if budget is not None else DEFAULT_BUDGET
+    ast = parse_regex(pattern, max_depth=effective.max_nesting_depth)
+    return fingerprint_ast(ast)
+
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "PatternFingerprint",
+    "QUANTIFIER_KINDS",
+    "fingerprint_ast",
+    "fingerprint_pattern",
+]

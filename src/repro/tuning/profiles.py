@@ -1,0 +1,384 @@
+"""Tuned-pipeline profiles: fingerprint-keyed, JSON-shipped, cached.
+
+A :class:`TunedProfile` is the persisted outcome of one suite-level
+search: for every pattern-shape fingerprint in the suite, the best
+pipeline found, its cost breakdown and the default pipeline's cost on
+the same group.  Profiles serialize to deterministic JSON (sorted keys,
+fixed indent) so "same seed → identical profile" is a byte-level
+guarantee, and ship inside the package under
+``src/repro/tuning/profiles/`` where :class:`ProfileStore` loads them
+to serve ``compile_pattern(optimize="auto")`` lookups.
+
+A stale profile is never fatal: an entry whose pass names have since
+been renamed or unregistered compiles through the graceful-degradation
+ladder, which drops the tuned pipeline (``dropped_passes`` gains
+``"tuned-pipeline"``) and falls back to the default pass order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler import CompileOptions
+from ..observability import AnyMetrics, as_metrics
+from ..runtime.budget import Budget
+from .cost import CostBreakdown, CostModel, CostWeights, DEFAULT_WEIGHTS
+from .fingerprint import (
+    FINGERPRINT_SCHEMA,
+    PatternFingerprint,
+    fingerprint_pattern,
+)
+from .search import PipelineSpec, TuningResult, tune
+
+PROFILE_SCHEMA = 1
+
+#: Where the pre-tuned suite profiles ship inside the package.
+PROFILES_DIR = os.path.join(os.path.dirname(__file__), "profiles")
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """The tuned pipeline for one fingerprint group."""
+
+    fingerprint: str
+    spec: PipelineSpec
+    cost: CostBreakdown
+    default_cost: CostBreakdown
+    patterns: int
+    evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        if self.cost.composite == 0:
+            return 1.0
+        return self.default_cost.composite / self.cost.composite
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "spec": self.spec.to_dict(),
+            "cost": self.cost.to_dict(),
+            "default_cost": self.default_cost.to_dict(),
+            "patterns": self.patterns,
+            "evaluations": self.evaluations,
+            "improvement": round(self.improvement, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProfileEntry":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            spec=PipelineSpec.from_dict(payload["spec"]),
+            cost=CostBreakdown.from_dict(payload["cost"]),
+            default_cost=CostBreakdown.from_dict(payload["default_cost"]),
+            patterns=int(payload["patterns"]),
+            evaluations=int(payload["evaluations"]),
+        )
+
+
+@dataclass
+class TunedProfile:
+    """Everything one ``repro tune`` run persists."""
+
+    suite: str
+    seed: int
+    strategy: str
+    weights: CostWeights = DEFAULT_WEIGHTS
+    entries: Dict[str, ProfileEntry] = field(default_factory=dict)
+    schema: int = PROFILE_SCHEMA
+    fingerprint_schema: int = FINGERPRINT_SCHEMA
+
+    @property
+    def total_cost(self) -> float:
+        return sum(entry.cost.composite for entry in self.entries.values())
+
+    @property
+    def total_default_cost(self) -> float:
+        return sum(
+            entry.default_cost.composite for entry in self.entries.values()
+        )
+
+    @property
+    def improvement(self) -> float:
+        total = self.total_cost
+        return self.total_default_cost / total if total else 1.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "fingerprint_schema": self.fingerprint_schema,
+            "suite": self.suite,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "weights": self.weights.to_dict(),
+            "entries": {
+                digest: entry.to_dict()
+                for digest, entry in sorted(self.entries.items())
+            },
+        }
+
+    def dumps(self) -> str:
+        """Deterministic serialization (the bit-reproducibility unit)."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "TunedProfile":
+        return cls(
+            suite=payload["suite"],
+            seed=int(payload["seed"]),
+            strategy=payload["strategy"],
+            weights=CostWeights.from_dict(payload.get("weights", {})),
+            entries={
+                digest: ProfileEntry.from_dict(entry)
+                for digest, entry in payload.get("entries", {}).items()
+            },
+            schema=int(payload.get("schema", PROFILE_SCHEMA)),
+            fingerprint_schema=int(
+                payload.get("fingerprint_schema", FINGERPRINT_SCHEMA)
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "TunedProfile":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json_dict(json.load(handle))
+
+
+def group_by_fingerprint(
+    patterns: Sequence[str],
+) -> Dict[str, List[str]]:
+    """Bucket a pattern set by fingerprint digest (sorted, stable)."""
+    groups: Dict[str, List[str]] = {}
+    for pattern in patterns:
+        digest = fingerprint_pattern(pattern).digest
+        groups.setdefault(digest, []).append(pattern)
+    return dict(sorted(groups.items()))
+
+
+def tune_patterns(
+    suite: str,
+    patterns: Sequence[str],
+    *,
+    seed: int = 2025,
+    strategy: str = "hill",
+    max_evals: int = 48,
+    seconds: Optional[float] = None,
+    weights: CostWeights = DEFAULT_WEIGHTS,
+    probe_text: Optional[bytes] = None,
+    tracer=None,
+    metrics=None,
+) -> "TunedProfileRun":
+    """Tune every fingerprint group of ``patterns`` into one profile.
+
+    Per-group seeds derive deterministically from the run seed and the
+    group's position in digest order, so the profile is bit-identical
+    across runs regardless of dict iteration quirks.  A ``seconds``
+    bound is split evenly across groups (checked between evaluations).
+    """
+    groups = group_by_fingerprint(patterns)
+    per_group_seconds = (
+        seconds / len(groups) if seconds is not None and groups else None
+    )
+    profile = TunedProfile(
+        suite=suite, seed=seed, strategy=strategy, weights=weights
+    )
+    results: Dict[str, TuningResult] = {}
+    for index, (digest, group) in enumerate(groups.items()):
+        result = tune(
+            group,
+            seed=seed + 7919 * index,
+            strategy=strategy,
+            max_evals=max_evals,
+            seconds=per_group_seconds,
+            weights=weights,
+            probe_text=probe_text,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        results[digest] = result
+        profile.entries[digest] = ProfileEntry(
+            fingerprint=digest,
+            spec=result.best_spec,
+            cost=result.best_cost,
+            default_cost=result.default_cost,
+            patterns=len(group),
+            evaluations=result.evaluations,
+        )
+    return TunedProfileRun(profile=profile, results=results, groups=groups)
+
+
+@dataclass
+class TunedProfileRun:
+    """A profile plus the per-group search details behind it."""
+
+    profile: TunedProfile
+    results: Dict[str, TuningResult]
+    groups: Dict[str, List[str]]
+
+
+def evaluate_profile(
+    profile: TunedProfile,
+    groups: Dict[str, List[str]],
+    probe_text: Optional[bytes] = None,
+    budget: Optional[Budget] = None,
+) -> Dict[str, CostBreakdown]:
+    """Re-score a profile's pipelines on a (possibly newer) pattern set.
+
+    The nightly re-tune compares this against a fresh search: a
+    checked-in profile whose pipelines regressed past tolerance has
+    gone stale (pass semantics drifted) and must be re-shipped.
+    """
+    model = CostModel(
+        weights=profile.weights, probe_text=probe_text, budget=budget
+    )
+    scores: Dict[str, CostBreakdown] = {}
+    for digest, patterns in groups.items():
+        entry = profile.entries.get(digest)
+        spec = entry.spec if entry is not None else PipelineSpec()
+        scores[digest] = model.evaluate(patterns, spec)
+    return scores
+
+
+class ProfileStore:
+    """Fingerprint → tuned pipeline lookup over loaded profiles.
+
+    Lookups are counted under
+    ``repro_tuner_profile_lookups_total{outcome}``: ``hit`` (a tuned
+    pipeline served), ``miss`` (no profile covers the fingerprint, the
+    default pipeline runs) and ``error`` (the pattern did not parse —
+    resolution falls back and leaves the rejection to the compiler
+    proper, which reports it with full location info).
+    """
+
+    def __init__(
+        self,
+        paths: Optional[Sequence[str]] = None,
+        metrics: Optional[AnyMetrics] = None,
+    ):
+        registry = as_metrics(metrics)
+        self._hit = registry.counter(
+            "repro_tuner_profile_lookups_total",
+            labels={"outcome": "hit"},
+            help_text="auto-pipeline lookups resolved from a tuned profile",
+        )
+        self._miss = registry.counter(
+            "repro_tuner_profile_lookups_total",
+            labels={"outcome": "miss"},
+            help_text="auto-pipeline lookups falling back to the default",
+        )
+        self._error = registry.counter(
+            "repro_tuner_profile_lookups_total",
+            labels={"outcome": "error"},
+            help_text="auto-pipeline lookups on unparseable patterns",
+        )
+        self.profiles: List[TunedProfile] = []
+        self._by_digest: Dict[str, PipelineSpec] = {}
+        if paths is None:
+            paths = discover_profiles(PROFILES_DIR)
+        for path in paths:
+            self.add_profile(TunedProfile.load(path))
+
+    def add_profile(self, profile: TunedProfile) -> None:
+        if profile.fingerprint_schema != FINGERPRINT_SCHEMA:
+            # A profile keyed by an older fingerprint scheme can never
+            # match a current digest; skip it rather than mis-serve.
+            return
+        self.profiles.append(profile)
+        for digest, entry in profile.entries.items():
+            # First profile to claim a digest wins (load order is the
+            # sorted file list, so this is deterministic).
+            self._by_digest.setdefault(digest, entry.spec)
+
+    def lookup(
+        self, fingerprint: PatternFingerprint
+    ) -> Optional[PipelineSpec]:
+        spec = self._by_digest.get(fingerprint.digest)
+        if spec is not None:
+            self._hit.inc()
+        else:
+            self._miss.inc()
+        return spec
+
+    def resolve_options(
+        self,
+        pattern: str,
+        options: Optional[CompileOptions] = None,
+        budget: Optional[Budget] = None,
+    ) -> CompileOptions:
+        """Options for ``compile_pattern(optimize="auto")``.
+
+        Fingerprint hit → the tuned pipeline injected into the options;
+        miss or unparseable pattern → the options unchanged (default
+        pipeline).
+        """
+        from dataclasses import replace
+
+        base = options if options is not None else CompileOptions()
+        try:
+            fingerprint = fingerprint_pattern(pattern, budget=budget)
+        except Exception:
+            self._error.inc()
+            return base
+        spec = self.lookup(fingerprint)
+        if spec is None:
+            return base
+        return replace(
+            base,
+            regex_pipeline=spec.regex_passes,
+            cicero_pipeline=spec.cicero_passes,
+        )
+
+
+def discover_profiles(directory: str) -> List[str]:
+    """Sorted ``*.json`` paths under a profile directory (may be empty)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+_default_store: Optional[ProfileStore] = None
+_store_lock = threading.Lock()
+
+
+def default_store() -> ProfileStore:
+    """The lazily-built process-wide store over the shipped profiles."""
+    global _default_store
+    with _store_lock:
+        if _default_store is None:
+            _default_store = ProfileStore()
+        return _default_store
+
+
+def reset_default_store() -> None:
+    """Drop the cached store (tests that swap profile sets)."""
+    global _default_store
+    with _store_lock:
+        _default_store = None
+
+
+__all__ = [
+    "PROFILES_DIR",
+    "PROFILE_SCHEMA",
+    "ProfileEntry",
+    "ProfileStore",
+    "TunedProfile",
+    "TunedProfileRun",
+    "default_store",
+    "discover_profiles",
+    "evaluate_profile",
+    "group_by_fingerprint",
+    "reset_default_store",
+    "tune_patterns",
+]

@@ -1,0 +1,77 @@
+"""Canonical tuning suites: one fixed pattern set + probe input each.
+
+The tuner, the ``tuned_vs_default`` bench section, the tuner-smoke CI
+job and the nightly re-tune all evaluate cost on *exactly* these sets —
+sharing one definition is what makes the shipped profiles' "tuned cost
+≤ default cost" guarantee transfer from the search that produced them
+to every consumer that gates on them.
+
+The three suites mirror the paper's workloads (§6): ``protomata``
+(PROSITE-style motifs), ``brill`` (tagging rules) and ``alternation``
+(the ×4-alternated variants stressing wide alternations, half
+Protomata4 / half Brill4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..workloads.suite import load_benchmark
+from .cost import MAX_PROBE_BYTES
+
+TUNER_SUITES = ("protomata", "brill", "alternation")
+
+#: Fixed scale of the canonical sets — small enough that one cost
+#: evaluation stays in the tens of milliseconds, large enough that a
+#: pipeline ordering win on the set generalizes across the generator's
+#: seed space (the suites are structurally homogeneous by design).
+SUITE_NUM_RES = 6
+SUITE_SEED = 2025
+
+
+def suite_patterns(name: str) -> List[str]:
+    """The canonical pattern set of one tuner suite."""
+    if name == "protomata":
+        return load_benchmark(
+            "protomata", num_res=SUITE_NUM_RES, num_chunks=1, seed=SUITE_SEED
+        ).patterns
+    if name == "brill":
+        return load_benchmark(
+            "brill", num_res=SUITE_NUM_RES, num_chunks=1, seed=SUITE_SEED
+        ).patterns
+    if name == "alternation":
+        half = max(SUITE_NUM_RES // 2, 1)
+        return (
+            load_benchmark(
+                "protomata4", num_res=half, num_chunks=1, seed=SUITE_SEED
+            ).patterns
+            + load_benchmark(
+                "brill4", num_res=half, num_chunks=1, seed=SUITE_SEED
+            ).patterns
+        )
+    raise ValueError(
+        f"unknown tuner suite {name!r}; expected one of {TUNER_SUITES}"
+    )
+
+
+def suite_probe_text(name: str) -> bytes:
+    """Deterministic probe input feeding the simulated-cycles term."""
+    source = "protomata4" if name == "alternation" else name
+    benchmark = load_benchmark(
+        source, num_res=SUITE_NUM_RES, num_chunks=1, seed=SUITE_SEED
+    )
+    return benchmark.chunks[0][:MAX_PROBE_BYTES]
+
+
+def all_suites() -> Dict[str, List[str]]:
+    return {name: suite_patterns(name) for name in TUNER_SUITES}
+
+
+__all__ = [
+    "SUITE_NUM_RES",
+    "SUITE_SEED",
+    "TUNER_SUITES",
+    "all_suites",
+    "suite_patterns",
+    "suite_probe_text",
+]

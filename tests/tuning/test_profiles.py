@@ -1,0 +1,165 @@
+"""Profile store: hit/miss/error lookups, shipped profiles, staleness."""
+
+import json
+import os
+
+from repro.compiler import CompileOptions
+from repro.observability import MetricsRegistry
+from repro.runtime.degrade import TUNED_PIPELINE_MARKER, compile_with_degradation
+from repro.tuning import (
+    PROFILES_DIR,
+    TUNER_SUITES,
+    PipelineSpec,
+    ProfileEntry,
+    ProfileStore,
+    TunedProfile,
+    discover_profiles,
+    fingerprint_pattern,
+    suite_patterns,
+    tune_patterns,
+)
+from repro.tuning.cost import CostBreakdown
+
+PATTERN = "a(b|c)+d"
+
+
+def _profile_for(pattern: str, spec: PipelineSpec) -> TunedProfile:
+    digest = fingerprint_pattern(pattern).digest
+    cost = CostBreakdown(d_offset=1, code_size=1, cycles=0, composite=2.0)
+    return TunedProfile(
+        suite="unit",
+        seed=1,
+        strategy="hill",
+        entries={
+            digest: ProfileEntry(
+                fingerprint=digest,
+                spec=spec,
+                cost=cost,
+                default_cost=cost,
+                patterns=1,
+                evaluations=1,
+            )
+        },
+    )
+
+
+def _store_with(profile: TunedProfile, registry=None) -> ProfileStore:
+    store = ProfileStore(paths=(), metrics=registry)
+    store.add_profile(profile)
+    return store
+
+
+class TestLookup:
+    def test_hit_injects_tuned_pipeline(self):
+        spec = PipelineSpec(
+            regex_passes=("regex-simplify-subregex",),
+            cicero_passes=("cicero-dce",),
+        )
+        registry = MetricsRegistry()
+        store = _store_with(_profile_for(PATTERN, spec), registry)
+        options = store.resolve_options(PATTERN)
+        assert options.regex_pipeline == spec.regex_passes
+        assert options.cicero_pipeline == spec.cicero_passes
+        assert registry.value(
+            "repro_tuner_profile_lookups_total", {"outcome": "hit"}
+        ) == 1
+
+    def test_miss_returns_options_unchanged(self):
+        registry = MetricsRegistry()
+        store = ProfileStore(paths=(), metrics=registry)
+        base = CompileOptions()
+        assert store.resolve_options(PATTERN, base) is base
+        assert registry.value(
+            "repro_tuner_profile_lookups_total", {"outcome": "miss"}
+        ) == 1
+
+    def test_unparseable_pattern_falls_back(self):
+        registry = MetricsRegistry()
+        store = ProfileStore(paths=(), metrics=registry)
+        base = CompileOptions()
+        assert store.resolve_options("(unclosed", base) is base
+        assert registry.value(
+            "repro_tuner_profile_lookups_total", {"outcome": "error"}
+        ) == 1
+
+    def test_wrong_fingerprint_schema_profile_is_skipped(self):
+        profile = _profile_for(PATTERN, PipelineSpec())
+        profile.fingerprint_schema = 0
+        store = _store_with(profile)
+        assert store.lookup(fingerprint_pattern(PATTERN)) is None
+
+
+class TestStaleProfileDegradation:
+    def test_unregistered_pass_drops_tuned_pipeline(self):
+        spec = PipelineSpec(
+            regex_passes=("regex-renamed-away",), cicero_passes=()
+        )
+        store = _store_with(_profile_for(PATTERN, spec))
+        options = store.resolve_options(PATTERN)
+        result = compile_with_degradation(PATTERN, options)
+        assert result.dropped_passes[0] == TUNED_PIPELINE_MARKER
+        assert result.program.instructions
+
+    def test_wrong_dialect_pass_drops_tuned_pipeline(self):
+        spec = PipelineSpec(
+            regex_passes=("cicero-dce",), cicero_passes=()
+        )
+        store = _store_with(_profile_for(PATTERN, spec))
+        result = compile_with_degradation(
+            PATTERN, store.resolve_options(PATTERN)
+        )
+        assert TUNED_PIPELINE_MARKER in result.dropped_passes
+
+    def test_healthy_tuned_pipeline_drops_nothing(self):
+        spec = PipelineSpec()  # the default pipeline, known-good
+        store = _store_with(_profile_for(PATTERN, spec))
+        result = compile_with_degradation(
+            PATTERN, store.resolve_options(PATTERN)
+        )
+        assert result.dropped_passes == []
+
+
+class TestShippedProfiles:
+    def test_one_profile_per_tuner_suite(self):
+        names = {
+            os.path.splitext(os.path.basename(path))[0]
+            for path in discover_profiles(PROFILES_DIR)
+        }
+        assert set(TUNER_SUITES) <= names
+
+    def test_shipped_profiles_load_and_never_lose(self):
+        for path in discover_profiles(PROFILES_DIR):
+            profile = TunedProfile.load(path)
+            assert profile.entries, path
+            assert profile.improvement >= 1.0
+            for entry in profile.entries.values():
+                assert entry.improvement >= 1.0
+
+    def test_shipped_profiles_cover_their_suite(self):
+        store = ProfileStore()  # loads PROFILES_DIR
+        for suite in TUNER_SUITES:
+            for pattern in suite_patterns(suite):
+                assert store.lookup(fingerprint_pattern(pattern)) is not None
+
+    def test_shipped_profiles_round_trip_bytes(self):
+        for path in discover_profiles(PROFILES_DIR):
+            with open(path, encoding="utf-8") as handle:
+                raw = handle.read()
+            assert TunedProfile.from_json_dict(json.loads(raw)).dumps() == raw
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        run = tune_patterns("unit", [PATTERN], seed=3, max_evals=4)
+        path = tmp_path / "unit.json"
+        run.profile.save(str(path))
+        loaded = TunedProfile.load(str(path))
+        assert loaded.dumps() == run.profile.dumps()
+        assert loaded.entries.keys() == run.profile.entries.keys()
+
+    def test_store_loads_from_explicit_paths(self, tmp_path):
+        run = tune_patterns("unit", [PATTERN], seed=3, max_evals=4)
+        path = tmp_path / "unit.json"
+        run.profile.save(str(path))
+        store = ProfileStore(paths=[str(path)])
+        assert store.lookup(fingerprint_pattern(PATTERN)) is not None

@@ -1,0 +1,133 @@
+"""The pipeline search: determinism, monotonicity, observability."""
+
+import json
+
+import pytest
+
+from repro.ir.diagnostics import IRError
+from repro.observability import MetricsRegistry, Tracer
+from repro.tuning import (
+    DEFAULT_SPEC,
+    CostWeights,
+    HillClimbSearch,
+    PipelineSpec,
+    RandomSearch,
+    TunedProfile,
+    make_strategy,
+    tune,
+    tune_patterns,
+)
+
+PATTERNS = ["a(b|c)+d", "x(y|z)w*", "(ab|cd)e"]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_search(self):
+        first = tune(PATTERNS, seed=11, max_evals=12)
+        second = tune(PATTERNS, seed=11, max_evals=12)
+        assert first.best_spec == second.best_spec
+        assert first.best_cost == second.best_cost
+        assert first.log == second.log
+
+    def test_different_seeds_differ_in_trajectory(self):
+        first = tune(PATTERNS, seed=11, max_evals=12)
+        second = tune(PATTERNS, seed=12, max_evals=12)
+        assert [spec for spec, _ in first.log] != [
+            spec for spec, _ in second.log
+        ]
+
+    def test_same_seed_identical_profile_json(self):
+        first = tune_patterns("unit", PATTERNS, seed=11, max_evals=10)
+        second = tune_patterns("unit", PATTERNS, seed=11, max_evals=10)
+        assert first.profile.dumps() == second.profile.dumps()
+
+    def test_profile_json_round_trips(self):
+        run = tune_patterns("unit", PATTERNS, seed=11, max_evals=6)
+        payload = json.loads(run.profile.dumps())
+        assert TunedProfile.from_json_dict(payload).dumps() == (
+            run.profile.dumps()
+        )
+
+
+class TestMonotonicity:
+    def test_tuned_never_worse_than_default(self):
+        for seed in (1, 2, 3):
+            result = tune(PATTERNS, seed=seed, max_evals=10)
+            assert result.best_cost.composite <= result.default_cost.composite
+            assert result.improvement >= 1.0
+
+    def test_default_spec_scored_first(self):
+        result = tune(PATTERNS, seed=5, max_evals=4)
+        assert result.log[0][0] == DEFAULT_SPEC
+        assert result.log[0][1] == result.default_cost.composite
+
+    def test_max_evals_bounds_search(self):
+        result = tune(PATTERNS, seed=5, max_evals=7)
+        assert result.evaluations <= 8  # default + max_evals proposals
+
+    def test_custom_weights_reach_the_composite(self):
+        static = tune(
+            PATTERNS,
+            seed=5,
+            max_evals=2,
+            weights=CostWeights(d_offset=1.0, code_size=0.0, cycles=0.0),
+        )
+        assert static.default_cost.composite == static.default_cost.d_offset
+
+
+class TestStrategies:
+    def test_make_strategy(self):
+        assert isinstance(make_strategy("hill"), HillClimbSearch)
+        assert isinstance(make_strategy("random"), RandomSearch)
+        with pytest.raises(ValueError):
+            make_strategy("annealing")
+
+    def test_both_strategies_run(self):
+        for name in ("hill", "random"):
+            result = tune(PATTERNS, seed=3, strategy=name, max_evals=6)
+            assert result.strategy == name
+            assert result.improvement >= 1.0
+
+    def test_empty_pattern_set_rejected(self):
+        with pytest.raises(ValueError):
+            tune([], seed=1)
+
+    def test_unparseable_set_raises_typed_error(self):
+        with pytest.raises(IRError):
+            tune(["(unclosed"], seed=1, max_evals=2)
+
+
+class TestObservability:
+    def test_span_tree_and_counters(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        result = tune(
+            PATTERNS, seed=9, max_evals=6, tracer=tracer, metrics=registry
+        )
+        assert tracer.find("tuning.candidate")
+        (root,) = tracer.find("tuning.search")
+        assert root.attributes["seed"] == 9
+        assert root.attributes["evaluations"] == result.evaluations
+        rendered = registry.render_prometheus()
+        assert "repro_tuner_evaluations_total" in rendered
+
+    def test_evaluation_counter_matches_log(self):
+        registry = MetricsRegistry()
+        result = tune(PATTERNS, seed=9, max_evals=6, metrics=registry)
+        assert (
+            registry.value("repro_tuner_evaluations_total")
+            == result.evaluations
+        )
+
+
+class TestPipelineSpec:
+    def test_round_trip(self):
+        spec = PipelineSpec(
+            regex_passes=("regex-simplify-subregex",),
+            cicero_passes=("cicero-dce", "cicero-dce"),
+        )
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_describe_lists_both_halves(self):
+        text = DEFAULT_SPEC.describe()
+        assert "regex-" in text and "cicero-" in text
